@@ -1,0 +1,89 @@
+// Command crowdwifi-server runs the CrowdWiFi crowd-server: the HTTP service
+// that assigns AP mapping tasks, collects crowd-vehicle reports and labels,
+// infers per-vehicle reliability, and serves fused AP lookup results.
+//
+// Usage:
+//
+//	crowdwifi-server [-addr :8700] [-merge-radius 10] [-aggregate-every 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"crowdwifi/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8700", "listen address")
+	mergeRadius := flag.Float64("merge-radius", 10, "fusion merge radius in metres")
+	aggregateEvery := flag.Duration("aggregate-every", 30*time.Second,
+		"how often to re-run reliability inference and fusion (0 disables)")
+	flag.Parse()
+	if err := run(*addr, *mergeRadius, *aggregateEvery); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, mergeRadius float64, aggregateEvery time.Duration) error {
+	store := server.NewStore(mergeRadius)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(store),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Periodic aggregation, bounded by the shutdown context.
+	aggDone := make(chan struct{})
+	go func() {
+		defer close(aggDone)
+		if aggregateEvery <= 0 {
+			return
+		}
+		ticker := time.NewTicker(aggregateEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n, err := store.Aggregate(); err != nil {
+					log.Printf("aggregate: %v", err)
+				} else {
+					log.Printf("aggregate: %d fused APs", n)
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("crowd-server listening on %s", addr)
+
+	select {
+	case err := <-errCh:
+		<-aggDone
+		return err
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shutdownCtx)
+		<-aggDone
+		if errors.Is(err, context.DeadlineExceeded) {
+			return errors.New("shutdown timed out")
+		}
+		return err
+	}
+}

@@ -1,0 +1,162 @@
+// Command crowdwifi-vehicle simulates one crowd-vehicle: it drives the UCI
+// scenario, runs online compressive sensing over the drive-by RSS stream,
+// prints its consolidated AP estimates, and (when a crowd-server address is
+// given) uploads its report, proposes its constellation as a mapping task,
+// and labels pending tasks from other vehicles.
+//
+// Usage:
+//
+//	crowdwifi-vehicle [-id veh-1] [-server http://127.0.0.1:8700]
+//	                  [-samples 180] [-seed 7] [-segment uci-campus]
+//	                  [-spammer]
+//
+// With -spammer the vehicle answers mapping tasks randomly instead of
+// honestly — useful for demonstrating the server's reliability inference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crowdwifi/internal/client"
+	"crowdwifi/internal/cs"
+	"crowdwifi/internal/eval"
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/radio"
+	"crowdwifi/internal/rng"
+	"crowdwifi/internal/server"
+	"crowdwifi/internal/sim"
+	"crowdwifi/internal/traceio"
+)
+
+func main() {
+	id := flag.String("id", "veh-1", "vehicle identifier")
+	serverURL := flag.String("server", "", "crowd-server base URL (empty: offline)")
+	samples := flag.Int("samples", 180, "RSS samples to collect on the drive")
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	segment := flag.String("segment", "uci-campus", "road segment id for uploads")
+	spammer := flag.Bool("spammer", false, "answer mapping tasks randomly")
+	tracePath := flag.String("trace", "", "replay a measurement CSV instead of simulating a drive")
+	outPath := flag.String("out", "", "write the consolidated AP estimates to this CSV")
+	flag.Parse()
+	if err := run(*id, *serverURL, *segment, *tracePath, *outPath, *samples, *seed, *spammer); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(id, serverURL, segment, tracePath, outPath string, samples int, seed uint64, spammer bool) error {
+	sc := sim.UCI()
+	r := rng.New(seed)
+	var ms []radio.Measurement
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		ms, err = traceio.ReadMeasurements(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		ms, err = sc.Drive(sim.DriveConfig{
+			Trajectory: sim.UCIDrive(),
+			NumSamples: samples,
+			SNR:        30,
+		}, r)
+		if err != nil {
+			return err
+		}
+	}
+	area := sc.Area
+	cfg := cs.EngineConfig{
+		Channel:     sc.Channel,
+		Radius:      sc.Radius,
+		Lattice:     sc.Lattice,
+		Area:        &area,
+		WindowSize:  60,
+		StepSize:    10,
+		MergeRadius: 1.5 * sc.Lattice,
+		Select:      cs.SelectOptions{MaxK: 8},
+	}
+
+	vehicle, err := client.NewCrowdVehicle(id, serverURL, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: driving the UCI campus, %d RSS samples...\n", id, len(ms))
+	if err := vehicle.Sense(ms); err != nil {
+		return err
+	}
+	ests := vehicle.Estimates()
+	fmt.Printf("%s: %d consolidated AP estimates:\n", id, len(ests))
+	pts := make([]geo.Point, len(ests))
+	for i, e := range ests {
+		pts[i] = e.Pos
+		fmt.Printf("  AP at (%.1f, %.1f) m, credit %.0f\n", e.Pos.X, e.Pos.Y, e.Credit)
+	}
+	if tracePath == "" {
+		fmt.Printf("%s: mean matched error vs ground truth: %.2f m\n",
+			id, eval.MeanMatchedDistance(sc.APs, pts))
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		werr := traceio.WriteEstimates(f, ests)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("%s: estimates written to %s\n", id, outPath)
+	}
+
+	if serverURL == "" {
+		return nil
+	}
+
+	if err := vehicle.Report(segment); err != nil {
+		return fmt.Errorf("upload report: %w", err)
+	}
+	fmt.Printf("%s: report uploaded to %s\n", id, serverURL)
+	taskID, err := vehicle.ProposePattern(segment)
+	if err != nil {
+		return fmt.Errorf("propose pattern: %w", err)
+	}
+	fmt.Printf("%s: proposed mapping task %d\n", id, taskID)
+
+	tasks, err := vehicle.PullTasks(10)
+	if err != nil {
+		return fmt.Errorf("pull tasks: %w", err)
+	}
+	if spammer {
+		labels := make([]server.Label, 0, len(tasks))
+		for _, task := range tasks {
+			v := 1
+			if r.Bernoulli(0.5) {
+				v = -1
+			}
+			labels = append(labels, server.Label{Vehicle: id, TaskID: task.ID, Value: v})
+		}
+		if len(labels) > 0 {
+			if err := vehicle.SubmitLabels(labels); err != nil {
+				return fmt.Errorf("submit labels: %w", err)
+			}
+		}
+		fmt.Printf("%s: SPAMMED %d mapping tasks with random answers\n", id, len(labels))
+		return nil
+	}
+	labels, err := vehicle.LabelTasks(tasks, 2*sc.Lattice)
+	if err != nil {
+		return fmt.Errorf("label tasks: %w", err)
+	}
+	fmt.Printf("%s: honestly labelled %d mapping tasks\n", id, len(labels))
+	return nil
+}

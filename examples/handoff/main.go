@@ -1,0 +1,110 @@
+// Handoff: the vehicular application study of Section 6.3. A VanLan-like
+// trace is generated (11 APs, two vans, bursty beacon loss); one van
+// crowdsenses the AP deployment with the online CS engine; then the BRR hard
+// handoff policy is compared against AllAP — which opportunistically uses
+// every AP the crowdsensed lookup places in range — on session continuity
+// and 10 KB transfer performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdwifi"
+
+	"crowdwifi/internal/eval"
+	"crowdwifi/internal/handoff"
+	"crowdwifi/internal/rng"
+	"crowdwifi/internal/transport"
+	"crowdwifi/internal/vanlan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sc := vanlan.Campus()
+	fmt.Printf("generating a VanLan-like trace: %d APs, %gx%g m campus...\n",
+		len(sc.APs), sc.Area.Width(), sc.Area.Height())
+	trace, err := vanlan.Generate(sc, vanlan.Config{Duration: 900}, rng.New(7))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d beacon records\n", len(trace.Beacons))
+
+	// Van 0 crowdsenses the deployment from 300 of its received beacons.
+	area := sc.Area
+	engine, err := crowdwifi.NewEngine(crowdwifi.EngineConfig{
+		Channel:     sc.Channel,
+		Radius:      sc.Radius,
+		Lattice:     20,
+		Area:        &area,
+		WindowSize:  60,
+		StepSize:    15,
+		MergeRadius: 40,
+		Select:      crowdwifi.SelectOptions{MaxK: 4},
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := engine.AddBatch(trace.Measurements(0, 300)); err != nil {
+		return err
+	}
+	estimates := crowdwifi.EstimatePositions(engine.FinalEstimates())
+	fmt.Printf("crowdsensed %d APs, mean matched error %.1f m\n\n",
+		len(estimates), crowdwifi.MeanMatchedDistance(sc.APs, estimates))
+	db := handoff.DatabaseFromEstimates(estimates, sc.APs)
+
+	// Connectivity under the two policies.
+	brrConn, err := handoff.BRR(trace, 0, handoff.BRROptions{})
+	if err != nil {
+		return err
+	}
+	allConn, err := handoff.AllAP(trace, 0, db)
+	if err != nil {
+		return err
+	}
+	fmt.Println("policy   connected  interruptions  median session  p90 session")
+	report := func(name string, conn []bool) {
+		lens := handoff.SessionLengths(conn)
+		fmt.Printf("%-7s  %8.0f%%  %13d  %13.1fs  %10.1fs\n",
+			name,
+			100*handoff.ConnectedFraction(conn),
+			handoff.Interruptions(conn),
+			eval.Median(lens),
+			eval.Quantile(lens, 0.9))
+	}
+	report("BRR", brrConn)
+	report("AllAP", allConn)
+
+	// 10 KB transfers over each policy's packet process.
+	brrSlots, err := handoff.SlotSuccess(trace, 0, nil, handoff.BRROptions{})
+	if err != nil {
+		return err
+	}
+	allSlots, err := handoff.SlotSuccess(trace, 0, &db, handoff.BRROptions{})
+	if err != nil {
+		return err
+	}
+	rb, err := transport.Run(brrSlots, transport.Config{})
+	if err != nil {
+		return err
+	}
+	ra, err := transport.Run(allSlots, transport.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\npolicy   transfers  median time  per session")
+	fmt.Printf("BRR      %9d  %10.2fs  %11.2f\n", rb.Completed, rb.MedianSeconds,
+		transport.PerSession(rb, len(handoff.Sessions(brrConn))))
+	fmt.Printf("AllAP    %9d  %10.2fs  %11.2f\n", ra.Completed, ra.MedianSeconds,
+		transport.PerSession(ra, len(handoff.Sessions(allConn))))
+	if ra.MedianSeconds < rb.MedianSeconds {
+		fmt.Printf("\nAllAP completes the median transfer %.0f%% faster than hard handoff.\n",
+			100*(1-ra.MedianSeconds/rb.MedianSeconds))
+	}
+	return nil
+}

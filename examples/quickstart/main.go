@@ -1,0 +1,90 @@
+// Quickstart: localize roadside APs from drive-by RSS with the public
+// crowdwifi API. A vehicle drives an L-shaped route past four APs, feeds its
+// noisy RSS readings into the online compressive sensing engine, and prints
+// the recovered AP count and locations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crowdwifi"
+
+	"crowdwifi/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The world: four APs on a 200 m × 150 m block, standard outdoor channel.
+	ch := crowdwifi.UCIChannel()
+	truth := []crowdwifi.Point{
+		{X: 40, Y: 40},
+		{X: 150, Y: 30},
+		{X: 160, Y: 110},
+		{X: 60, Y: 120},
+	}
+
+	// The drive: a winding route past all four APs.
+	route, err := crowdwifi.NewTrajectory([]crowdwifi.Point{
+		{X: 10, Y: 20}, {X: 60, Y: 30}, {X: 140, Y: 20}, {X: 170, Y: 60},
+		{X: 150, Y: 120}, {X: 80, Y: 130}, {X: 30, Y: 100},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Collect 120 RSS readings along the route. Each reading comes from the
+	// nearest AP with log-normal shadow fading — in a real deployment this
+	// is the WiFi scan loop.
+	r := rng.New(1)
+	var readings []crowdwifi.Measurement
+	step := route.Length() / 119
+	for i := 0; i < 120; i++ {
+		pos := route.At(float64(i) * step)
+		nearest := truth[0]
+		for _, ap := range truth[1:] {
+			if pos.Dist(ap) < pos.Dist(nearest) {
+				nearest = ap
+			}
+		}
+		readings = append(readings, crowdwifi.Measurement{
+			Pos:  pos,
+			RSS:  ch.SampleRSS(pos.Dist(nearest), r),
+			Time: float64(i),
+		})
+	}
+
+	// The online CS engine: sliding window of 40 readings, re-estimated
+	// every 10, over a 10 m grid on the known block.
+	area := crowdwifi.Rect{Min: crowdwifi.Point{X: 0, Y: 0}, Max: crowdwifi.Point{X: 200, Y: 150}}
+	engine, err := crowdwifi.NewEngine(crowdwifi.EngineConfig{
+		Channel:    ch,
+		Radius:     100,
+		Lattice:    10,
+		Area:       &area,
+		WindowSize: 40,
+		StepSize:   10,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := engine.AddBatch(readings); err != nil {
+		return err
+	}
+
+	// Read out the consolidated estimates.
+	estimates := engine.FinalEstimates()
+	fmt.Printf("found %d APs (truth: %d):\n", len(estimates), len(truth))
+	for _, e := range estimates {
+		fmt.Printf("  AP at (%6.1f, %6.1f) m  credit %.0f\n", e.Pos.X, e.Pos.Y, e.Credit)
+	}
+	pts := crowdwifi.EstimatePositions(estimates)
+	fmt.Printf("mean matched error: %.2f m\n", crowdwifi.MeanMatchedDistance(truth, pts))
+	fmt.Printf("counting error: %.2f\n", crowdwifi.CountingError(len(truth), len(pts)))
+	return nil
+}

@@ -1,0 +1,3 @@
+module crowdwifi
+
+go 1.22

@@ -1,0 +1,215 @@
+// Package baseline implements the comparison algorithms the paper evaluates
+// CrowdWiFi against (Section 6.1): LGMM, the Gaussian-mixture grid algorithm
+// of [20]; MDS, the multidimensional-scaling AP-map construction of [9]; and
+// Skyhook, a Place-Lab-style weighted-centroid fingerprinting system
+// (Skyhook's own algorithm is proprietary but, per the paper, similar to
+// Place Lab).
+//
+// LGMM consumes the same unlabelled RSS measurements as CrowdWiFi. MDS and
+// Skyhook consume BSSID-labelled scans — the data those systems are defined
+// on — which is if anything generous to them.
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/grid"
+	"crowdwifi/internal/radio"
+)
+
+// LGMMOptions tunes the LGMM estimator.
+type LGMMOptions struct {
+	// MaxK caps the mixture order search (default 12).
+	MaxK int
+	// EMIterations bounds the EM loop per K (default 15).
+	EMIterations int
+	// SigmaFactor is the Gaussian observation σ = b·|μ| constant (default
+	// radio.DefaultSigmaFactor).
+	SigmaFactor float64
+}
+
+// LGMM estimates the number and locations of APs with a grid-constrained
+// Gaussian mixture and EM, selecting the mixture order by BIC — the
+// grid-based target lookup of [20]. Component positions live on grid points;
+// the E-step computes soft responsibilities of each measurement to each
+// component, and the M-step moves each component to the grid point
+// maximizing its expected log-likelihood within a local search window.
+func LGMM(g *grid.Grid, ch radio.Channel, ms []radio.Measurement, opts LGMMOptions) ([]geo.Point, error) {
+	if len(ms) == 0 {
+		return nil, errors.New("baseline: LGMM requires measurements")
+	}
+	maxK := opts.MaxK
+	if maxK <= 0 {
+		maxK = 12
+	}
+	if maxK > len(ms) {
+		maxK = len(ms)
+	}
+	emIters := opts.EMIterations
+	if emIters <= 0 {
+		emIters = 15
+	}
+	b := opts.SigmaFactor
+	if b == 0 {
+		b = radio.DefaultSigmaFactor
+	}
+
+	bestBIC := math.Inf(-1)
+	var best []geo.Point
+	bad := 0
+	for k := 1; k <= maxK; k++ {
+		comps := lgmmEM(g, ch, ms, k, emIters, b)
+		ll := logLikAt(ch, ms, comps, b)
+		bic := radio.BIC(ll, len(comps), len(ms))
+		if bic > bestBIC {
+			bestBIC = bic
+			best = comps
+			bad = 0
+		} else {
+			bad++
+			if bad >= 3 {
+				break
+			}
+		}
+	}
+	if best == nil {
+		return nil, errors.New("baseline: LGMM found no mixture")
+	}
+	return best, nil
+}
+
+// lgmmEM runs EM for a fixed mixture order k and returns the component
+// positions.
+func lgmmEM(g *grid.Grid, ch radio.Channel, ms []radio.Measurement, k, iters int, b float64) []geo.Point {
+	// Initialize components at the grid points nearest the strongest
+	// readings, spread by farthest-first.
+	comps := make([]geo.Point, 0, k)
+	strongest := 0
+	for i, m := range ms {
+		if m.RSS > ms[strongest].RSS {
+			strongest = i
+		}
+	}
+	comps = append(comps, g.Point(g.Nearest(ms[strongest].Pos)))
+	for len(comps) < k {
+		farIdx, farD := 0, -1.0
+		for i, m := range ms {
+			dMin := math.Inf(1)
+			for _, c := range comps {
+				if d := m.Pos.Dist(c); d < dMin {
+					dMin = d
+				}
+			}
+			if dMin > farD {
+				farD, farIdx = dMin, i
+			}
+		}
+		comps = append(comps, g.Point(g.Nearest(ms[farIdx].Pos)))
+	}
+
+	resp := make([][]float64, len(ms))
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	for it := 0; it < iters; it++ {
+		// E-step.
+		for i, m := range ms {
+			var total float64
+			for c, comp := range comps {
+				mu := ch.MeanRSS(m.Pos.Dist(comp))
+				sigma := math.Max(b*math.Abs(mu), 1e-6)
+				z := (m.RSS - mu) / sigma
+				resp[i][c] = math.Exp(-0.5*z*z) / sigma
+				total += resp[i][c]
+			}
+			if total <= 0 {
+				for c := range resp[i] {
+					resp[i][c] = 1 / float64(k)
+				}
+				continue
+			}
+			for c := range resp[i] {
+				resp[i][c] /= total
+			}
+		}
+		// M-step: each component searches the grid neighbourhood of its
+		// current position (falling back to a full scan on the first round)
+		// for the point maximizing the responsibility-weighted likelihood.
+		changed := false
+		for c := range comps {
+			bestPt := comps[c]
+			bestScore := math.Inf(-1)
+			scan := func(p geo.Point) {
+				var s float64
+				for i, m := range ms {
+					w := resp[i][c]
+					if w < 1e-6 {
+						continue
+					}
+					mu := ch.MeanRSS(m.Pos.Dist(p))
+					sigma := math.Max(b*math.Abs(mu), 1e-6)
+					z := (m.RSS - mu) / sigma
+					s += w * (-0.5*z*z - math.Log(sigma))
+				}
+				if s > bestScore {
+					bestScore = s
+					bestPt = p
+				}
+			}
+			if it == 0 {
+				for n := 0; n < g.N(); n++ {
+					scan(g.Point(n))
+				}
+			} else {
+				// 5×5 neighbourhood around the current grid point.
+				for dy := -2; dy <= 2; dy++ {
+					for dx := -2; dx <= 2; dx++ {
+						p := geo.Point{
+							X: comps[c].X + float64(dx)*g.Lattice,
+							Y: comps[c].Y + float64(dy)*g.Lattice,
+						}
+						if g.Area.Contains(p) {
+							scan(p)
+						}
+					}
+				}
+			}
+			if bestPt != comps[c] {
+				comps[c] = bestPt
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return dedupe(comps, g.Lattice)
+}
+
+// dedupe merges component positions that collapsed onto (nearly) the same
+// grid point.
+func dedupe(pts []geo.Point, minSep float64) []geo.Point {
+	var out []geo.Point
+	for _, p := range pts {
+		dup := false
+		for _, q := range out {
+			if p.Dist(q) < minSep {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// logLikAt evaluates the myopic GMM log-likelihood of the measurements for a
+// candidate constellation with observation constant b.
+func logLikAt(ch radio.Channel, ms []radio.Measurement, aps []geo.Point, b float64) float64 {
+	gmm := radio.GMMParams{Channel: ch, SigmaFactor: b}
+	return gmm.LogLikelihood(ms, aps)
+}

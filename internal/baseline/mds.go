@@ -1,0 +1,219 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/mat"
+	"crowdwifi/internal/radio"
+)
+
+// MDSOptions tunes the MDS map builder.
+type MDSOptions struct {
+	// MinScans is the minimum number of labelled scans required before an AP
+	// is counted and localized (default 3; APs heard fewer times are
+	// dropped, which is the source of MDS's counting error at low M).
+	MinScans int
+}
+
+// MDS reconstructs AP positions with the multidimensional-scaling radio-scan
+// approach of [9]: pairwise AP dissimilarities are estimated from RSS
+// co-observations, classical MDS (double centering + eigendecomposition)
+// embeds the APs in the plane, and the embedding is anchored to world
+// coordinates by Procrustes alignment against per-AP RSS-weighted scan
+// centroids. It consumes BSSID-labelled scans (Measurement.Source ≥ 0).
+func MDS(ch radio.Channel, ms []radio.Measurement, opts MDSOptions) ([]geo.Point, error) {
+	minScans := opts.MinScans
+	if minScans <= 0 {
+		minScans = 3
+	}
+	// Bucket scans per AP id.
+	byAP := map[int][]radio.Measurement{}
+	for _, m := range ms {
+		if m.Source < 0 {
+			continue
+		}
+		byAP[m.Source] = append(byAP[m.Source], m)
+	}
+	var ids []int
+	for id, scans := range byAP {
+		if len(scans) >= minScans {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	n := len(ids)
+	if n == 0 {
+		return nil, errors.New("baseline: MDS has no AP with enough scans")
+	}
+	if n == 1 {
+		return []geo.Point{weightedScanCentroid(ch, byAP[ids[0]])}, nil
+	}
+
+	// Dissimilarity: for each AP pair, combine the distance between their
+	// ranging circles at shared-ish scan positions. With each scan we know
+	// |AP − pos| ≈ InvertRSS(rss); for two APs a,b with scans at positions
+	// pa, pb, the implied AP separation from one cross pair is
+	// |pa − pb| bracketed by ranging radii. We estimate δ(a,b) as the median
+	// over cross pairs of max(0, |pa−pb| − ra) + rb-style bounds collapsed to
+	// the triangle midpoint estimate.
+	diss := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := pairDissimilarity(ch, byAP[ids[i]], byAP[ids[j]])
+			diss.Set(i, j, d)
+			diss.Set(j, i, d)
+		}
+	}
+
+	// Classical MDS: B = −½ J D² J, embed with the top-2 eigenpairs.
+	d2 := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := diss.At(i, j)
+			d2.Set(i, j, v*v)
+		}
+	}
+	bMat := doubleCenter(d2)
+	eig, err := mat.FactorizeSymEigen(bMat)
+	if err != nil {
+		return nil, err
+	}
+	embed := make([]geo.Point, n)
+	for dim := 0; dim < 2 && dim < len(eig.Values); dim++ {
+		lam := eig.Values[dim]
+		if lam < 0 {
+			lam = 0
+		}
+		scale := math.Sqrt(lam)
+		for i := 0; i < n; i++ {
+			v := eig.Vectors.At(i, dim) * scale
+			if dim == 0 {
+				embed[i].X = v
+			} else {
+				embed[i].Y = v
+			}
+		}
+	}
+
+	// Anchor: per-AP RSS-weighted scan centroids give rough world positions;
+	// Procrustes (rotation+reflection+translation, no scaling of the world)
+	// aligns the MDS embedding onto them.
+	anchors := make([]geo.Point, n)
+	for i, id := range ids {
+		anchors[i] = weightedScanCentroid(ch, byAP[id])
+	}
+	aligned := procrustes(embed, anchors)
+	return aligned, nil
+}
+
+// pairDissimilarity estimates the separation of two APs from their labelled
+// scans: for the closest cross pair of scan positions, the AP separation is
+// approximately the position distance adjusted by the two ranging radii.
+// The median over the closest few cross pairs suppresses fading outliers.
+func pairDissimilarity(ch radio.Channel, a, b []radio.Measurement) float64 {
+	type est struct{ v float64 }
+	var ests []float64
+	for _, sa := range a {
+		ra := ch.InvertRSS(sa.RSS)
+		for _, sb := range b {
+			rb := ch.InvertRSS(sb.RSS)
+			dp := sa.Pos.Dist(sb.Pos)
+			// Triangle heuristic: AP separation ∈ [|dp − ra − rb| … dp+ra+rb];
+			// use the midpoint of dp with the radii partially cancelling.
+			v := math.Abs(dp-ra) + rb
+			ests = append(ests, v)
+		}
+	}
+	if len(ests) == 0 {
+		return 0
+	}
+	sort.Float64s(ests)
+	// Median of the smallest half (closest approaches carry the signal).
+	half := ests[:(len(ests)+1)/2]
+	return half[len(half)/2]
+}
+
+// weightedScanCentroid is the Place-Lab-style position estimate: the
+// centroid of scan positions weighted by linearized signal strength.
+func weightedScanCentroid(ch radio.Channel, scans []radio.Measurement) geo.Point {
+	var sx, sy, sw float64
+	for _, s := range scans {
+		// Linear-domain weight: stronger readings dominate. RSS is in dBm;
+		// weight by the implied proximity 1/(1+d).
+		d := ch.InvertRSS(s.RSS)
+		w := 1 / (1 + d)
+		sx += w * s.Pos.X
+		sy += w * s.Pos.Y
+		sw += w
+	}
+	if sw == 0 {
+		return geo.Point{}
+	}
+	return geo.Point{X: sx / sw, Y: sy / sw}
+}
+
+// doubleCenter computes B = −½ J D² J with J = I − (1/n)·11ᵀ.
+func doubleCenter(d2 *mat.Mat) *mat.Mat {
+	n := d2.Rows()
+	rowMean := make([]float64, n)
+	colMean := make([]float64, n)
+	var grand float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := d2.At(i, j)
+			rowMean[i] += v
+			colMean[j] += v
+			grand += v
+		}
+	}
+	for i := range rowMean {
+		rowMean[i] /= float64(n)
+		colMean[i] /= float64(n)
+	}
+	grand /= float64(n * n)
+	out := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, -0.5*(d2.At(i, j)-rowMean[i]-colMean[j]+grand))
+		}
+	}
+	return out
+}
+
+// procrustes finds the rigid transform (rotation/reflection + translation)
+// mapping src onto dst in the least-squares sense and returns the
+// transformed src. Points are paired by index.
+func procrustes(src, dst []geo.Point) []geo.Point {
+	n := len(src)
+	if n == 0 || n != len(dst) {
+		return src
+	}
+	cs := geo.Centroid(src)
+	cd := geo.Centroid(dst)
+	// Cross-covariance H = Σ (src−cs)(dst−cd)ᵀ (2×2).
+	var h00, h01, h10, h11 float64
+	for i := 0; i < n; i++ {
+		sx, sy := src[i].X-cs.X, src[i].Y-cs.Y
+		dx, dy := dst[i].X-cd.X, dst[i].Y-cd.Y
+		h00 += sx * dx
+		h01 += sx * dy
+		h10 += sy * dx
+		h11 += sy * dy
+	}
+	// SVD of a 2×2 via mat for the optimal rotation R = V Uᵀ.
+	h := mat.NewFromData(2, 2, []float64{h00, h01, h10, h11})
+	svd := mat.FactorizeSVD(h)
+	r := mat.Mul(svd.V, svd.U.T())
+	out := make([]geo.Point, n)
+	for i := 0; i < n; i++ {
+		sx, sy := src[i].X-cs.X, src[i].Y-cs.Y
+		out[i] = geo.Point{
+			X: cd.X + r.At(0, 0)*sx + r.At(0, 1)*sy,
+			Y: cd.Y + r.At(1, 0)*sx + r.At(1, 1)*sy,
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+// Package client implements the vehicle-side CrowdWiFi middleware: the
+// crowd-vehicle client that runs online compressive sensing while driving,
+// labels mapping tasks, and uploads reports; and the user-vehicle client
+// that downloads fused AP lookup results in advance of entering a road
+// segment (Section 3's three crowdsensing parties, minus the server).
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"crowdwifi/internal/cs"
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/radio"
+	"crowdwifi/internal/server"
+)
+
+// HTTPDoer abstracts *http.Client for testing.
+type HTTPDoer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// CrowdVehicle is the worker party: it senses APs with the online CS engine
+// and participates in offline crowdsourcing.
+type CrowdVehicle struct {
+	// ID identifies the vehicle to the crowd-server.
+	ID string
+	// BaseURL is the crowd-server address, e.g. "http://127.0.0.1:8700".
+	BaseURL string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP HTTPDoer
+
+	engine *cs.Engine
+}
+
+// NewCrowdVehicle builds a crowd-vehicle with a fresh online CS engine.
+func NewCrowdVehicle(id, baseURL string, engineCfg cs.EngineConfig) (*CrowdVehicle, error) {
+	eng, err := cs.NewEngine(engineCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CrowdVehicle{ID: id, BaseURL: baseURL, HTTP: http.DefaultClient, engine: eng}, nil
+}
+
+// Engine exposes the vehicle's online CS engine.
+func (v *CrowdVehicle) Engine() *cs.Engine { return v.engine }
+
+// Sense ingests drive-by measurements into the online CS engine.
+func (v *CrowdVehicle) Sense(ms []radio.Measurement) error {
+	_, err := v.engine.AddBatch(ms)
+	return err
+}
+
+// Estimates returns the vehicle's current consolidated AP estimates after
+// the final pruning pass.
+func (v *CrowdVehicle) Estimates() []cs.Estimate {
+	return v.engine.FinalEstimates()
+}
+
+// Report uploads the vehicle's AP estimates for a segment.
+func (v *CrowdVehicle) Report(segment string) error {
+	ests := v.Estimates()
+	rep := server.Report{Vehicle: v.ID, Segment: segment, APs: make([]server.APReport, len(ests))}
+	for i, e := range ests {
+		rep.APs[i] = server.APReport{X: e.Pos.X, Y: e.Pos.Y, Credit: e.Credit}
+	}
+	return v.postJSON("/v1/reports", rep, nil)
+}
+
+// ProposePattern registers the vehicle's estimates as a mapping task so
+// other vehicles can confirm or reject them. It returns the task id.
+func (v *CrowdVehicle) ProposePattern(segment string) (int, error) {
+	ests := v.Estimates()
+	p := server.Pattern{Segment: segment, APs: make([]server.APReport, len(ests))}
+	for i, e := range ests {
+		p.APs[i] = server.APReport{X: e.Pos.X, Y: e.Pos.Y, Credit: e.Credit}
+	}
+	var out struct {
+		ID int `json:"id"`
+	}
+	if err := v.postJSON("/v1/patterns", p, &out); err != nil {
+		return 0, err
+	}
+	return out.ID, nil
+}
+
+// PullTasks fetches up to count mapping tasks assigned to this vehicle.
+func (v *CrowdVehicle) PullTasks(count int) ([]server.Pattern, error) {
+	u := fmt.Sprintf("%s/v1/tasks?vehicle=%s&count=%d", v.BaseURL, url.QueryEscape(v.ID), count)
+	var out []server.Pattern
+	if err := v.getJSON(u, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LabelTasks answers mapping tasks against the vehicle's own estimates: a
+// pattern is confirmed (+1) when every pattern AP lies within tolerance of
+// one of the vehicle's estimates and the counts agree within one; otherwise
+// rejected (−1). It returns the submitted labels.
+func (v *CrowdVehicle) LabelTasks(tasks []server.Pattern, tolerance float64) ([]server.Label, error) {
+	if tolerance <= 0 {
+		tolerance = 15
+	}
+	own := v.Estimates()
+	labels := make([]server.Label, 0, len(tasks))
+	for _, task := range tasks {
+		labels = append(labels, server.Label{
+			Vehicle: v.ID,
+			TaskID:  task.ID,
+			Value:   matchPattern(task, own, tolerance),
+		})
+	}
+	if len(labels) == 0 {
+		return nil, nil
+	}
+	if err := v.postJSON("/v1/labels", labels, nil); err != nil {
+		return nil, err
+	}
+	return labels, nil
+}
+
+// matchPattern decides whether a pattern agrees with the vehicle's own AP
+// estimates.
+func matchPattern(task server.Pattern, own []cs.Estimate, tolerance float64) int {
+	if len(own) == 0 {
+		return -1
+	}
+	matched := 0
+	for _, ap := range task.APs {
+		p := geo.Point{X: ap.X, Y: ap.Y}
+		for _, e := range own {
+			if e.Pos.Dist(p) <= tolerance {
+				matched++
+				break
+			}
+		}
+	}
+	diff := len(task.APs) - matched
+	if diff < 0 {
+		diff = -diff
+	}
+	countDiff := len(task.APs) - len(own)
+	if countDiff < 0 {
+		countDiff = -countDiff
+	}
+	if matched == len(task.APs) && countDiff <= 1 {
+		return 1
+	}
+	return -1
+}
+
+// SubmitLabels posts raw labels (used by spammer simulations that bypass
+// LabelTasks).
+func (v *CrowdVehicle) SubmitLabels(labels []server.Label) error {
+	return v.postJSON("/v1/labels", labels, nil)
+}
+
+// UserVehicle is the consumer party: it downloads fused lookup results.
+type UserVehicle struct {
+	// BaseURL is the crowd-server address.
+	BaseURL string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP HTTPDoer
+}
+
+// NewUserVehicle builds a user-vehicle client.
+func NewUserVehicle(baseURL string) *UserVehicle {
+	return &UserVehicle{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+// Lookup downloads the fused APs inside the given area.
+func (u *UserVehicle) Lookup(area geo.Rect) ([]geo.Point, error) {
+	q := fmt.Sprintf("%s/v1/lookup?xmin=%g&ymin=%g&xmax=%g&ymax=%g",
+		u.BaseURL, area.Min.X, area.Min.Y, area.Max.X, area.Max.Y)
+	var raw []server.LookupResult
+	if err := getJSON(u.HTTP, q, &raw); err != nil {
+		return nil, err
+	}
+	out := make([]geo.Point, len(raw))
+	for i, r := range raw {
+		out[i] = geo.Point{X: r.X, Y: r.Y}
+	}
+	return out, nil
+}
+
+// Aggregate asks the server to run the offline crowdsourcing pipeline (an
+// operator action in production; exposed here for orchestration).
+func Aggregate(h HTTPDoer, baseURL string) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/aggregate", nil)
+	if err != nil {
+		return 0, err
+	}
+	var out struct {
+		FusedAPs int `json:"fusedAPs"`
+	}
+	if err := doJSON(h, req, &out); err != nil {
+		return 0, err
+	}
+	return out.FusedAPs, nil
+}
+
+// Reliability fetches the server's per-vehicle reliability map.
+func Reliability(h HTTPDoer, baseURL string) (map[string]float64, error) {
+	var out map[string]float64
+	if err := getJSON(h, baseURL+"/v1/reliability", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (v *CrowdVehicle) postJSON(path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, v.BaseURL+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(v.httpDoer(), req, out)
+}
+
+func (v *CrowdVehicle) getJSON(url string, out any) error {
+	return getJSON(v.httpDoer(), url, out)
+}
+
+func (v *CrowdVehicle) httpDoer() HTTPDoer {
+	if v.HTTP != nil {
+		return v.HTTP
+	}
+	return http.DefaultClient
+}
+
+func getJSON(h HTTPDoer, url string, out any) error {
+	if h == nil {
+		h = http.DefaultClient
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(h, req, out)
+}
+
+func doJSON(h HTTPDoer, req *http.Request, out any) error {
+	if h == nil {
+		h = http.DefaultClient
+	}
+	resp, err := h.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("client: %s %s: status %d: %s", req.Method, req.URL.Path, resp.StatusCode, body)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,644 @@
+// Package crowd implements CrowdWiFi's offline crowdsourcing component
+// (Section 5): the spammer-hammer worker model, (ℓ,γ)-regular bipartite task
+// assignment, the Karger-Oh-Shah iterative message-passing inference of
+// Eq. 4, the majority-voting and oracle references, a Spearman rank-order
+// aggregator standing in for Skyhook's proprietary scheme, a Dawid-Skene EM
+// extension, and the reliability-weighted centroid fusion of Section 5.4.
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/rng"
+)
+
+// Assignment is a bipartite task↔worker graph.
+type Assignment struct {
+	// NumTasks and NumWorkers size the two vertex sets.
+	NumTasks, NumWorkers int
+	// TaskWorkers[i] lists the workers labelling task i.
+	TaskWorkers [][]int
+	// WorkerTasks[j] lists the tasks labelled by worker j.
+	WorkerTasks [][]int
+}
+
+// RegularAssignment draws a random (ℓ,γ)-regular bipartite graph: every task
+// is labelled by exactly ℓ workers and every worker labels exactly γ tasks.
+// The number of workers is numTasks·ℓ/γ, which must be integral. The graph
+// is drawn with the configuration model; duplicate edges are resolved by
+// re-shuffling, with a deterministic fallback that swaps stubs.
+func RegularAssignment(numTasks, l, gamma int, r *rng.RNG) (*Assignment, error) {
+	if numTasks <= 0 || l <= 0 || gamma <= 0 {
+		return nil, errors.New("crowd: assignment parameters must be positive")
+	}
+	if (numTasks*l)%gamma != 0 {
+		return nil, fmt.Errorf("crowd: numTasks·ℓ = %d not divisible by γ = %d", numTasks*l, gamma)
+	}
+	numWorkers := numTasks * l / gamma
+	if l > numWorkers {
+		return nil, fmt.Errorf("crowd: ℓ = %d exceeds the %d available workers", l, numWorkers)
+	}
+
+	edges := numTasks * l
+	// Stubs: task side is implicit (task i owns stubs i·ℓ..), worker side is
+	// a shuffled multiset with γ copies of each worker.
+	workerStubs := make([]int, edges)
+	for j := 0; j < numWorkers; j++ {
+		for c := 0; c < gamma; c++ {
+			workerStubs[j*gamma+c] = j
+		}
+	}
+
+	a := &Assignment{
+		NumTasks:    numTasks,
+		NumWorkers:  numWorkers,
+		TaskWorkers: make([][]int, numTasks),
+		WorkerTasks: make([][]int, numWorkers),
+	}
+	const maxShuffles = 200
+	for attempt := 0; attempt < maxShuffles; attempt++ {
+		r.Shuffle(edges, func(x, y int) { workerStubs[x], workerStubs[y] = workerStubs[y], workerStubs[x] })
+		if fixDuplicates(workerStubs, l, r) {
+			break
+		}
+		if attempt == maxShuffles-1 {
+			return nil, errors.New("crowd: could not draw a simple regular graph")
+		}
+	}
+	for i := 0; i < numTasks; i++ {
+		a.TaskWorkers[i] = append([]int(nil), workerStubs[i*l:(i+1)*l]...)
+		for _, j := range a.TaskWorkers[i] {
+			a.WorkerTasks[j] = append(a.WorkerTasks[j], i)
+		}
+	}
+	return a, nil
+}
+
+// fixDuplicates repairs duplicate worker stubs within a task's block by
+// swapping with stubs from other blocks. It reports success.
+func fixDuplicates(stubs []int, l int, r *rng.RNG) bool {
+	n := len(stubs) / l
+	for pass := 0; pass < 50; pass++ {
+		clean := true
+		for i := 0; i < n; i++ {
+			block := stubs[i*l : (i+1)*l]
+			seen := map[int]int{}
+			for bi, w := range block {
+				if prev, dup := seen[w]; dup {
+					_ = prev
+					// Swap the duplicate with a random stub elsewhere.
+					other := r.Intn(len(stubs))
+					stubs[i*l+bi], stubs[other] = stubs[other], stubs[i*l+bi]
+					clean = false
+				} else {
+					seen[w] = bi
+				}
+			}
+		}
+		if clean {
+			return true
+		}
+	}
+	return false
+}
+
+// SpammerHammer draws worker reliabilities from the discrete spammer-hammer
+// prior: q = 1 (hammer) with probability pHammer, else q = 0.5 (spammer).
+func SpammerHammer(numWorkers int, pHammer float64, r *rng.RNG) []float64 {
+	qs := make([]float64, numWorkers)
+	for j := range qs {
+		if r.Bernoulli(pHammer) {
+			qs[j] = 1
+		} else {
+			qs[j] = 0.5
+		}
+	}
+	return qs
+}
+
+// Labels holds the observed worker answers on an assignment. Values are
+// aligned with Assignment.TaskWorkers: Values[i][c] is worker
+// TaskWorkers[i][c]'s ±1 answer for task i.
+type Labels struct {
+	Assignment *Assignment
+	Values     [][]int8
+}
+
+// GenerateLabels simulates workers answering their assigned tasks: worker j
+// reports the true label with probability q[j], the flipped label otherwise.
+func GenerateLabels(a *Assignment, truth []int, q []float64, r *rng.RNG) (*Labels, error) {
+	if len(truth) != a.NumTasks {
+		return nil, errors.New("crowd: truth length must equal the task count")
+	}
+	if len(q) != a.NumWorkers {
+		return nil, errors.New("crowd: reliability length must equal the worker count")
+	}
+	vals := make([][]int8, a.NumTasks)
+	for i, workers := range a.TaskWorkers {
+		vals[i] = make([]int8, len(workers))
+		for c, j := range workers {
+			ans := int8(truth[i])
+			if !r.Bernoulli(q[j]) {
+				ans = -ans
+			}
+			vals[i][c] = ans
+		}
+	}
+	return &Labels{Assignment: a, Values: vals}, nil
+}
+
+// RandomLabelsTruth draws ±1 task labels uniformly.
+func RandomLabelsTruth(numTasks int, r *rng.RNG) []int {
+	truth := make([]int, numTasks)
+	for i := range truth {
+		if r.Bernoulli(0.5) {
+			truth[i] = 1
+		} else {
+			truth[i] = -1
+		}
+	}
+	return truth
+}
+
+// MajorityVote estimates task labels by unweighted voting; ties resolve to
+// +1. It is the 0th iteration of the iterative inference (Section 5.3).
+func MajorityVote(l *Labels) []int {
+	out := make([]int, l.Assignment.NumTasks)
+	for i, vals := range l.Values {
+		var s int
+		for _, v := range vals {
+			s += int(v)
+		}
+		if s >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// InferenceOptions tunes the iterative message-passing estimator.
+type InferenceOptions struct {
+	// MaxIter caps the message-passing rounds (default 100, the paper's
+	// setting).
+	MaxIter int
+	// Tol is the convergence tolerance on message change (default 1e-5, the
+	// paper's setting).
+	Tol float64
+	// RandomInit draws the initial worker messages from Normal(1,1) using
+	// Seed; otherwise messages start deterministically at 1.
+	RandomInit bool
+	// Seed seeds the random initialization.
+	Seed uint64
+}
+
+// InferenceResult carries the iterative inference output.
+type InferenceResult struct {
+	// Labels are the estimated task labels ẑ = sign(x).
+	Labels []int
+	// TaskScores are the raw reliability-weighted sums xᵢ.
+	TaskScores []float64
+	// WorkerReliability is each worker's aggregate message Σ yⱼ→ᵢ, a
+	// monotone proxy for qⱼ used by the weighted centroid fusion.
+	WorkerReliability []float64
+	// Iterations is the number of message-passing rounds performed.
+	Iterations int
+	// Converged reports whether Tol was reached before MaxIter.
+	Converged bool
+}
+
+// Infer runs the Karger-Oh-Shah iterative inference of Eq. 4:
+//
+//	x_{i→j} = Σ_{j'∈Mᵢ\j} L_{ij'}·y_{j'→i}
+//	y_{j→i} = Σ_{i'∈Nⱼ\i} L_{i'j}·x_{i'→j}
+//
+// and estimates ẑᵢ = sign(Σ_j L_{ij}·y_{j→i}).
+func Infer(l *Labels, opts InferenceOptions) *InferenceResult {
+	a := l.Assignment
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-5
+	}
+
+	// Edge-indexed messages. Edge e corresponds to (task i, slot c).
+	// workerEdge[j] lists the edge ids incident to worker j.
+	type edge struct {
+		task   int
+		worker int
+		label  float64
+	}
+	var edges []edge
+	edgeIdx := make([][]int, a.NumTasks) // per task: edge ids
+	workerEdges := make([][]int, a.NumWorkers)
+	for i, workers := range a.TaskWorkers {
+		edgeIdx[i] = make([]int, len(workers))
+		for c, j := range workers {
+			id := len(edges)
+			edges = append(edges, edge{task: i, worker: j, label: float64(l.Values[i][c])})
+			edgeIdx[i][c] = id
+			workerEdges[j] = append(workerEdges[j], id)
+		}
+	}
+
+	y := make([]float64, len(edges)) // y_{j→i} on each edge
+	x := make([]float64, len(edges)) // x_{i→j} on each edge
+	if opts.RandomInit {
+		r := rng.New(opts.Seed)
+		for e := range y {
+			y[e] = r.Normal(1, 1)
+		}
+	} else {
+		for e := range y {
+			y[e] = 1
+		}
+	}
+
+	iter := 0
+	converged := false
+	for ; iter < maxIter; iter++ {
+		// Task → worker messages: x_e = Σ over sibling edges of L·y.
+		for i := range edgeIdx {
+			var sum float64
+			for _, e := range edgeIdx[i] {
+				sum += edges[e].label * y[e]
+			}
+			for _, e := range edgeIdx[i] {
+				x[e] = sum - edges[e].label*y[e]
+			}
+		}
+		// Worker → task messages.
+		var delta, norm float64
+		for j := range workerEdges {
+			var sum float64
+			for _, e := range workerEdges[j] {
+				sum += edges[e].label * x[e]
+			}
+			for _, e := range workerEdges[j] {
+				ny := sum - edges[e].label*x[e]
+				delta += (ny - y[e]) * (ny - y[e])
+				norm += ny * ny
+				y[e] = ny
+			}
+		}
+		if norm > 0 && math.Sqrt(delta/norm) < tol {
+			iter++
+			converged = true
+			break
+		}
+	}
+
+	scores := make([]float64, a.NumTasks)
+	labels := make([]int, a.NumTasks)
+	for i := range edgeIdx {
+		var s float64
+		for _, e := range edgeIdx[i] {
+			s += edges[e].label * y[e]
+		}
+		scores[i] = s
+		if s >= 0 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	wrel := make([]float64, a.NumWorkers)
+	for j, es := range workerEdges {
+		var s float64
+		for _, e := range es {
+			s += y[e]
+		}
+		if len(es) > 0 {
+			s /= float64(len(es))
+		}
+		wrel[j] = s
+	}
+	return &InferenceResult{
+		Labels:            labels,
+		TaskScores:        scores,
+		WorkerReliability: wrel,
+		Iterations:        iter,
+		Converged:         converged,
+	}
+}
+
+// Oracle estimates labels with the true worker reliabilities known,
+// weighting each answer by the log-likelihood ratio log(q/(1−q)) — the
+// optimal aggregation rule and the paper's lower bound.
+func Oracle(l *Labels, q []float64) ([]int, error) {
+	a := l.Assignment
+	if len(q) != a.NumWorkers {
+		return nil, errors.New("crowd: oracle needs one reliability per worker")
+	}
+	out := make([]int, a.NumTasks)
+	for i, workers := range a.TaskWorkers {
+		var s float64
+		for c, j := range workers {
+			qj := math.Min(math.Max(q[j], 1e-6), 1-1e-6)
+			s += float64(l.Values[i][c]) * math.Log(qj/(1-qj))
+		}
+		if s >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out, nil
+}
+
+// SpearmanAggregate is the Skyhook/Place-Lab-style comparator: worker
+// weights are Spearman rank-order correlations between each worker's answer
+// vector and the current consensus, iterated a few rounds from a
+// majority-vote start. Workers negatively correlated with consensus are
+// zero-weighted.
+func SpearmanAggregate(l *Labels, rounds int) ([]int, []float64) {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	a := l.Assignment
+	consensus := MajorityVote(l)
+	weights := make([]float64, a.NumWorkers)
+	for round := 0; round < rounds; round++ {
+		// Score each worker against consensus on their labelled tasks.
+		for j, tasks := range a.WorkerTasks {
+			var wAns, cAns []float64
+			for _, i := range tasks {
+				for c, w := range a.TaskWorkers[i] {
+					if w == j {
+						wAns = append(wAns, float64(l.Values[i][c]))
+						cAns = append(cAns, float64(consensus[i]))
+					}
+				}
+			}
+			rho := SpearmanRho(wAns, cAns)
+			if math.IsNaN(rho) || rho < 0 {
+				rho = 0
+			}
+			weights[j] = rho
+		}
+		// Weighted consensus refresh.
+		for i, workers := range a.TaskWorkers {
+			var s float64
+			for c, j := range workers {
+				s += weights[j] * float64(l.Values[i][c])
+			}
+			if s >= 0 {
+				consensus[i] = 1
+			} else {
+				consensus[i] = -1
+			}
+		}
+	}
+	return consensus, weights
+}
+
+// SpearmanRho computes the Spearman rank-order correlation coefficient of
+// two equal-length samples (NaN for degenerate inputs).
+func SpearmanRho(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return math.NaN()
+	}
+	ra := ranks(a)
+	rb := ranks(b)
+	return pearson(ra, rb)
+}
+
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by value (n is small: γ tasks per worker).
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && xs[idx[k]] < xs[idx[k-1]]; k-- {
+			idx[k], idx[k-1] = idx[k-1], idx[k]
+		}
+	}
+	out := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for ties.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// EMDawidSkene runs the binary Dawid-Skene EM algorithm: alternate between
+// posterior task labels given worker accuracies and accuracy re-estimation.
+// It returns the MAP labels and the estimated per-worker accuracies. It is
+// the probabilistic-model extension referenced in Section 2 ([14]).
+func EMDawidSkene(l *Labels, iters int) ([]int, []float64) {
+	if iters <= 0 {
+		iters = 20
+	}
+	a := l.Assignment
+	// Posterior probability that task i is +1, initialized from vote shares.
+	post := make([]float64, a.NumTasks)
+	for i, vals := range l.Values {
+		pos := 0
+		for _, v := range vals {
+			if v > 0 {
+				pos++
+			}
+		}
+		if len(vals) > 0 {
+			post[i] = float64(pos) / float64(len(vals))
+		} else {
+			post[i] = 0.5
+		}
+	}
+	acc := make([]float64, a.NumWorkers)
+	for it := 0; it < iters; it++ {
+		// M-step: accuracy = expected fraction of agreements, smoothed.
+		for j, tasks := range a.WorkerTasks {
+			num, den := 1.0, 2.0 // Laplace smoothing
+			for _, i := range tasks {
+				for c, w := range a.TaskWorkers[i] {
+					if w != j {
+						continue
+					}
+					p := post[i]
+					if l.Values[i][c] > 0 {
+						num += p
+					} else {
+						num += 1 - p
+					}
+					den++
+				}
+			}
+			acc[j] = math.Min(math.Max(num/den, 1e-3), 1-1e-3)
+		}
+		// E-step: posterior from log-likelihood ratios.
+		for i, workers := range a.TaskWorkers {
+			var llr float64
+			for c, j := range workers {
+				w := math.Log(acc[j] / (1 - acc[j]))
+				llr += float64(l.Values[i][c]) * w
+			}
+			post[i] = 1 / (1 + math.Exp(-llr))
+		}
+	}
+	labels := make([]int, a.NumTasks)
+	for i, p := range post {
+		if p >= 0.5 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	return labels, acc
+}
+
+// VehicleReport is one crowd-vehicle's uploaded AP constellation.
+type VehicleReport struct {
+	// Vehicle indexes the reporting crowd-vehicle.
+	Vehicle int
+	// APs are the vehicle's consolidated AP location estimates.
+	APs []geo.Point
+}
+
+// FusionOptions tunes WeightedFusion.
+type FusionOptions struct {
+	// MergeRadius clusters AP reports within this distance (metres).
+	MergeRadius float64
+	// MinWeight drops fused clusters whose total reliability weight is below
+	// this value (0 keeps everything).
+	MinWeight float64
+	// MinReports drops clusters supported by fewer distinct vehicles.
+	MinReports int
+}
+
+// WeightedFusion performs the fine-grained estimation of Section 5.4:
+// AP reports from multiple crowd-vehicles are clustered by proximity and each
+// cluster is collapsed to the reliability-weighted centroid of its reports.
+// Reliabilities are clamped to ≥ 0; a vehicle with zero weight contributes
+// nothing.
+func WeightedFusion(reports []VehicleReport, reliability []float64, opts FusionOptions) ([]geo.Point, error) {
+	if opts.MergeRadius <= 0 {
+		return nil, errors.New("crowd: fusion requires a positive merge radius")
+	}
+	type obs struct {
+		p geo.Point
+		w float64
+		v int
+	}
+	var all []obs
+	for _, rep := range reports {
+		w := 1.0
+		if rep.Vehicle >= 0 && rep.Vehicle < len(reliability) {
+			w = reliability[rep.Vehicle]
+		}
+		if w < 0 {
+			w = 0
+		}
+		for _, p := range rep.APs {
+			all = append(all, obs{p: p, w: w, v: rep.Vehicle})
+		}
+	}
+	// Greedy clustering: repeatedly take the highest-weight unused report as
+	// a cluster seed and absorb everything within the merge radius.
+	used := make([]bool, len(all))
+	var out []geo.Point
+	for {
+		seed := -1
+		for i, o := range all {
+			if used[i] {
+				continue
+			}
+			if seed < 0 || o.w > all[seed].w {
+				seed = i
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		var members []obs
+		for i, o := range all {
+			if used[i] {
+				continue
+			}
+			if o.p.Dist(all[seed].p) <= opts.MergeRadius {
+				used[i] = true
+				members = append(members, o)
+			}
+		}
+		var sx, sy, sw float64
+		vehicles := map[int]bool{}
+		for _, m := range members {
+			sx += m.w * m.p.X
+			sy += m.w * m.p.Y
+			sw += m.w
+			if m.w > 0 {
+				vehicles[m.v] = true
+			}
+		}
+		if sw <= 0 || sw < opts.MinWeight || len(vehicles) < opts.MinReports {
+			continue
+		}
+		out = append(out, geo.Point{X: sx / sw, Y: sy / sw})
+	}
+	return out, nil
+}
+
+// NormalizeReliability maps raw reliability scores (e.g. KOS worker
+// messages) onto [0,1] weights by min-max scaling with a floor so that the
+// least reliable vehicle still counts slightly when all scores are equal.
+func NormalizeReliability(raw []float64) []float64 {
+	if len(raw) == 0 {
+		return nil
+	}
+	lo, hi := raw[0], raw[0]
+	for _, v := range raw {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	out := make([]float64, len(raw))
+	if hi == lo {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	for i, v := range raw {
+		out[i] = 0.05 + 0.95*(v-lo)/(hi-lo)
+	}
+	return out
+}

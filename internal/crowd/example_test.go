@@ -1,0 +1,57 @@
+package crowd_test
+
+import (
+	"fmt"
+
+	"crowdwifi/internal/crowd"
+	"crowdwifi/internal/eval"
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/rng"
+)
+
+// ExampleInfer runs the offline crowdsourcing core: a regular bipartite
+// assignment, spammer-hammer workers, and the iterative inference of Eq. 4,
+// compared against plain majority voting.
+func ExampleInfer() {
+	r := rng.New(42)
+	assignment, err := crowd.RegularAssignment(500, 5, 25, r)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	truth := crowd.RandomLabelsTruth(500, r)
+	reliability := crowd.SpammerHammer(assignment.NumWorkers, 0.5, r)
+	labels, err := crowd.GenerateLabels(assignment, truth, reliability, r)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	inferred := crowd.Infer(labels, crowd.InferenceOptions{})
+	mv := crowd.MajorityVote(labels)
+
+	fmt.Printf("majority voting error > iterative inference error: %v\n",
+		eval.BitErrorRate(truth, mv) > eval.BitErrorRate(truth, inferred.Labels))
+	// Output:
+	// majority voting error > iterative inference error: true
+}
+
+// ExampleWeightedFusion shows the fine-grained estimation of Section 5.4:
+// three vehicles report the same AP with offsets; the unreliable vehicle's
+// report is down-weighted by its inferred reliability.
+func ExampleWeightedFusion() {
+	reports := []crowd.VehicleReport{
+		{Vehicle: 0, APs: []geo.Point{{X: 100, Y: 50}}},
+		{Vehicle: 1, APs: []geo.Point{{X: 102, Y: 50}}},
+		{Vehicle: 2, APs: []geo.Point{{X: 118, Y: 50}}}, // the spammer
+	}
+	reliability := []float64{1, 1, 0.05}
+	fused, err := crowd.WeightedFusion(reports, reliability, crowd.FusionOptions{MergeRadius: 20})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("fused AP at (%.1f, %.1f)\n", fused[0].X, fused[0].Y)
+	// Output:
+	// fused AP at (101.4, 50.0)
+}

@@ -1,0 +1,133 @@
+package crowd
+
+import "math"
+
+// VariationalOptions tunes the mean-field variational estimator.
+type VariationalOptions struct {
+	// MaxIter bounds the coordinate-ascent rounds (default 50).
+	MaxIter int
+	// Tol is the convergence tolerance on posterior change (default 1e-6).
+	Tol float64
+	// PriorAlpha and PriorBeta are the Beta prior pseudo-counts on worker
+	// reliability (defaults 2 and 1: E[q] = 2/3 > 1/2, the paper's
+	// requirement that spammers not overwhelm the prior).
+	PriorAlpha, PriorBeta float64
+}
+
+func (o VariationalOptions) fill() VariationalOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.PriorAlpha <= 0 {
+		o.PriorAlpha = 2
+	}
+	if o.PriorBeta <= 0 {
+		o.PriorBeta = 1
+	}
+	return o
+}
+
+// Variational runs mean-field variational inference for the one-coin worker
+// model with a Beta(α, β) reliability prior — the variational approach of
+// the paper's reference [10] (Liu, Peng, Ihler, NIPS 2012) specialized to
+// binary tasks. The variational posterior factorizes as
+// q(z, w) = Πᵢ q(zᵢ) Πⱼ q(wⱼ) with Beta worker factors; coordinate ascent
+// alternates between task posteriors (weighted votes with weights
+// E[log w] − E[log(1−w)]) and worker pseudo-counts (expected correct and
+// incorrect answer counts).
+//
+// It returns the MAP labels and the posterior mean reliability per worker.
+func Variational(l *Labels, opts VariationalOptions) ([]int, []float64) {
+	o := opts.fill()
+	a := l.Assignment
+
+	// Task posteriors P(zᵢ = +1), initialized from vote shares.
+	post := make([]float64, a.NumTasks)
+	for i, vals := range l.Values {
+		pos := 0
+		for _, v := range vals {
+			if v > 0 {
+				pos++
+			}
+		}
+		if len(vals) > 0 {
+			post[i] = float64(pos) / float64(len(vals))
+		} else {
+			post[i] = 0.5
+		}
+	}
+	// Worker Beta pseudo-counts.
+	alpha := make([]float64, a.NumWorkers)
+	beta := make([]float64, a.NumWorkers)
+
+	for it := 0; it < o.MaxIter; it++ {
+		// Worker update: expected correct/incorrect counts under q(z).
+		for j, tasks := range a.WorkerTasks {
+			ca, cb := o.PriorAlpha, o.PriorBeta
+			for _, i := range tasks {
+				for c, w := range a.TaskWorkers[i] {
+					if w != j {
+						continue
+					}
+					pAgree := post[i]
+					if l.Values[i][c] < 0 {
+						pAgree = 1 - post[i]
+					}
+					ca += pAgree
+					cb += 1 - pAgree
+				}
+			}
+			alpha[j], beta[j] = ca, cb
+		}
+		// Task update: log-odds with E[log w] − E[log(1−w)] = ψ(α) − ψ(β).
+		var delta float64
+		for i, workers := range a.TaskWorkers {
+			var llr float64
+			for c, j := range workers {
+				w := digamma(alpha[j]) - digamma(beta[j])
+				llr += float64(l.Values[i][c]) * w
+			}
+			np := 1 / (1 + math.Exp(-llr))
+			delta += math.Abs(np - post[i])
+			post[i] = np
+		}
+		if delta/float64(a.NumTasks+1) < o.Tol {
+			break
+		}
+	}
+
+	labels := make([]int, a.NumTasks)
+	for i, p := range post {
+		if p >= 0.5 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	rel := make([]float64, a.NumWorkers)
+	for j := range rel {
+		rel[j] = alpha[j] / (alpha[j] + beta[j])
+	}
+	return labels, rel
+}
+
+// digamma approximates ψ(x) for x > 0 via the asymptotic series after
+// shifting the argument above 6.
+func digamma(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	var result float64
+	for x < 6 {
+		result -= 1 / x
+		x++
+	}
+	inv := 1 / x
+	inv2 := inv * inv
+	// ψ(x) ≈ ln x − 1/(2x) − 1/(12x²) + 1/(120x⁴) − 1/(252x⁶).
+	result += math.Log(x) - 0.5*inv - inv2*(1.0/12-inv2*(1.0/120-inv2/252))
+	return result
+}

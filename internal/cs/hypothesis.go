@@ -1,0 +1,682 @@
+package cs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/grid"
+	"crowdwifi/internal/radio"
+)
+
+// Hypothesis is the outcome of evaluating one candidate AP count K for a
+// window of RSS measurements: the recovered AP locations, the measurement →
+// AP assignment, and the GMM/BIC score used for model selection.
+type Hypothesis struct {
+	// K is the hypothesized AP count.
+	K int
+	// APs holds the recovered (continuous) AP locations, one per group that
+	// produced a usable estimate. len(APs) may be less than K when a group
+	// collapses.
+	APs []geo.Point
+	// Assign maps each measurement index to its AP group in [0, K).
+	Assign []int
+	// LogLik is the GMM log-likelihood of the window given APs (Eq. 1).
+	LogLik float64
+	// BIC is the Bayesian information criterion score (Section 4.3.5);
+	// larger is better.
+	BIC float64
+}
+
+// HypothesisOptions configures the (AP,RSS) combination search.
+type HypothesisOptions struct {
+	// Recovery configures the per-group ℓ1 recovery.
+	Recovery RecoveryOptions
+	// GMM configures the likelihood model; the channel must match the one
+	// used to build sensing matrices.
+	GMM radio.GMMParams
+	// Refinements is the number of assign→recover→reassign iterations
+	// (default 3). The exhaustive combination search of Proposition 2 is
+	// Ω(M^M); this hard-EM surrogate explores the same space greedily.
+	Refinements int
+	// Exhaustive switches to exact set-partition enumeration (only sensible
+	// for windows of at most ~10 measurements; guarded by MaxPartitions).
+	Exhaustive bool
+	// MaxPartitions caps the number of enumerated partitions in exhaustive
+	// mode (default 20000).
+	MaxPartitions int
+	// Centroid tunes dominant-coefficient selection.
+	Centroid grid.CentroidOptions
+	// MaxGroupRows caps the number of measurements fed into one group's CS
+	// recovery, keeping the strongest readings (default 24). Distant, weak
+	// readings carry little position information but dominate the SVD cost;
+	// this is the per-group analogue of the paper's sliding-window bound on
+	// M.
+	MaxGroupRows int
+	// Seeds, when non-empty, provides initial cluster centres for the
+	// measurement partition (e.g. from StrongReadingSeeds); farthest-first
+	// traversal fills any remaining clusters.
+	Seeds []geo.Point
+	// LobeSeparation controls mirror-ambiguity handling. RSS collected along
+	// a straight segment cannot distinguish an AP from its reflection across
+	// the drive line, so the recovered support is bimodal; when the two
+	// support lobes are farther apart than LobeSeparation lattice lengths,
+	// both lobe centroids are emitted and credit consolidation across later
+	// (bent) windows discards the phantom. 0 selects the default of 1.5;
+	// negative disables splitting.
+	LobeSeparation float64
+}
+
+func (o HypothesisOptions) fill() HypothesisOptions {
+	if o.Refinements <= 0 {
+		o.Refinements = 3
+	}
+	if o.MaxPartitions <= 0 {
+		o.MaxPartitions = 20000
+	}
+	if o.Recovery.Solver == 0 {
+		o.Recovery = DefaultRecoveryOptions()
+	}
+	if o.MaxGroupRows <= 0 {
+		o.MaxGroupRows = 24
+	}
+	if o.LobeSeparation == 0 {
+		o.LobeSeparation = 1.5
+	}
+	return o
+}
+
+// ErrTooManyGroups is returned when K exceeds the measurement count.
+var ErrTooManyGroups = errors.New("cs: hypothesized K exceeds the number of measurements")
+
+// EvaluateK recovers an AP constellation under the hypothesis that exactly K
+// APs produced the window. Measurements are partitioned into K groups, each
+// group is solved as an independent CS recovery over the grid, group
+// centroids become AP estimates, and measurements are re-assigned to the AP
+// that explains them best; a few refinement rounds approximate the paper's
+// combination search. The hypothesis is scored with the GMM likelihood and
+// BIC.
+func EvaluateK(g *grid.Grid, ch radio.Channel, window []radio.Measurement, k int, opts HypothesisOptions) (*Hypothesis, error) {
+	if len(window) == 0 {
+		return nil, ErrNoMeasurements
+	}
+	if k <= 0 || k > len(window) {
+		return nil, ErrTooManyGroups
+	}
+	o := opts.fill()
+	if o.GMM.Channel == (radio.Channel{}) {
+		o.GMM.Channel = ch
+	}
+
+	if o.Exhaustive {
+		return evaluateKExhaustive(g, ch, window, k, o)
+	}
+
+	assign := seedAssignment(window, k, o.Seeds)
+	var aps []geo.Point
+	for round := 0; round < o.Refinements; round++ {
+		var err error
+		aps, err = recoverGroups(g, ch, window, assign, k, o)
+		if err != nil {
+			return nil, err
+		}
+		if len(aps) == 0 {
+			break
+		}
+		changed := reassign(window, assign, aps, o.GMM)
+		if !changed {
+			break
+		}
+	}
+	if len(aps) == 0 {
+		return nil, fmt.Errorf("cs: hypothesis K=%d produced no AP estimates", k)
+	}
+	aps = mergeClose(aps, 1.5*g.Lattice)
+	ll := o.GMM.LogLikelihood(window, aps)
+	return &Hypothesis{
+		K:      k,
+		APs:    aps,
+		Assign: assign,
+		LogLik: ll,
+		BIC:    radio.BIC(ll, len(aps), len(window)),
+	}, nil
+}
+
+// seedAssignment deterministically partitions measurements into k groups.
+// Seeds come first from RSS peaks along the drive (a vehicle passing an AP
+// sees its RSS rise and fall, so temporal peaks mark distinct APs), then from
+// farthest-first traversal when more seeds are needed. Measurements join the
+// nearest seed.
+func seedAssignment(window []radio.Measurement, k int, seeds []geo.Point) []int {
+	n := len(window)
+	assign := make([]int, n)
+	if k == 1 {
+		return assign
+	}
+	centers := make([]geo.Point, 0, k)
+	for _, p := range seeds {
+		if len(centers) == k {
+			break
+		}
+		centers = append(centers, p)
+	}
+	for _, idx := range rssPeaks(window) {
+		if len(centers) == k {
+			break
+		}
+		centers = append(centers, window[idx].Pos)
+	}
+	if len(centers) == 0 {
+		best := 0
+		for i, m := range window {
+			if m.RSS > window[best].RSS {
+				best = i
+			}
+		}
+		centers = append(centers, window[best].Pos)
+	}
+	for len(centers) < k {
+		farIdx, farDist := 0, -1.0
+		for i, m := range window {
+			dMin := math.Inf(1)
+			for _, c := range centers {
+				if d := m.Pos.Dist(c); d < dMin {
+					dMin = d
+				}
+			}
+			if dMin > farDist {
+				farDist, farIdx = dMin, i
+			}
+		}
+		centers = append(centers, window[farIdx].Pos)
+	}
+	for i, m := range window {
+		bestJ, bestD := 0, math.Inf(1)
+		for j, c := range centers {
+			if d := m.Pos.Dist(c); d < bestD {
+				bestJ, bestD = j, d
+			}
+		}
+		assign[i] = bestJ
+	}
+	return assign
+}
+
+// rssPeaks returns the indices of local maxima of the (smoothed) RSS series
+// in window order, strongest first. The series is smoothed with a short
+// moving average so shadow fading does not fragment one pass-by into several
+// peaks.
+func rssPeaks(window []radio.Measurement) []int {
+	n := len(window)
+	if n == 0 {
+		return nil
+	}
+	const half = 2 // 5-sample moving average
+	smooth := make([]float64, n)
+	for i := range smooth {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		var s float64
+		for j := lo; j <= hi; j++ {
+			s += window[j].RSS
+		}
+		smooth[i] = s / float64(hi-lo+1)
+	}
+	var peaks []int
+	for i := range smooth {
+		isPeak := true
+		for j := i - half; j <= i+half; j++ {
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			if smooth[j] > smooth[i] {
+				isPeak = false
+				break
+			}
+		}
+		if isPeak && (len(peaks) == 0 || i-peaks[len(peaks)-1] > half) {
+			peaks = append(peaks, i)
+		}
+	}
+	sort.Slice(peaks, func(a, b int) bool { return smooth[peaks[a]] > smooth[peaks[b]] })
+	return peaks
+}
+
+// mergeClose collapses AP estimates closer than minSep into their centroid;
+// overlapping clusters and split lobes otherwise inflate the constellation.
+func mergeClose(aps []geo.Point, minSep float64) []geo.Point {
+	out := append([]geo.Point(nil), aps...)
+	for {
+		bi, bj, bd := -1, -1, minSep
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if d := out[i].Dist(out[j]); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		if bi < 0 {
+			return out
+		}
+		out[bi] = geo.Point{X: (out[bi].X + out[bj].X) / 2, Y: (out[bi].Y + out[bj].Y) / 2}
+		out = append(out[:bj], out[bj+1:]...)
+	}
+}
+
+// recoverGroups runs one CS recovery per non-empty group and returns the
+// resulting AP location estimates (group order preserved, empty groups
+// skipped).
+func recoverGroups(g *grid.Grid, ch radio.Channel, window []radio.Measurement, assign []int, k int, o HypothesisOptions) ([]geo.Point, error) {
+	aps := make([]geo.Point, 0, k)
+	for j := 0; j < k; j++ {
+		var group []radio.Measurement
+		for i, a := range assign {
+			if a == j {
+				group = append(group, window[i])
+			}
+		}
+		if len(group) == 0 {
+			continue
+		}
+		if len(group) > o.MaxGroupRows {
+			// Keep the strongest readings; they pin the AP location.
+			sort.Slice(group, func(a, b int) bool { return group[a].RSS > group[b].RSS })
+			group = group[:o.MaxGroupRows]
+		}
+		a := BuildSensingMatrix(g, ch, group)
+		y := make([]float64, len(group))
+		for i, m := range group {
+			y[i] = m.RSS
+		}
+		theta, err := RecoverTheta(a, y, o.Recovery)
+		if err != nil {
+			return nil, err
+		}
+		p, ok := g.Centroid(theta, o.Centroid)
+		if !ok {
+			continue
+		}
+		if o.LobeSeparation > 0 {
+			if lobes := g.SplitSupport(theta, 2, o.Centroid); len(lobes) == 2 &&
+				lobes[0].Dist(lobes[1]) > o.LobeSeparation*g.Lattice {
+				// Bimodal support: mirror-ambiguous recovery. Polish both lobe
+				// centroids against the group likelihood; keep both only when
+				// the data genuinely cannot tell them apart, otherwise the
+				// better one.
+				l0, ll0 := refineLocal(lobes[0], group, g.Lattice, o.GMM)
+				l1, ll1 := refineLocal(lobes[1], group, g.Lattice, o.GMM)
+				const ambiguityLL = 1.0
+				switch {
+				case ll0-ll1 > ambiguityLL:
+					aps = append(aps, l0)
+				case ll1-ll0 > ambiguityLL:
+					aps = append(aps, l1)
+				default:
+					aps = append(aps, l0, l1)
+				}
+				continue
+			}
+		}
+		refined, _ := refineLocal(p, group, g.Lattice, o.GMM)
+		aps = append(aps, refined)
+	}
+	return aps, nil
+}
+
+// refineLocal polishes a coarse AP estimate by maximizing the group's
+// single-AP log-likelihood over a local square around the estimate (grid
+// search at quarter-lattice resolution, one zoom round). This realizes the
+// paper's stated objective — "find the optimum K AP locations such that the
+// probability p(R) is maximized" (Section 4.2.1) — with CS supplying the
+// coarse starting point. It returns the refined point and its group
+// log-likelihood.
+func refineLocal(p geo.Point, group []radio.Measurement, lattice float64, gmm radio.GMMParams) (geo.Point, float64) {
+	best := p
+	bestLL := groupLogLik(p, group, gmm)
+	span := lattice
+	for zoom := 0; zoom < 2; zoom++ {
+		step := span / 4
+		improved := true
+		for improved {
+			improved = false
+			for dy := -span; dy <= span; dy += step {
+				for dx := -span; dx <= span; dx += step {
+					cand := geo.Point{X: best.X + dx, Y: best.Y + dy}
+					if ll := groupLogLik(cand, group, gmm); ll > bestLL {
+						best, bestLL = cand, ll
+						improved = true
+					}
+				}
+			}
+		}
+		span /= 4
+	}
+	return best, bestLL
+}
+
+// groupLogLik is the log-likelihood of a measurement group under a single AP
+// at p with the channel's Gaussian observation model.
+func groupLogLik(p geo.Point, group []radio.Measurement, gmm radio.GMMParams) float64 {
+	b := gmm.SigmaFactor
+	if b == 0 {
+		b = radio.DefaultSigmaFactor
+	}
+	var ll float64
+	for _, m := range group {
+		mu := gmm.Channel.MeanRSS(m.Pos.Dist(p))
+		sigma := b * math.Abs(mu)
+		if sigma < 1e-6 {
+			sigma = 1e-6
+		}
+		z := (m.RSS - mu) / sigma
+		ll += -0.5*z*z - math.Log(sigma)
+	}
+	return ll
+}
+
+// reassign moves each measurement to the AP that maximizes its per-reading
+// Gaussian likelihood under the channel model. It reports whether any
+// assignment changed. When there are more groups than APs (a group
+// collapsed), indices are taken modulo len(aps).
+func reassign(window []radio.Measurement, assign []int, aps []geo.Point, gmm radio.GMMParams) bool {
+	b := gmm.SigmaFactor
+	if b == 0 {
+		b = radio.DefaultSigmaFactor
+	}
+	changed := false
+	for i, m := range window {
+		bestJ, bestLL := 0, math.Inf(-1)
+		for j, ap := range aps {
+			mu := gmm.Channel.MeanRSS(m.Pos.Dist(ap))
+			sigma := b * math.Abs(mu)
+			if sigma < 1e-6 {
+				sigma = 1e-6
+			}
+			z := (m.RSS - mu) / sigma
+			ll := -0.5*z*z - math.Log(sigma)
+			if ll > bestLL {
+				bestJ, bestLL = j, ll
+			}
+		}
+		if assign[i] != bestJ {
+			assign[i] = bestJ
+			changed = true
+		}
+	}
+	return changed
+}
+
+// evaluateKExhaustive enumerates set partitions of the window into exactly k
+// blocks (restricted growth strings) and keeps the best BIC. This realizes
+// the literal combination search of Proposition 2 for small windows.
+func evaluateKExhaustive(g *grid.Grid, ch radio.Channel, window []radio.Measurement, k int, o HypothesisOptions) (*Hypothesis, error) {
+	var best *Hypothesis
+	count := 0
+	err := ForEachPartition(len(window), k, func(assign []int) bool {
+		count++
+		if count > o.MaxPartitions {
+			return false
+		}
+		aps, err := recoverGroups(g, ch, window, assign, k, o)
+		if err != nil || len(aps) == 0 {
+			return true
+		}
+		ll := o.GMM.LogLikelihood(window, aps)
+		bic := radio.BIC(ll, len(aps), len(window))
+		if best == nil || bic > best.BIC {
+			cp := make([]int, len(assign))
+			copy(cp, assign)
+			best = &Hypothesis{K: k, APs: aps, Assign: cp, LogLik: ll, BIC: bic}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("cs: exhaustive search over K=%d found no valid hypothesis", k)
+	}
+	return best, nil
+}
+
+// ForEachPartition enumerates all partitions of n items into exactly k
+// non-empty blocks, invoking fn with the assignment vector (block index per
+// item). Enumeration stops early when fn returns false. The assignment slice
+// is reused between calls; copy it to retain it.
+func ForEachPartition(n, k int, fn func(assign []int) bool) error {
+	if n <= 0 || k <= 0 || k > n {
+		return fmt.Errorf("cs: invalid partition request n=%d k=%d", n, k)
+	}
+	// Restricted growth strings: a[i] ≤ max(a[0..i-1]) + 1, filtered to
+	// exactly k blocks.
+	assign := make([]int, n)
+	var rec func(i, maxUsed int) bool
+	rec = func(i, maxUsed int) bool {
+		if i == n {
+			if maxUsed+1 != k {
+				return true
+			}
+			return fn(assign)
+		}
+		limit := maxUsed + 1
+		if limit > k-1 {
+			limit = k - 1
+		}
+		// Prune: remaining items must be able to open the missing blocks.
+		remaining := n - i
+		missing := k - (maxUsed + 1)
+		if missing > remaining {
+			return true
+		}
+		for b := 0; b <= limit; b++ {
+			assign[i] = b
+			nm := maxUsed
+			if b > maxUsed {
+				nm = b
+			}
+			if !rec(i+1, nm) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, -1)
+	return nil
+}
+
+// PruneConstellation runs the reality check used after model selection:
+// greedy backward elimination of APs under the full-window BIC, followed by
+// a local likelihood polish of each survivor against its support (the
+// measurements it explains best). It is the single-shot analogue of the
+// engine's FinalEstimates.
+func PruneConstellation(aps []geo.Point, window []radio.Measurement, ch radio.Channel, gmm radio.GMMParams, lattice float64) []geo.Point {
+	if len(aps) == 0 || len(window) == 0 {
+		return aps
+	}
+	if gmm.Channel == (radio.Channel{}) {
+		gmm.Channel = ch
+	}
+	cands := append([]geo.Point(nil), aps...)
+	bic := func(set []geo.Point) float64 {
+		return radio.BIC(gmm.LogLikelihood(window, set), len(set), len(window))
+	}
+	cur := bic(cands)
+	for len(cands) > 1 {
+		bestIdx := -1
+		bestBIC := cur
+		for i := range cands {
+			trial := make([]geo.Point, 0, len(cands)-1)
+			trial = append(trial, cands[:i]...)
+			trial = append(trial, cands[i+1:]...)
+			if b := bic(trial); b > bestBIC {
+				bestBIC, bestIdx = b, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		cands = append(cands[:bestIdx], cands[bestIdx+1:]...)
+		cur = bestBIC
+	}
+	// Polish survivors on their support groups.
+	for i := range cands {
+		var group []radio.Measurement
+		for _, m := range window {
+			d := m.Pos.Dist(cands[i])
+			closest := true
+			for j := range cands {
+				if j != i && m.Pos.Dist(cands[j]) < d {
+					closest = false
+					break
+				}
+			}
+			if closest {
+				group = append(group, m)
+			}
+		}
+		if len(group) >= 3 {
+			refined, _ := refineLocal(cands[i], group, lattice, gmm)
+			cands[i] = refined
+		}
+	}
+	return cands
+}
+
+// SelectOptions configures model-order selection over K.
+type SelectOptions struct {
+	// Hypothesis configures each EvaluateK call.
+	Hypothesis HypothesisOptions
+	// MaxK caps the hypothesis space (default min(M, 12); the paper's upper
+	// bound on K is the number of measurements M).
+	MaxK int
+	// Patience is the number of consecutive non-improving K values tolerated
+	// before stopping the climb (default 3).
+	Patience int
+	// SeedHeuristic anchors the search with StrongReadingSeeds: the climb
+	// starts from the seed count and explores ±SeedSlack around it instead
+	// of climbing from K = 1. Recommended for scattered reference points
+	// (the Fig. 8 workload), where temporal RSS peaks carry no information.
+	SeedHeuristic bool
+	// SeedSlack is the ± range explored around the seed count (default 3).
+	SeedSlack int
+	// SeedMinSep is the seed separation in metres (default 2 grid lattices).
+	SeedMinSep float64
+}
+
+// StrongReadingSeeds estimates AP seed positions from readings strong enough
+// to pin an AP within minSep metres: readings are taken strongest-first and
+// accepted as seeds when no prior seed lies within minSep. The accepted
+// positions approximate the AP constellation and their count approximates K.
+func StrongReadingSeeds(window []radio.Measurement, ch radio.Channel, minSep float64) []geo.Point {
+	if minSep <= 0 || len(window) == 0 {
+		return nil
+	}
+	idx := make([]int, len(window))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return window[idx[a]].RSS > window[idx[b]].RSS })
+	// A reading within minSep of an AP is at least this strong (plus slack
+	// for shadowing).
+	threshold := ch.MeanRSS(minSep) - 2
+	var seeds []geo.Point
+	for _, i := range idx {
+		m := window[i]
+		if m.RSS < threshold {
+			break
+		}
+		ok := true
+		for _, s := range seeds {
+			if m.Pos.Dist(s) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			seeds = append(seeds, m.Pos)
+		}
+	}
+	return seeds
+}
+
+// SelectModel searches K = 1, 2, ... for the hypothesis maximizing BIC
+// (Section 4.3.5), climbing until Patience consecutive K values fail to
+// improve. It returns the best hypothesis found.
+func SelectModel(g *grid.Grid, ch radio.Channel, window []radio.Measurement, opts SelectOptions) (*Hypothesis, error) {
+	if len(window) == 0 {
+		return nil, ErrNoMeasurements
+	}
+	maxK := opts.MaxK
+	if maxK <= 0 {
+		maxK = 12
+	}
+	if maxK > len(window) {
+		maxK = len(window)
+	}
+	patience := opts.Patience
+	if patience <= 0 {
+		patience = 3
+	}
+	kLo := 1
+	if opts.SeedHeuristic {
+		slack := opts.SeedSlack
+		if slack <= 0 {
+			slack = 3
+		}
+		minSep := opts.SeedMinSep
+		if minSep <= 0 {
+			minSep = 2 * g.Lattice
+		}
+		seeds := StrongReadingSeeds(window, ch, minSep)
+		if len(seeds) > 0 {
+			opts.Hypothesis.Seeds = seeds
+			kLo = len(seeds) - slack
+			if hi := len(seeds) + slack; hi < maxK {
+				maxK = hi
+			}
+			if maxK > len(window) {
+				maxK = len(window)
+			}
+			if kLo > maxK {
+				kLo = maxK
+			}
+			if kLo < 1 {
+				kLo = 1
+			}
+		}
+	}
+	var best *Hypothesis
+	bad := 0
+	for k := kLo; k <= maxK; k++ {
+		h, err := EvaluateK(g, ch, window, k, opts.Hypothesis)
+		if err != nil {
+			// A failed hypothesis (e.g. collapsed groups) counts against
+			// patience but does not abort the search.
+			bad++
+			if best != nil && bad >= patience {
+				break
+			}
+			continue
+		}
+		if best == nil || h.BIC > best.BIC {
+			best = h
+			bad = 0
+		} else {
+			bad++
+			if bad >= patience {
+				break
+			}
+		}
+	}
+	if best == nil {
+		return nil, errors.New("cs: no hypothesis could be evaluated")
+	}
+	return best, nil
+}

@@ -1,0 +1,265 @@
+package cs
+
+import (
+	"math"
+	"testing"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/grid"
+	"crowdwifi/internal/radio"
+	"crowdwifi/internal/rng"
+)
+
+// lDrive samples an L-shaped drive past one AP and returns measurements.
+func lDrive(t *testing.T, ap geo.Point, n int, seed uint64, corrupt int) []radio.Measurement {
+	t.Helper()
+	ch := radio.UCIChannel()
+	r := rng.New(seed)
+	tr, err := geo.NewTrajectory([]geo.Point{{X: 0, Y: 20}, {X: 40, Y: 25}, {X: 50, Y: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []radio.Measurement
+	for i, p := range tr.SampleByDistance(tr.Length() / float64(n-1)) {
+		m := radio.Measurement{Pos: p, RSS: ch.SampleRSS(p.Dist(ap), r), Time: float64(i)}
+		ms = append(ms, m)
+	}
+	// Corrupt a few readings with gross outliers (e.g. a decode glitch or
+	// interference burst reporting −20 dBm from nowhere).
+	for i := 0; i < corrupt && i < len(ms); i++ {
+		idx := r.Intn(len(ms))
+		ms[idx].RSS = -20
+	}
+	return ms
+}
+
+func engineFor(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine(EngineConfig{
+		Channel:    radio.UCIChannel(),
+		Radius:     50,
+		Lattice:    10,
+		WindowSize: 20,
+		StepSize:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineToleratesOutliers(t *testing.T) {
+	ap := geo.Point{X: 30, Y: 35}
+	clean := engineFor(t)
+	dirty := engineFor(t)
+	if _, err := clean.AddBatch(lDrive(t, ap, 40, 5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dirty.AddBatch(lDrive(t, ap, 40, 5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	ce := clean.FinalEstimates()
+	de := dirty.FinalEstimates()
+	if len(ce) == 0 || len(de) == 0 {
+		t.Fatal("no estimates")
+	}
+	cleanErr := ce[0].Pos.Dist(ap)
+	dirtyErr := de[0].Pos.Dist(ap)
+	// Outliers may degrade accuracy, but the top estimate must stay in the
+	// AP's neighbourhood (a few lattice lengths) rather than chase the
+	// corrupted readings to the far side of the map.
+	if dirtyErr > cleanErr+30 {
+		t.Fatalf("outliers broke the estimate: clean %.1f m, dirty %.1f m", cleanErr, dirtyErr)
+	}
+}
+
+func TestEngineDeterministicAcrossRuns(t *testing.T) {
+	ap := geo.Point{X: 30, Y: 35}
+	run := func() []Estimate {
+		e := engineFor(t)
+		if _, err := e.AddBatch(lDrive(t, ap, 40, 6, 0)); err != nil {
+			t.Fatal(err)
+		}
+		return e.FinalEstimates()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("estimate counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Pos != b[i].Pos || a[i].Credit != b[i].Credit {
+			t.Fatalf("estimate %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMergeClose(t *testing.T) {
+	aps := []geo.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 100, Y: 0}}
+	out := mergeClose(aps, 10)
+	if len(out) != 2 {
+		t.Fatalf("merged to %d, want 2", len(out))
+	}
+	if out[0] != (geo.Point{X: 2.5, Y: 0}) {
+		t.Fatalf("merged point = %v, want midpoint (2.5,0)", out[0])
+	}
+	// Chain 0—8—16 with sep 10: the closest pair (0,8) merges to 4, which
+	// is 12 > 10 from 16, so exactly two clusters remain. Closest-pair
+	// semantics deliberately avoid chain collapse.
+	chain := []geo.Point{{X: 0, Y: 0}, {X: 8, Y: 0}, {X: 16, Y: 0}}
+	out = mergeClose(chain, 10)
+	if len(out) != 2 {
+		t.Fatalf("chain merged to %d, want 2", len(out))
+	}
+	if got := mergeClose(nil, 10); len(got) != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+}
+
+func TestMergeCloseDoesNotMutateInput(t *testing.T) {
+	aps := []geo.Point{{X: 0, Y: 0}, {X: 5, Y: 0}}
+	mergeClose(aps, 10)
+	if aps[0] != (geo.Point{X: 0, Y: 0}) || aps[1] != (geo.Point{X: 5, Y: 0}) {
+		t.Fatalf("input mutated: %v", aps)
+	}
+}
+
+func TestStrongReadingSeeds(t *testing.T) {
+	ch := radio.UCIChannel()
+	aps := []geo.Point{{X: 20, Y: 20}, {X: 80, Y: 80}}
+	var ms []radio.Measurement
+	// Two strong readings near each AP plus weak background.
+	for _, ap := range aps {
+		ms = append(ms,
+			radio.Measurement{Pos: geo.Point{X: ap.X + 2, Y: ap.Y}, RSS: ch.MeanRSS(2)},
+			radio.Measurement{Pos: geo.Point{X: ap.X - 3, Y: ap.Y}, RSS: ch.MeanRSS(3)},
+		)
+	}
+	ms = append(ms, radio.Measurement{Pos: geo.Point{X: 50, Y: 50}, RSS: ch.MeanRSS(45)})
+	seeds := StrongReadingSeeds(ms, ch, 16)
+	if len(seeds) != 2 {
+		t.Fatalf("seeds = %d, want 2", len(seeds))
+	}
+	for _, s := range seeds {
+		if s.Dist(aps[0]) > 5 && s.Dist(aps[1]) > 5 {
+			t.Fatalf("seed %v far from both APs", s)
+		}
+	}
+	if got := StrongReadingSeeds(nil, ch, 16); got != nil {
+		t.Fatalf("empty seeds = %v", got)
+	}
+	if got := StrongReadingSeeds(ms, ch, 0); got != nil {
+		t.Fatalf("zero minSep seeds = %v", got)
+	}
+}
+
+func TestPruneConstellationDropsUnsupported(t *testing.T) {
+	ch := radio.UCIChannel()
+	r := rng.New(9)
+	ap := geo.Point{X: 40, Y: 40}
+	var ms []radio.Measurement
+	for i := 0; i < 25; i++ {
+		p := geo.Point{X: r.Uniform(0, 80), Y: r.Uniform(0, 80)}
+		ms = append(ms, radio.Measurement{Pos: p, RSS: ch.SampleRSS(p.Dist(ap), r)})
+	}
+	cands := []geo.Point{ap, {X: 75, Y: 5}} // truth + phantom
+	out := PruneConstellation(cands, ms, ch, radio.GMMParams{SigmaFactor: 0.01}, 10)
+	if len(out) != 1 {
+		t.Fatalf("pruned to %d, want 1", len(out))
+	}
+	if out[0].Dist(ap) > 8 {
+		t.Fatalf("kept the wrong AP: %v", out[0])
+	}
+	// Degenerate inputs pass through.
+	if got := PruneConstellation(nil, ms, ch, radio.GMMParams{}, 10); got != nil {
+		t.Fatalf("nil candidates = %v", got)
+	}
+	if got := PruneConstellation(cands, nil, ch, radio.GMMParams{}, 10); len(got) != 2 {
+		t.Fatalf("no-measurement prune = %v", got)
+	}
+}
+
+func TestSeedHeuristicSelectModel(t *testing.T) {
+	// Scattered reference points (the Fig. 8 regime): seed-guided selection
+	// should find both APs.
+	ch := radio.UCIChannel()
+	g, err := grid.FromRect(geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 120, Y: 120}), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aps := []geo.Point{{X: 30, Y: 30}, {X: 90, Y: 90}}
+	r := rng.New(10)
+	var ms []radio.Measurement
+	for i := 0; i < 40; i++ {
+		p := geo.Point{X: r.Uniform(0, 120), Y: r.Uniform(0, 120)}
+		near := aps[0]
+		if p.Dist(aps[1]) < p.Dist(aps[0]) {
+			near = aps[1]
+		}
+		ms = append(ms, radio.Measurement{Pos: p, RSS: ch.SampleRSS(p.Dist(near), r), Time: float64(i)})
+	}
+	gmm := radio.GMMParams{Channel: ch, SigmaFactor: 0.01}
+	opts := SelectOptions{MaxK: 10, SeedHeuristic: true}
+	opts.Hypothesis.GMM = gmm
+	h, err := SelectModel(g, ch, ms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := PruneConstellation(h.APs, ms, ch, gmm, 10)
+	if len(final) != 2 {
+		t.Fatalf("found %d APs, want 2", len(final))
+	}
+	for _, ap := range aps {
+		best := math.Inf(1)
+		for _, e := range final {
+			if d := e.Dist(ap); d < best {
+				best = d
+			}
+		}
+		if best > 10 {
+			t.Errorf("AP %v best estimate %.1f m away", ap, best)
+		}
+	}
+}
+
+func TestEngineFinalEstimatesResolvesMirror(t *testing.T) {
+	// A straight segment followed by a bend: the mirror phantom created on
+	// the straight part must be pruned by the full-history BIC check.
+	ch := radio.UCIChannel()
+	ap := geo.Point{X: 50, Y: 45}
+	e, err := NewEngine(EngineConfig{
+		Channel:    ch,
+		Radius:     60,
+		Lattice:    10,
+		WindowSize: 20,
+		StepSize:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	tr, err := geo.NewTrajectory([]geo.Point{
+		{X: 0, Y: 20}, {X: 90, Y: 20}, // straight: mirror ambiguity
+		{X: 95, Y: 70}, // bend resolves it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range tr.SampleByDistance(tr.Length() / 49) {
+		if _, err := e.Add(radio.Measurement{Pos: p, RSS: ch.SampleRSS(p.Dist(ap), r), Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	finals := e.FinalEstimates()
+	if len(finals) == 0 {
+		t.Fatal("no estimates")
+	}
+	// No surviving estimate may sit at the mirror position (y ≈ −5).
+	for _, est := range finals {
+		if est.Pos.Dist(geo.Point{X: 50, Y: -5}) < 15 {
+			t.Fatalf("mirror phantom survived at %v", est.Pos)
+		}
+	}
+	if finals[0].Pos.Dist(ap) > 15 {
+		t.Fatalf("top estimate %v far from AP %v", finals[0].Pos, ap)
+	}
+}

@@ -1,0 +1,281 @@
+// Package cs implements CrowdWiFi's online compressive sensing component
+// (Section 4): sensing matrix construction over the driving grid, the
+// orthogonalization of Proposition 1, ℓ1-based recovery of AP indicator
+// vectors, (AP,RSS) combination search with BIC model selection
+// (Sections 4.3.3–4.3.5), and the sliding-window engine with credit-based
+// consolidation (Sections 4.3.2 and 4.3.6).
+package cs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"crowdwifi/internal/grid"
+	"crowdwifi/internal/mat"
+	"crowdwifi/internal/radio"
+	"crowdwifi/internal/solve"
+)
+
+// Solver selects the ℓ1 program used for recovery.
+type Solver int
+
+// Supported recovery solvers.
+const (
+	// SolverADMM uses ADMM basis pursuit denoising (the default).
+	SolverADMM Solver = iota + 1
+	// SolverFISTA uses accelerated proximal gradient.
+	SolverFISTA
+	// SolverOMP uses orthogonal matching pursuit.
+	SolverOMP
+	// SolverIRLS uses iteratively reweighted least squares.
+	SolverIRLS
+)
+
+// String names the solver for logs and bench output.
+func (s Solver) String() string {
+	switch s {
+	case SolverADMM:
+		return "admm"
+	case SolverFISTA:
+		return "fista"
+	case SolverOMP:
+		return "omp"
+	case SolverIRLS:
+		return "irls"
+	default:
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+}
+
+// RecoveryOptions tunes a single grid recovery.
+type RecoveryOptions struct {
+	// Solver selects the ℓ1 program (default SolverADMM).
+	Solver Solver
+	// Lambda is the BPDN/FISTA regularization weight. Zero selects an
+	// automatic value of 0.1·‖Aᵀy‖∞, the usual fraction of the smallest
+	// λ that yields the all-zero solution.
+	Lambda float64
+	// Orthogonalize applies the transform of Proposition 1 before solving
+	// (recommended; the raw path-loss sensing matrix is highly coherent).
+	Orthogonalize bool
+	// RankTol is the relative singular-value cutoff used during
+	// orthogonalization (0 → DefaultRankTol).
+	RankTol float64
+	// NonNegative constrains θ ≥ 0 (the AP indicators are 0/1).
+	NonNegative bool
+	// NoColumnNormalize disables unit-norm column scaling before the ℓ1
+	// program. Without normalization ℓ1 favours large-norm columns — grid
+	// points close to the drive line — and systematically drags AP estimates
+	// onto the road.
+	NoColumnNormalize bool
+	// MaxIter and Tol pass through to the solver (0 → solver defaults).
+	MaxIter int
+	Tol     float64
+	// MaxAtoms bounds OMP's support size (0 → 3).
+	MaxAtoms int
+}
+
+// DefaultRecoveryOptions returns the configuration used throughout the
+// paper reproduction.
+func DefaultRecoveryOptions() RecoveryOptions {
+	return RecoveryOptions{
+		Solver:        SolverADMM,
+		Orthogonalize: true,
+		NonNegative:   true,
+		MaxIter:       400,
+		Tol:           1e-6,
+	}
+}
+
+// ErrNoMeasurements is returned when recovery is attempted with no data.
+var ErrNoMeasurements = errors.New("cs: no measurements")
+
+// BuildSensingMatrix assembles A = ΦΨ directly: A[i][j] is the mean RSS a
+// collector at reference point i would receive from an AP at grid point j
+// under the channel model. Building A row-by-row from the true RP positions
+// subsumes the paper's Φ-selection of snapped grid rows (snapping the RP to
+// its nearest grid point is recovered by passing snapped positions).
+func BuildSensingMatrix(g *grid.Grid, ch radio.Channel, rps []radio.Measurement) *mat.Mat {
+	n := g.N()
+	a := mat.New(len(rps), n)
+	for i, m := range rps {
+		row := a.RawRow(i)
+		for j := 0; j < n; j++ {
+			row[j] = ch.MeanRSS(m.Pos.Dist(g.Point(j)))
+		}
+	}
+	return a
+}
+
+// BuildPsi assembles the full N×N sparsity basis Ψ of Section 4.2.2, with
+// [Ψ]ᵢⱼ the RSS on grid point i from an AP at grid point j. It exists for
+// completeness and tests; the pipeline builds ΦΨ directly.
+func BuildPsi(g *grid.Grid, ch radio.Channel) *mat.Mat {
+	n := g.N()
+	psi := mat.New(n, n)
+	for i := 0; i < n; i++ {
+		pi := g.Point(i)
+		row := psi.RawRow(i)
+		for j := 0; j < n; j++ {
+			row[j] = ch.MeanRSS(pi.Dist(g.Point(j)))
+		}
+	}
+	return psi
+}
+
+// BuildPhi assembles the M×N measurement matrix Φ of Section 4.2.2: each row
+// selects the grid point nearest the corresponding reference point. It
+// exists for completeness and tests.
+func BuildPhi(g *grid.Grid, rps []radio.Measurement) *mat.Mat {
+	phi := mat.New(len(rps), g.N())
+	for i, m := range rps {
+		phi.Set(i, g.Nearest(m.Pos), 1)
+	}
+	return phi
+}
+
+// DefaultRankTol is the relative singular-value cutoff used by
+// Orthogonalize. The transform y' = Σ⁻¹Uᵀy amplifies measurement noise along
+// directions with small singular values, so components below
+// DefaultRankTol·σ₁ are truncated; this is the numerically robust reading of
+// Proposition 1's orth/pseudo-inverse construction.
+const DefaultRankTol = 1e-2
+
+// Orthogonalize applies Proposition 1. Given A = ΦΨ (M×N) and measurements
+// y, it returns Q = orth(Aᵀ)ᵀ (r×N, orthonormal rows, r = effective rank of
+// A) and y' = T·y with T = Q·A†, such that θ can be recovered from Qθ ≈ y'.
+//
+// Using the thin SVD A = UΣVᵀ: orth(Aᵀ) = V, so Q = Vᵀ, A† = VΣ⁻¹Uᵀ, and
+// T = VᵀVΣ⁻¹Uᵀ = Σ⁻¹Uᵀ — one SVD yields both factors. Pass rankTol ≤ 0 for
+// DefaultRankTol.
+func Orthogonalize(a *mat.Mat, y []float64, rankTol float64) (*mat.Mat, []float64, error) {
+	m, n := a.Dims()
+	if len(y) != m {
+		return nil, nil, fmt.Errorf("cs: y length %d does not match %d rows", len(y), m)
+	}
+	if rankTol <= 0 {
+		rankTol = DefaultRankTol
+	}
+	svd := mat.FactorizeSVD(a)
+	r := svd.Rank(rankTol)
+	if r == 0 {
+		return nil, nil, errors.New("cs: sensing matrix has rank zero")
+	}
+	// Q = first r columns of V, transposed → r×N.
+	q := mat.New(r, n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < r; k++ {
+			q.Set(k, i, svd.V.At(i, k))
+		}
+	}
+	// y' = Σ⁻¹ Uᵀ y over the kept components.
+	uty := mat.MulTVec(svd.U, y)
+	yp := make([]float64, r)
+	for k := 0; k < r; k++ {
+		yp[k] = uty[k] / svd.S[k]
+	}
+	return q, yp, nil
+}
+
+// RecoverTheta solves the ℓ1 recovery program for one AP group: given the
+// sensing matrix A over the grid and the RSS measurements y, it returns the
+// sparse coefficient vector θ over grid points. Negative coefficients are
+// clipped when NonNegative is unset so that downstream centroid weights stay
+// meaningful.
+func RecoverTheta(a *mat.Mat, y []float64, opts RecoveryOptions) ([]float64, error) {
+	m, n := a.Dims()
+	if m == 0 || len(y) == 0 {
+		return nil, ErrNoMeasurements
+	}
+	if len(y) != m {
+		return nil, fmt.Errorf("cs: y length %d does not match %d rows", len(y), m)
+	}
+	if opts.Solver == 0 {
+		opts.Solver = SolverADMM
+	}
+
+	aw, yw := a, y
+	if opts.Orthogonalize {
+		var err error
+		aw, yw, err = Orthogonalize(a, y, opts.RankTol)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Rescale columns to unit norm so the ℓ1 penalty treats every grid
+	// point equally; fold the scaling back into θ afterwards.
+	var colNorm []float64
+	if !opts.NoColumnNormalize {
+		rows, cols := aw.Dims()
+		colNorm = make([]float64, cols)
+		scaled := mat.New(rows, cols)
+		for j := 0; j < cols; j++ {
+			var nrm float64
+			for i := 0; i < rows; i++ {
+				v := aw.At(i, j)
+				nrm += v * v
+			}
+			nrm = math.Sqrt(nrm)
+			colNorm[j] = nrm
+			if nrm == 0 {
+				continue
+			}
+			for i := 0; i < rows; i++ {
+				scaled.Set(i, j, aw.At(i, j)/nrm)
+			}
+		}
+		aw = scaled
+	}
+
+	lambda := opts.Lambda
+	if lambda <= 0 {
+		lambda = 0.1 * mat.NormInf(mat.MulTVec(aw, yw))
+		if lambda <= 0 {
+			lambda = 1e-6
+		}
+	}
+	sopts := solve.Options{MaxIter: opts.MaxIter, Tol: opts.Tol, NonNegative: opts.NonNegative}
+
+	var res *solve.Result
+	var err error
+	switch opts.Solver {
+	case SolverADMM:
+		res, err = solve.BPDN(aw, yw, lambda, sopts)
+	case SolverFISTA:
+		res, err = solve.FISTA(aw, yw, lambda, sopts)
+	case SolverOMP:
+		atoms := opts.MaxAtoms
+		if atoms <= 0 {
+			atoms = 3
+		}
+		if atoms > n {
+			atoms = n
+		}
+		res, err = solve.OMP(aw, yw, atoms, 1e-6*mat.Norm2(yw))
+	case SolverIRLS:
+		res, err = solve.IRLS(aw, yw, sopts)
+	default:
+		return nil, fmt.Errorf("cs: unknown solver %v", opts.Solver)
+	}
+	if err != nil {
+		return nil, err
+	}
+	theta := res.X
+	if colNorm != nil {
+		for j := range theta {
+			if colNorm[j] > 0 {
+				theta[j] /= colNorm[j]
+			}
+		}
+	}
+	if !opts.NonNegative {
+		for i, v := range theta {
+			if v < 0 {
+				theta[i] = 0
+			}
+		}
+	}
+	return theta, nil
+}

@@ -1,0 +1,84 @@
+// Package exp is the experiment harness: one generator per table/figure of
+// the paper's evaluation (Section 6), each returning an ASCII table with the
+// same rows/series the paper reports. The benchmark suite (bench_test.go)
+// and the crowdwifi-exp binary both call these generators, so printed
+// results are identical across entry points.
+//
+// Every generator takes an explicit seed and is fully deterministic.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of pre-formatted cells.
+type Table struct {
+	// Title names the experiment (e.g. "Fig. 5 — online CS on the UCI map").
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows holds the data cells.
+	Rows [][]string
+	// Notes carries free-form observations appended after the grid.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

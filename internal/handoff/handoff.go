@@ -1,0 +1,336 @@
+// Package handoff implements the two association policies of Section 6.3 —
+// BRR (hard handoff to the AP with the highest exponentially averaged beacon
+// reception ratio) and AllAP (opportunistic use of every AP the crowdsensed
+// lookup places in range) — plus the session/interruption analysis behind
+// Fig. 10 and the lookup-error injection behind Fig. 11.
+package handoff
+
+import (
+	"errors"
+	"math"
+
+	"crowdwifi/internal/eval"
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/rng"
+	"crowdwifi/internal/vanlan"
+)
+
+// AdequateRatio is the paper's connectivity bar: more than 50% beacon
+// reception within a one-second interval.
+const AdequateRatio = 0.5
+
+// Database is the AP lookup result a user-vehicle downloads from the
+// crowd-server: believed AP positions, each mapped to the actual AP it
+// estimates (−1 for a phantom entry that corresponds to no real AP).
+type Database struct {
+	// Entries are the believed AP locations.
+	Entries []geo.Point
+	// Actual[i] is the true AP index behind entry i, or −1 for a phantom.
+	Actual []int
+}
+
+// PerfectDatabase returns the ground-truth database for an AP constellation.
+func PerfectDatabase(aps []geo.Point) Database {
+	d := Database{Entries: make([]geo.Point, len(aps)), Actual: make([]int, len(aps))}
+	copy(d.Entries, aps)
+	for i := range d.Actual {
+		d.Actual[i] = i
+	}
+	return d
+}
+
+// DatabaseFromEstimates builds a database from crowdsensed AP estimates by
+// optimally matching estimates to true APs; unmatched estimates become
+// phantoms. truth is only used for the bookkeeping mapping — the positions
+// stored are the estimates.
+func DatabaseFromEstimates(estimates, truth []geo.Point) Database {
+	d := Database{Entries: append([]geo.Point(nil), estimates...), Actual: make([]int, len(estimates))}
+	for i := range d.Actual {
+		d.Actual[i] = -1
+	}
+	pairs, _ := eval.MatchPoints(truth, estimates)
+	for _, pr := range pairs {
+		d.Actual[pr[1]] = pr[0]
+	}
+	return d
+}
+
+// Perturb injects controlled lookup error into a perfect database, the
+// Fig. 11 x-axes. Localization error displaces every entry by locErr·lattice
+// metres in a random direction. Counting error c makes c·K of the database
+// entries wrong, split between removals of real APs (capped at half the
+// database, since c reaches 3.0 in the paper's sweep) and phantom entries
+// placed uniformly over the deployment's bounding box. Fractions are the
+// paper's percentages divided by 100.
+func Perturb(truth []geo.Point, countErr, locErr, lattice float64, r *rng.RNG) Database {
+	d := PerfectDatabase(truth)
+	if locErr > 0 {
+		for i := range d.Entries {
+			ang := r.Uniform(0, 2*math.Pi)
+			mag := locErr * lattice
+			d.Entries[i] = geo.Point{
+				X: d.Entries[i].X + mag*math.Cos(ang),
+				Y: d.Entries[i].Y + mag*math.Sin(ang),
+			}
+		}
+	}
+	if countErr > 0 {
+		wrong := int(math.Round(countErr * float64(len(truth))))
+		remove := wrong / 2
+		if maxRemove := len(d.Entries) / 2; remove > maxRemove {
+			remove = maxRemove
+		}
+		phantoms := wrong - remove
+		for i := 0; i < remove; i++ {
+			victim := r.Intn(len(d.Entries))
+			d.Entries = append(d.Entries[:victim], d.Entries[victim+1:]...)
+			d.Actual = append(d.Actual[:victim], d.Actual[victim+1:]...)
+		}
+		box := geo.BoundingBox(truth).Expand(50)
+		for i := 0; i < phantoms; i++ {
+			d.Entries = append(d.Entries, geo.Point{
+				X: r.Uniform(box.Min.X, box.Max.X),
+				Y: r.Uniform(box.Min.Y, box.Max.Y),
+			})
+			d.Actual = append(d.Actual, -1)
+		}
+	}
+	return d
+}
+
+// Connectivity folds a per-slot packet success series into the paper's
+// per-second adequacy series: a second is connected when more than
+// AdequateRatio of its slots carried a packet.
+func Connectivity(slots []bool, slotsPerSecond int) []bool {
+	if slotsPerSecond <= 0 {
+		slotsPerSecond = int(1 / vanlan.BeaconInterval)
+	}
+	seconds := len(slots) / slotsPerSecond
+	out := make([]bool, seconds)
+	for s := 0; s < seconds; s++ {
+		ok := 0
+		for k := 0; k < slotsPerSecond; k++ {
+			if slots[s*slotsPerSecond+k] {
+				ok++
+			}
+		}
+		out[s] = float64(ok)/float64(slotsPerSecond) > AdequateRatio
+	}
+	return out
+}
+
+// BRROptions tunes the hard-handoff policy.
+type BRROptions struct {
+	// Alpha is the EWMA weight of the newest reception-ratio sample
+	// (default 0.3).
+	Alpha float64
+	// Hysteresis is how much a challenger AP's EWMA must exceed the current
+	// association's before a handoff triggers (default 0.1). Hard handoff is
+	// deliberately sticky.
+	Hysteresis float64
+	// AssocDelayS is the dead time after each handoff while the client
+	// scans, re-associates, and re-establishes connectivity (default 2 s).
+	// This cost — absent under AllAP's opportunistic reception — is the
+	// paper's core argument against hard handoff.
+	AssocDelayS float64
+}
+
+func (o BRROptions) fill() BRROptions {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.3
+	}
+	if o.Hysteresis <= 0 {
+		o.Hysteresis = 0.1
+	}
+	if o.AssocDelayS <= 0 {
+		o.AssocDelayS = 2
+	}
+	return o
+}
+
+// BRR computes the per-second adequate-connectivity series for one van under
+// the hard-handoff policy: associate with the AP whose exponentially
+// averaged reception ratio is highest (with hysteresis); only that AP's
+// packets count, and each handoff costs AssocDelayS of dead air.
+func BRR(t *vanlan.Trace, van int, opts BRROptions) ([]bool, error) {
+	slots, err := SlotSuccess(t, van, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Connectivity(slots, int(1/vanlan.BeaconInterval)), nil
+}
+
+// AllAP computes the per-second adequate-connectivity series under the
+// opportunistic policy: a slot succeeds when any AP the database places
+// within association range delivered its packet (the paper's "a transmission
+// is considered successful if at least one AP receives the packet"), and a
+// second is connected when most slots succeed.
+func AllAP(t *vanlan.Trace, van int, db Database) ([]bool, error) {
+	slots, err := SlotSuccess(t, van, &db, BRROptions{})
+	if err != nil {
+		return nil, err
+	}
+	return Connectivity(slots, int(1/vanlan.BeaconInterval)), nil
+}
+
+// Session is a maximal run of connected seconds.
+type Session struct {
+	// Start and End are second indices; the session covers [Start, End).
+	Start, End int
+}
+
+// Length returns the session duration in seconds.
+func (s Session) Length() int { return s.End - s.Start }
+
+// Sessions extracts maximal connected runs from a connectivity series.
+func Sessions(conn []bool) []Session {
+	var out []Session
+	start := -1
+	for i, c := range conn {
+		switch {
+		case c && start < 0:
+			start = i
+		case !c && start >= 0:
+			out = append(out, Session{Start: start, End: i})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, Session{Start: start, End: len(conn)})
+	}
+	return out
+}
+
+// SessionLengths projects Sessions onto durations in seconds.
+func SessionLengths(conn []bool) []float64 {
+	ss := Sessions(conn)
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		out[i] = float64(s.Length())
+	}
+	return out
+}
+
+// Interruptions counts connected→disconnected transitions.
+func Interruptions(conn []bool) int {
+	n := 0
+	for i := 1; i < len(conn); i++ {
+		if conn[i-1] && !conn[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// ConnectedFraction is the fraction of seconds with adequate connectivity.
+func ConnectedFraction(conn []bool) float64 {
+	if len(conn) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range conn {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(conn))
+}
+
+// SlotSuccess derives the per-beacon-slot packet success series used by the
+// transfer simulator: under BRR (db == nil) the slot succeeds when the
+// currently associated AP's beacon got through and the client is not inside
+// a post-handoff association gap; under AllAP (db != nil) when any
+// database-candidate AP's beacon got through.
+func SlotSuccess(t *vanlan.Trace, van int, db *Database, opts BRROptions) ([]bool, error) {
+	if van < 0 || van >= t.Config.Vans {
+		return nil, errors.New("handoff: van index out of range")
+	}
+	slots := int(t.Config.Duration / vanlan.BeaconInterval)
+	out := make([]bool, slots)
+
+	if db == nil {
+		o := opts.fill()
+		ratios := t.ReceptionRatios(van)
+		naps := len(t.Scenario.APs)
+		ewma := make([]float64, naps)
+		assoc := make([]int, len(ratios))
+		// deadUntil[s] marks seconds inside an association gap.
+		dead := make([]bool, len(ratios))
+		cur := -1
+		gapLeft := 0.0
+		for s, row := range ratios {
+			for ap, v := range row {
+				if v < 0 {
+					ewma[ap] = (1 - o.Alpha) * ewma[ap]
+					continue
+				}
+				ewma[ap] = (1-o.Alpha)*ewma[ap] + o.Alpha*v
+			}
+			best := 0
+			for ap := 1; ap < naps; ap++ {
+				if ewma[ap] > ewma[best] {
+					best = ap
+				}
+			}
+			if cur < 0 {
+				cur = best
+				gapLeft = o.AssocDelayS
+			} else if best != cur && ewma[best] > ewma[cur]+o.Hysteresis {
+				cur = best
+				gapLeft = o.AssocDelayS
+			}
+			assoc[s] = cur
+			if gapLeft > 0 {
+				dead[s] = true
+				gapLeft--
+			}
+		}
+		for _, b := range t.Beacons {
+			if b.Van != van || !b.Received {
+				continue
+			}
+			s := int(b.Time)
+			if s >= len(assoc) || dead[s] {
+				continue
+			}
+			if b.AP == assoc[s] {
+				slot := int(b.Time / vanlan.BeaconInterval)
+				if slot < slots {
+					out[slot] = true
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// AllAP: candidate set per position.
+	positions := t.VanPositions(van)
+	assocRange := t.Scenario.Channel.InvertRSS(vanlan.RxThresholdDBm)
+	if assocRange > t.Scenario.Radius {
+		assocRange = t.Scenario.Radius
+	}
+	candidate := func(sec int, ap int) bool {
+		if sec >= len(positions) {
+			return false
+		}
+		pos := positions[sec]
+		for e, entry := range db.Entries {
+			if db.Actual[e] == ap && pos.Dist(entry) <= assocRange {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range t.Beacons {
+		if b.Van != van || !b.Received {
+			continue
+		}
+		if candidate(int(b.Time), b.AP) {
+			slot := int(b.Time / vanlan.BeaconInterval)
+			if slot < slots {
+				out[slot] = true
+			}
+		}
+	}
+	return out, nil
+}

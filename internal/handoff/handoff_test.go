@@ -1,0 +1,264 @@
+package handoff
+
+import (
+	"math"
+	"testing"
+
+	"crowdwifi/internal/eval"
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/rng"
+	"crowdwifi/internal/vanlan"
+)
+
+func testTrace(t *testing.T, seed uint64, duration float64) *vanlan.Trace {
+	t.Helper()
+	tr, err := vanlan.Generate(vanlan.Campus(), vanlan.Config{Duration: duration}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestPerfectDatabase(t *testing.T) {
+	aps := []geo.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	db := PerfectDatabase(aps)
+	if len(db.Entries) != 2 || db.Actual[0] != 0 || db.Actual[1] != 1 {
+		t.Fatalf("db = %+v", db)
+	}
+	// Mutating the database must not touch the input.
+	db.Entries[0].X = 99
+	if aps[0].X != 1 {
+		t.Fatal("PerfectDatabase aliases its input")
+	}
+}
+
+func TestDatabaseFromEstimates(t *testing.T) {
+	truth := []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}}
+	est := []geo.Point{{X: 98, Y: 2}, {X: 1, Y: 1}, {X: 50, Y: 80}}
+	db := DatabaseFromEstimates(est, truth)
+	if db.Actual[0] != 1 || db.Actual[1] != 0 {
+		t.Fatalf("matching wrong: %v", db.Actual)
+	}
+	if db.Actual[2] != -1 {
+		t.Fatalf("phantom not marked: %v", db.Actual)
+	}
+}
+
+func TestPerturbLocalization(t *testing.T) {
+	truth := []geo.Point{{X: 50, Y: 50}, {X: 150, Y: 150}}
+	r := rng.New(1)
+	db := Perturb(truth, 0, 2.0, 10, r) // 200% of a 10 m lattice = 20 m
+	if len(db.Entries) != 2 {
+		t.Fatalf("entries = %d", len(db.Entries))
+	}
+	for i, e := range db.Entries {
+		if d := e.Dist(truth[i]); math.Abs(d-20) > 1e-9 {
+			t.Fatalf("entry %d displaced %.2f m, want exactly 20", i, d)
+		}
+	}
+}
+
+func TestPerturbCounting(t *testing.T) {
+	truth := make([]geo.Point, 10)
+	for i := range truth {
+		truth[i] = geo.Point{X: float64(i * 30), Y: 0}
+	}
+	// 30% counting error on 10 APs: 3 wrong entries, split 1 removal +
+	// 2 phantoms → 11 entries, exactly 2 of them phantoms.
+	db := Perturb(truth, 0.3, 0, 10, rng.New(2))
+	if len(db.Entries) != 11 {
+		t.Fatalf("entries = %d, want 11", len(db.Entries))
+	}
+	phantoms := 0
+	for _, a := range db.Actual {
+		if a == -1 {
+			phantoms++
+		}
+	}
+	if phantoms != 2 {
+		t.Fatalf("phantoms = %d, want 2", phantoms)
+	}
+	// Removals are capped at half the database even for absurd errors.
+	db = Perturb(truth, 5.0, 0, 10, rng.New(3))
+	real := 0
+	for _, a := range db.Actual {
+		if a >= 0 {
+			real++
+		}
+	}
+	if real < 5 {
+		t.Fatalf("real entries = %d, want >= 5 (removal cap)", real)
+	}
+}
+
+func TestConnectivityThreshold(t *testing.T) {
+	// 10 slots per second; 6/10 → connected, 5/10 → not (strictly more than
+	// half).
+	slots := make([]bool, 20)
+	for i := 0; i < 6; i++ {
+		slots[i] = true
+	}
+	for i := 10; i < 15; i++ {
+		slots[i] = true
+	}
+	conn := Connectivity(slots, 10)
+	if len(conn) != 2 {
+		t.Fatalf("seconds = %d", len(conn))
+	}
+	if !conn[0] || conn[1] {
+		t.Fatalf("conn = %v, want [true false]", conn)
+	}
+}
+
+func TestSessionsAndInterruptions(t *testing.T) {
+	conn := []bool{true, true, false, true, false, false, true}
+	ss := Sessions(conn)
+	if len(ss) != 3 {
+		t.Fatalf("sessions = %v", ss)
+	}
+	if ss[0].Length() != 2 || ss[1].Length() != 1 || ss[2].Length() != 1 {
+		t.Fatalf("session lengths wrong: %v", ss)
+	}
+	if got := Interruptions(conn); got != 2 {
+		t.Fatalf("interruptions = %d, want 2", got)
+	}
+	lens := SessionLengths(conn)
+	if len(lens) != 3 || lens[0] != 2 {
+		t.Fatalf("lengths = %v", lens)
+	}
+	if got := ConnectedFraction(conn); math.Abs(got-4.0/7) > 1e-12 {
+		t.Fatalf("connected fraction = %v", got)
+	}
+	if ConnectedFraction(nil) != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+	if got := Sessions(nil); got != nil {
+		t.Fatalf("empty sessions = %v", got)
+	}
+}
+
+func TestBRRAndAllAPOnTrace(t *testing.T) {
+	tr := testTrace(t, 10, 600)
+	brr, err := BRR(tr, 0, BRROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := PerfectDatabase(tr.Scenario.APs)
+	allap, err := AllAP(tr, 0, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brr) == 0 || len(allap) == 0 {
+		t.Fatal("empty connectivity series")
+	}
+	// Fig. 10 headline: AllAP outperforms hard handoff on connectivity.
+	if ConnectedFraction(allap) <= ConnectedFraction(brr) {
+		t.Fatalf("AllAP (%.2f) not above BRR (%.2f)",
+			ConnectedFraction(allap), ConnectedFraction(brr))
+	}
+}
+
+func TestAllAPDegradesWithCountingError(t *testing.T) {
+	tr := testTrace(t, 11, 600)
+	perfect, err := AllAP(tr, 0, PerfectDatabase(tr.Scenario.APs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken, err := AllAP(tr, 0, Perturb(tr.Scenario.APs, 1.0, 0, tr.Scenario.Lattice, rng.New(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ConnectedFraction(broken) >= ConnectedFraction(perfect) {
+		t.Fatalf("removing half the database did not hurt: %.2f vs %.2f",
+			ConnectedFraction(broken), ConnectedFraction(perfect))
+	}
+}
+
+func TestAllAPIgnoresPhantoms(t *testing.T) {
+	tr := testTrace(t, 12, 300)
+	db := PerfectDatabase(tr.Scenario.APs)
+	// Add phantoms everywhere; connectivity must be unchanged.
+	withPhantoms := db
+	for i := 0; i < 5; i++ {
+		withPhantoms.Entries = append(withPhantoms.Entries, geo.Point{X: float64(i * 100), Y: 50})
+		withPhantoms.Actual = append(withPhantoms.Actual, -1)
+	}
+	a, err := AllAP(tr, 0, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AllAP(tr, 0, withPhantoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("phantom entries changed AllAP connectivity")
+		}
+	}
+}
+
+func TestSlotSuccessVanBounds(t *testing.T) {
+	tr := testTrace(t, 13, 60)
+	if _, err := SlotSuccess(tr, 5, nil, BRROptions{}); err == nil {
+		t.Fatal("expected van bounds error")
+	}
+	if _, err := BRR(tr, -1, BRROptions{}); err == nil {
+		t.Fatal("expected van bounds error")
+	}
+	db := PerfectDatabase(tr.Scenario.APs)
+	if _, err := AllAP(tr, 9, db); err == nil {
+		t.Fatal("expected van bounds error")
+	}
+}
+
+func TestBRRAssociationDelayCosts(t *testing.T) {
+	// Zero association delay must be at least as good as a long one.
+	tr := testTrace(t, 14, 600)
+	fast, err := BRR(tr, 0, BRROptions{AssocDelayS: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := BRR(tr, 0, BRROptions{AssocDelayS: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ConnectedFraction(slow) > ConnectedFraction(fast) {
+		t.Fatalf("longer association delay improved BRR: %.3f > %.3f",
+			ConnectedFraction(slow), ConnectedFraction(fast))
+	}
+}
+
+func TestSessionCDFShape(t *testing.T) {
+	// AllAP's session length distribution should dominate BRR's at the BRR
+	// median (the Fig. 10(c) comparison).
+	tr := testTrace(t, 15, 900)
+	brr, err := BRR(tr, 0, BRROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := PerfectDatabase(tr.Scenario.APs)
+	allap, err := AllAP(tr, 0, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := SessionLengths(brr)
+	la := SessionLengths(allap)
+	if len(lb) == 0 || len(la) == 0 {
+		t.Skip("no sessions in the sampled trace")
+	}
+	med := eval.Median(lb)
+	// P(session > med) for each policy.
+	tail := func(xs []float64) float64 {
+		n := 0
+		for _, v := range xs {
+			if v > med {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	if tail(la) < tail(lb) {
+		t.Fatalf("AllAP session tail %.3f below BRR %.3f", tail(la), tail(lb))
+	}
+}

@@ -1,0 +1,132 @@
+package mat
+
+import "math"
+
+// LU holds an LU factorization with partial pivoting: PA = LU.
+type LU struct {
+	lu   *Mat  // packed L (unit lower) and U
+	piv  []int // row permutation
+	sign int   // permutation parity, for Det
+	n    int
+}
+
+// FactorizeLU computes the LU factorization of the square matrix a with
+// partial pivoting. It returns ErrSingular if a pivot is (numerically) zero.
+func FactorizeLU(a *Mat) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, ErrShape
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest |entry| in column k at/below k.
+		p := k
+		mx := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.data[i*n+k]); a > mx {
+				mx, p = a, i
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := lu.data[k*n : (k+1)*n]
+			rp := lu.data[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu.data[i*n+k] / pivVal
+			lu.data[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := lu.data[i*n : (i+1)*n]
+			rk := lu.data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign, n: n}, nil
+}
+
+// SolveVec solves Ax = b for one right-hand side.
+func (f *LU) SolveVec(b []float64) []float64 {
+	if len(b) != f.n {
+		panic(ErrShape)
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		row := f.lu.data[i*n : (i+1)*n]
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.data[i*n : (i+1)*n]
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] = (x[i] - s) / row[i]
+	}
+	return x
+}
+
+// Solve solves AX = B column by column.
+func (f *LU) Solve(b *Mat) *Mat {
+	if b.rows != f.n {
+		panic(ErrShape)
+	}
+	out := New(f.n, b.cols)
+	for j := 0; j < b.cols; j++ {
+		out.SetCol(j, f.SolveVec(b.Col(j)))
+	}
+	return out
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.data[i*f.n+i]
+	}
+	return d
+}
+
+// SolveLinear solves Ax = b for square A, factorizing internally.
+func SolveLinear(a *Mat, b []float64) ([]float64, error) {
+	f, err := FactorizeLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}
+
+// Inverse returns A⁻¹ for square A.
+func Inverse(a *Mat) (*Mat, error) {
+	f, err := FactorizeLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(Identity(a.rows)), nil
+}

@@ -1,0 +1,344 @@
+// Package mat implements the dense linear algebra needed by CrowdWiFi:
+// matrix/vector arithmetic, LU factorization with partial pivoting,
+// Householder QR, one-sided Jacobi SVD, Moore-Penrose pseudo-inverse, and
+// orthonormal range bases.
+//
+// The package is deliberately small and stdlib-only. Matrices are dense,
+// row-major, and sized for the paper's workloads (grids of at most a few
+// thousand points), so the implementations favour clarity and numerical
+// robustness over blocking or cache tricks.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mat is a dense, row-major matrix.
+type Mat struct {
+	rows, cols int
+	data       []float64
+}
+
+// ErrShape is returned when matrix dimensions are incompatible with the
+// requested operation.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// ErrSingular is returned when a factorization meets an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// New returns a zero-initialized rows×cols matrix.
+func New(rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: non-positive dimensions %dx%d", rows, cols))
+	}
+	return &Mat{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewFromData wraps data (row-major, length rows*cols) in a matrix.
+// The slice is used directly, not copied.
+func NewFromData(rows, cols int, data []float64) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Mat{rows: rows, cols: cols, data: data}
+}
+
+// NewFromRows builds a matrix from row slices. All rows must have equal length.
+func NewFromRows(rows [][]float64) *Mat {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: empty row set")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d entries, want %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Mat {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Dims returns the row and column counts.
+func (m *Mat) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Mat) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Mat) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Mat) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns v to the element at row i, column j.
+func (m *Mat) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Mat) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Mat) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range", i))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Mat) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range", j))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Mat) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(ErrShape)
+	}
+	copy(m.data[i*m.cols:(i+1)*m.cols], v)
+}
+
+// SetCol copies v into column j.
+func (m *Mat) SetCol(j int, v []float64) {
+	if len(v) != m.rows {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// RawRow returns row i as a sub-slice of the backing array (no copy).
+// Mutating the returned slice mutates the matrix.
+func (m *Mat) RawRow(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Mat) T() *Mat {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out.data[j*out.cols+i] = v
+		}
+	}
+	return out
+}
+
+// Mul returns a×b.
+func Mul(a, b *Mat) *Mat {
+	if a.cols != b.rows {
+		panic(ErrShape)
+	}
+	out := New(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a×x for a column vector x.
+func MulVec(a *Mat, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(ErrShape)
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MulTVec returns aᵀ×x without forming the transpose.
+func MulTVec(a *Mat, x []float64) []float64 {
+	if a.rows != len(x) {
+		panic(ErrShape)
+	}
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			out[j] += v * xi
+		}
+	}
+	return out
+}
+
+// Add returns a+b.
+func Add(a, b *Mat) *Mat {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(ErrShape)
+	}
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a−b.
+func Sub(a, b *Mat) *Mat {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(ErrShape)
+	}
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s·a as a new matrix.
+func Scale(s float64, a *Mat) *Mat {
+	out := New(a.rows, a.cols)
+	for i := range a.data {
+		out.data[i] = s * a.data[i]
+	}
+	return out
+}
+
+// AtA returns aᵀa (cols×cols Gram matrix).
+func AtA(a *Mat) *Mat {
+	out := New(a.cols, a.cols)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for p, vp := range row {
+			if vp == 0 {
+				continue
+			}
+			orow := out.data[p*a.cols : (p+1)*a.cols]
+			for q, vq := range row {
+				orow[q] += vp * vq
+			}
+		}
+	}
+	return out
+}
+
+// AAt returns a·aᵀ (rows×rows Gram matrix).
+func AAt(a *Mat) *Mat {
+	out := New(a.rows, a.rows)
+	for i := 0; i < a.rows; i++ {
+		ri := a.data[i*a.cols : (i+1)*a.cols]
+		for j := i; j < a.rows; j++ {
+			rj := a.data[j*a.cols : (j+1)*a.cols]
+			var s float64
+			for k := range ri {
+				s += ri[k] * rj[k]
+			}
+			out.data[i*a.rows+j] = s
+			out.data[j*a.rows+i] = s
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Mat) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry.
+func (m *Mat) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// EqualApprox reports whether a and b have the same shape and all entries
+// within tol of each other.
+func EqualApprox(a, b *Mat, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Mat) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.4g", m.data[i*m.cols+j])
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

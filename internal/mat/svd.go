@@ -1,0 +1,202 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD holds a thin singular value decomposition A = U·diag(S)·Vᵀ, where U is
+// m×r, V is n×r, and S holds the r = min(m,n) singular values in descending
+// order.
+type SVD struct {
+	U *Mat
+	S []float64
+	V *Mat
+}
+
+// maxJacobiSweeps bounds the one-sided Jacobi iteration. Convergence is
+// typically reached in well under 30 sweeps for matrices of the sizes used in
+// CrowdWiFi.
+const maxJacobiSweeps = 60
+
+// FactorizeSVD computes the thin SVD of a via one-sided Jacobi rotations.
+// The method orthogonalizes the columns of a working copy of A by a sequence
+// of plane rotations accumulated into V; the singular values are the final
+// column norms, and U the normalized columns.
+func FactorizeSVD(a *Mat) *SVD {
+	m, n := a.rows, a.cols
+	if m < n {
+		// One-sided Jacobi wants m ≥ n; factor the transpose and swap.
+		s := FactorizeSVD(a.T())
+		return &SVD{U: s.V, S: s.S, V: s.U}
+	}
+	w := a.Clone() // columns are rotated toward mutual orthogonality
+	v := Identity(n)
+
+	// Convergence threshold on normalized off-diagonal inner products.
+	const eps = 1e-13
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		converged := true
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Gram entries for the (p,q) column pair.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					cp := w.data[i*n+p]
+					cq := w.data[i*n+q]
+					app += cp * cp
+					aqq += cq * cq
+					apq += cp * cq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq) {
+					continue
+				}
+				converged = false
+				// Jacobi rotation zeroing the off-diagonal Gram entry.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					cp := w.data[i*n+p]
+					cq := w.data[i*n+q]
+					w.data[i*n+p] = c*cp - s*cq
+					w.data[i*n+q] = s*cp + c*cq
+				}
+				for i := 0; i < n; i++ {
+					vp := v.data[i*n+p]
+					vq := v.data[i*n+q]
+					v.data[i*n+p] = c*vp - s*vq
+					v.data[i*n+q] = s*vp + c*vq
+				}
+			}
+		}
+		if converged {
+			break
+		}
+	}
+
+	// Extract singular values (column norms) and normalize U.
+	sv := make([]float64, n)
+	u := New(m, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += w.data[i*n+j] * w.data[i*n+j]
+		}
+		norm = math.Sqrt(norm)
+		sv[j] = norm
+		if norm > 0 {
+			inv := 1 / norm
+			for i := 0; i < m; i++ {
+				u.data[i*n+j] = w.data[i*n+j] * inv
+			}
+		}
+	}
+
+	// Sort singular values in descending order, permuting U and V columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return sv[idx[a]] > sv[idx[b]] })
+	sortedS := make([]float64, n)
+	sortedU := New(m, n)
+	sortedV := New(n, n)
+	for newJ, oldJ := range idx {
+		sortedS[newJ] = sv[oldJ]
+		for i := 0; i < m; i++ {
+			sortedU.data[i*n+newJ] = u.data[i*n+oldJ]
+		}
+		for i := 0; i < n; i++ {
+			sortedV.data[i*n+newJ] = v.data[i*n+oldJ]
+		}
+	}
+	return &SVD{U: sortedU, S: sortedS, V: sortedV}
+}
+
+// Rank returns the numerical rank at tolerance tol (relative to the largest
+// singular value). Pass tol ≤ 0 to use a default based on machine epsilon.
+func (s *SVD) Rank(tol float64) int {
+	if len(s.S) == 0 || s.S[0] == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		m, _ := s.U.Dims()
+		n, _ := s.V.Dims()
+		tol = float64(max(m, n)) * 2.220446049250313e-16
+	}
+	cut := tol * s.S[0]
+	r := 0
+	for _, v := range s.S {
+		if v > cut {
+			r++
+		}
+	}
+	return r
+}
+
+// Cond returns the 2-norm condition number σ₁/σᵣ (∞ if rank-deficient).
+func (s *SVD) Cond() float64 {
+	if len(s.S) == 0 {
+		return math.Inf(1)
+	}
+	smin := s.S[len(s.S)-1]
+	if smin == 0 {
+		return math.Inf(1)
+	}
+	return s.S[0] / smin
+}
+
+// PseudoInverse returns the Moore-Penrose pseudo-inverse A† = V·Σ†·Uᵀ,
+// truncating singular values below tol·σ₁ (default tolerance if tol ≤ 0).
+func PseudoInverse(a *Mat, tol float64) *Mat {
+	s := FactorizeSVD(a)
+	r := s.Rank(tol)
+	m, _ := a.Dims()
+	n := a.Cols()
+	out := New(n, m)
+	// out = Σ over kept components of (1/σₖ)·vₖ·uₖᵀ.
+	for k := 0; k < r; k++ {
+		inv := 1 / s.S[k]
+		for i := 0; i < n; i++ {
+			vik := s.V.data[i*s.V.cols+k] * inv
+			if vik == 0 {
+				continue
+			}
+			row := out.data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				row[j] += vik * s.U.data[j*s.U.cols+k]
+			}
+		}
+	}
+	return out
+}
+
+// Orth returns an orthonormal basis for the column space of a: an m×r matrix
+// with orthonormal columns, where r is the numerical rank of a.
+func Orth(a *Mat) *Mat {
+	s := FactorizeSVD(a)
+	r := s.Rank(0)
+	if r == 0 {
+		// Degenerate: return a single zero column so callers keep a valid shape.
+		return New(a.rows, 1)
+	}
+	out := New(a.rows, r)
+	for i := 0; i < a.rows; i++ {
+		copy(out.data[i*r:(i+1)*r], s.U.data[i*s.U.cols:i*s.U.cols+r])
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

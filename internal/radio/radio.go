@@ -1,0 +1,214 @@
+// Package radio implements CrowdWiFi's channel model (Section 4.2.1): the
+// log-distance path loss model with log-normal shadow fading, AWGN at a
+// target SNR, RSS↔distance inversion, and the Gaussian mixture likelihood of
+// an RSS series given a candidate AP constellation (Eq. 1).
+package radio
+
+import (
+	"errors"
+	"math"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/rng"
+)
+
+// Channel is a log-distance path loss channel:
+//
+//	r = t − l₀ − 10·γ·log₁₀(d/d₀) − S,  d ≥ d₀
+//
+// where t is the transmit power (dBm), l₀ the path loss at reference
+// distance d₀, γ the path loss exponent and S log-normal shadow fading (dB).
+type Channel struct {
+	// TxPower is the transmitted signal power t in dBm.
+	TxPower float64
+	// RefLoss is the path loss l₀ in dB at the reference distance.
+	RefLoss float64
+	// RefDist is the reference distance d₀ in metres (usually 1 m).
+	RefDist float64
+	// Exponent is the path loss exponent γ.
+	Exponent float64
+	// ShadowSigma is the standard deviation of the log-normal shadow fading
+	// in dB. Zero disables fading.
+	ShadowSigma float64
+}
+
+// UCIChannel returns the channel used in the paper's UCI simulations:
+// path loss 45.6 dB at 1 m, exponent 1.76, shadow σ 0.5 dB. The transmit
+// power is a free parameter in the paper; 20 dBm (100 mW, a typical consumer
+// AP) is used throughout this reproduction.
+func UCIChannel() Channel {
+	return Channel{
+		TxPower:     20,
+		RefLoss:     45.6,
+		RefDist:     1,
+		Exponent:    1.76,
+		ShadowSigma: 0.5,
+	}
+}
+
+// ErrBadChannel reports invalid channel parameters.
+var ErrBadChannel = errors.New("radio: invalid channel parameters")
+
+// Validate checks the channel parameters.
+func (c Channel) Validate() error {
+	if c.RefDist <= 0 || c.Exponent <= 0 || c.ShadowSigma < 0 {
+		return ErrBadChannel
+	}
+	return nil
+}
+
+// MeanRSS returns the expected received power (dBm) at distance d metres,
+// i.e. the channel without the fading term. Distances below the reference
+// distance are clamped to it, matching the model's validity range d ≥ d₀.
+func (c Channel) MeanRSS(d float64) float64 {
+	if d < c.RefDist {
+		d = c.RefDist
+	}
+	return c.TxPower - c.RefLoss - 10*c.Exponent*math.Log10(d/c.RefDist)
+}
+
+// SampleRSS returns a faded RSS sample at distance d, drawing the shadowing
+// term from r.
+func (c Channel) SampleRSS(d float64, r *rng.RNG) float64 {
+	rss := c.MeanRSS(d)
+	if c.ShadowSigma > 0 {
+		rss -= r.Normal(0, c.ShadowSigma)
+	}
+	return rss
+}
+
+// InvertRSS returns the distance at which the mean RSS equals rss. It is the
+// inverse of MeanRSS and is exact in the absence of fading.
+func (c Channel) InvertRSS(rss float64) float64 {
+	exp := (c.TxPower - c.RefLoss - rss) / (10 * c.Exponent)
+	d := c.RefDist * math.Pow(10, exp)
+	if d < c.RefDist {
+		return c.RefDist
+	}
+	return d
+}
+
+// AddAWGN adds white Gaussian noise to y to reach the requested SNR in dB,
+// following the paper's robustness experiments ("we intentionally add
+// Gaussian white noise to the observation vector y ... SNR=30dB"). The noise
+// power is set relative to the mean signal power of y.
+func AddAWGN(y []float64, snrDB float64, r *rng.RNG) []float64 {
+	if len(y) == 0 {
+		return nil
+	}
+	var power float64
+	for _, v := range y {
+		power += v * v
+	}
+	power /= float64(len(y))
+	sigma := math.Sqrt(power / math.Pow(10, snrDB/10))
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = v + r.Normal(0, sigma)
+	}
+	return out
+}
+
+// Measurement is one drive-by RSS reading tagged with the collector location.
+type Measurement struct {
+	// Pos is the GPS position of the RSS collector when the reading was taken.
+	Pos geo.Point
+	// RSS is the received signal strength in dBm.
+	RSS float64
+	// Time is the collection time in seconds from the start of the drive.
+	Time float64
+	// Source is the index of the transmitting AP when known (BSSID-labelled
+	// scans, available to fingerprinting baselines like Skyhook and MDS), or
+	// -1 when unknown. CrowdWiFi's CS pipeline never reads it.
+	Source int
+}
+
+// GMMParams configures the mixture likelihood of Eq. 1.
+type GMMParams struct {
+	// Channel supplies μᵢⱼ via the path loss model.
+	Channel Channel
+	// SigmaFactor is the constant b in σᵢⱼ = b·|μᵢⱼ| (the paper sets
+	// σᵢⱼ = b·μᵢⱼ; the magnitude keeps σ positive for negative dBm means).
+	SigmaFactor float64
+	// WeightScale is the length scale (metres) of the myopic mixture weights
+	// wᵢⱼ ∝ e^{−dᵢⱼ/scale} (default DefaultWeightScale). It should match the
+	// source diversity of the collector: small when readings come almost
+	// exclusively from the nearest AP, larger when the collector interleaves
+	// beacons from all audible APs.
+	WeightScale float64
+}
+
+// DefaultWeightScale is the myopic weight length scale used when
+// GMMParams.WeightScale is 0.
+const DefaultWeightScale = 10.0
+
+// DefaultSigmaFactor is the b constant used when GMMParams.SigmaFactor is 0.
+const DefaultSigmaFactor = 0.05
+
+// LogLikelihood evaluates log p(R) of Eq. 1: the probability that the RSS
+// measurement series came from the mixture of the candidate APs, with myopic
+// distance weights wᵢⱼ = e^{−dᵢⱼ} / Σ e^{−dᵢⱼ'} favouring nearby APs.
+// It returns -Inf when aps is empty.
+func (g GMMParams) LogLikelihood(measurements []Measurement, aps []geo.Point) float64 {
+	if len(aps) == 0 {
+		return math.Inf(-1)
+	}
+	b := g.SigmaFactor
+	if b == 0 {
+		b = DefaultSigmaFactor
+	}
+	var ll float64
+	for _, m := range measurements {
+		// Myopic weights over APs for this measurement point. Distances are
+		// scaled by their minimum before exponentiation so that e^{−d} does
+		// not underflow on maps hundreds of metres wide.
+		dists := make([]float64, len(aps))
+		minD := math.Inf(1)
+		for j, ap := range aps {
+			dists[j] = m.Pos.Dist(ap)
+			if dists[j] < minD {
+				minD = dists[j]
+			}
+		}
+		scale := g.WeightScale
+		if scale <= 0 {
+			scale = DefaultWeightScale
+		}
+		var wsum float64
+		weights := make([]float64, len(aps))
+		for j, d := range dists {
+			weights[j] = math.Exp(-(d - minD) / scale)
+			wsum += weights[j]
+		}
+		var p float64
+		for j, ap := range aps {
+			mu := g.Channel.MeanRSS(m.Pos.Dist(ap))
+			sigma := b * math.Abs(mu)
+			if sigma < 1e-6 {
+				sigma = 1e-6
+			}
+			w := weights[j] / wsum
+			z := (m.RSS - mu) / sigma
+			p += w * math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+		}
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		ll += math.Log(p)
+	}
+	return ll
+}
+
+// BIC computes the Bayesian information criterion of Section 4.3.5:
+//
+//	BIC = 2·logLik − v·log(m)
+//
+// with v = 2K free parameters (the 2-D coordinates of K APs) and m data
+// samples. Larger is better.
+func BIC(logLik float64, numAPs, numSamples int) float64 {
+	if numSamples <= 0 {
+		return math.Inf(-1)
+	}
+	v := float64(2 * numAPs)
+	return 2*logLik - v*math.Log(float64(numSamples))
+}

@@ -1,0 +1,200 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/rng"
+)
+
+func TestUCIChannelParameters(t *testing.T) {
+	c := UCIChannel()
+	if c.RefLoss != 45.6 || c.Exponent != 1.76 || c.ShadowSigma != 0.5 || c.RefDist != 1 {
+		t.Fatalf("UCIChannel = %+v does not match the paper", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Channel{
+		{RefDist: 0, Exponent: 2},
+		{RefDist: 1, Exponent: 0},
+		{RefDist: 1, Exponent: 2, ShadowSigma: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, c)
+		}
+	}
+}
+
+func TestMeanRSSMonotoneDecreasing(t *testing.T) {
+	c := UCIChannel()
+	prev := c.MeanRSS(1)
+	for d := 2.0; d <= 200; d += 1 {
+		cur := c.MeanRSS(d)
+		if cur >= prev {
+			t.Fatalf("RSS not decreasing at d=%v: %v >= %v", d, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestMeanRSSReferencePoint(t *testing.T) {
+	c := UCIChannel()
+	// At the reference distance the RSS is exactly t − l₀.
+	if got, want := c.MeanRSS(1), 20.0-45.6; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanRSS(1) = %v, want %v", got, want)
+	}
+	// Below the reference distance the model clamps.
+	if c.MeanRSS(0.1) != c.MeanRSS(1) {
+		t.Fatal("no clamping below reference distance")
+	}
+}
+
+func TestInvertRSSRoundTrip(t *testing.T) {
+	c := UCIChannel()
+	f := func(dRaw float64) bool {
+		if math.IsNaN(dRaw) || math.IsInf(dRaw, 0) {
+			return true
+		}
+		d := 1 + math.Mod(math.Abs(dRaw), 500)
+		rss := c.MeanRSS(d)
+		back := c.InvertRSS(rss)
+		return math.Abs(back-d) < 1e-6*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleRSSStatistics(t *testing.T) {
+	c := UCIChannel()
+	r := rng.New(1)
+	const n = 50000
+	d := 50.0
+	mean := c.MeanRSS(d)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := c.SampleRSS(d, r)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(sumSq/n - m*m)
+	if math.Abs(m-mean) > 0.02 {
+		t.Fatalf("sample mean %v, want %v", m, mean)
+	}
+	if math.Abs(sd-c.ShadowSigma) > 0.02 {
+		t.Fatalf("sample stddev %v, want %v", sd, c.ShadowSigma)
+	}
+}
+
+func TestSampleRSSNoFading(t *testing.T) {
+	c := UCIChannel()
+	c.ShadowSigma = 0
+	r := rng.New(2)
+	if c.SampleRSS(10, r) != c.MeanRSS(10) {
+		t.Fatal("zero shadow sigma must be deterministic")
+	}
+}
+
+func TestAddAWGNSNR(t *testing.T) {
+	r := rng.New(3)
+	y := make([]float64, 20000)
+	for i := range y {
+		y[i] = -60 + 10*math.Sin(float64(i)) // signal with known power
+	}
+	var sigPow float64
+	for _, v := range y {
+		sigPow += v * v
+	}
+	sigPow /= float64(len(y))
+
+	noisy := AddAWGN(y, 30, r)
+	var noisePow float64
+	for i := range y {
+		d := noisy[i] - y[i]
+		noisePow += d * d
+	}
+	noisePow /= float64(len(y))
+	gotSNR := 10 * math.Log10(sigPow/noisePow)
+	if math.Abs(gotSNR-30) > 0.5 {
+		t.Fatalf("achieved SNR %v dB, want ~30", gotSNR)
+	}
+}
+
+func TestAddAWGNEmpty(t *testing.T) {
+	if out := AddAWGN(nil, 30, rng.New(1)); out != nil {
+		t.Fatal("AddAWGN(nil) should return nil")
+	}
+}
+
+func TestLogLikelihoodPrefersTrueConstellation(t *testing.T) {
+	c := UCIChannel()
+	c.ShadowSigma = 0
+	r := rng.New(4)
+	trueAPs := []geo.Point{{X: 20, Y: 20}, {X: 80, Y: 60}}
+	// Collect measurements along a diagonal drive; each reading comes from
+	// the nearest AP (the myopic assumption of Eq. 1).
+	var ms []Measurement
+	for i := 0; i < 40; i++ {
+		pos := geo.Point{X: float64(i * 2), Y: float64(i * 2)}
+		near := trueAPs[0]
+		if pos.Dist(trueAPs[1]) < pos.Dist(trueAPs[0]) {
+			near = trueAPs[1]
+		}
+		ms = append(ms, Measurement{Pos: pos, RSS: c.SampleRSS(pos.Dist(near), r)})
+	}
+	g := GMMParams{Channel: c}
+	llTrue := g.LogLikelihood(ms, trueAPs)
+	llWrong := g.LogLikelihood(ms, []geo.Point{{X: 0, Y: 90}, {X: 90, Y: 0}})
+	if llTrue <= llWrong {
+		t.Fatalf("true constellation LL %v <= wrong %v", llTrue, llWrong)
+	}
+}
+
+func TestLogLikelihoodEmptyAPs(t *testing.T) {
+	g := GMMParams{Channel: UCIChannel()}
+	if ll := g.LogLikelihood([]Measurement{{RSS: -60}}, nil); !math.IsInf(ll, -1) {
+		t.Fatalf("LL with no APs = %v, want -Inf", ll)
+	}
+}
+
+func TestLogLikelihoodFinite(t *testing.T) {
+	// Even absurd placements must yield a finite log-likelihood (underflow
+	// guard), or BIC comparisons break.
+	g := GMMParams{Channel: UCIChannel()}
+	ms := []Measurement{{Pos: geo.Point{X: 0, Y: 0}, RSS: -30}}
+	ll := g.LogLikelihood(ms, []geo.Point{{X: 1e6, Y: 1e6}})
+	if math.IsInf(ll, 0) || math.IsNaN(ll) {
+		t.Fatalf("LL = %v, want finite", ll)
+	}
+}
+
+func TestBICPenalizesModelOrder(t *testing.T) {
+	// Same likelihood, more parameters → lower BIC.
+	if BIC(-100, 3, 50) >= BIC(-100, 2, 50) {
+		t.Fatal("BIC must penalize extra APs")
+	}
+	// Higher likelihood with same order → higher BIC.
+	if BIC(-90, 2, 50) <= BIC(-100, 2, 50) {
+		t.Fatal("BIC must reward likelihood")
+	}
+	if !math.IsInf(BIC(-1, 1, 0), -1) {
+		t.Fatal("BIC with no samples must be -Inf")
+	}
+}
+
+func TestBICFormula(t *testing.T) {
+	// BIC = 2·LL − 2K·log(m).
+	got := BIC(-50, 4, 100)
+	want := 2*(-50) - float64(2*4)*math.Log(100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BIC = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,217 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws between distinct seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children with distinct labels produced the same first draw")
+	}
+	// Same parent state and label must reproduce the same child stream.
+	p1 := New(7)
+	p2 := New(7)
+	d1 := p1.Split(5)
+	d2 := p2.Split(5)
+	for i := 0; i < 100; i++ {
+		if d1.Uint64() != d2.Uint64() {
+			t.Fatalf("split not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn bucket %d count %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.03 {
+		t.Fatalf("normal mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Fatalf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(8)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %v", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%50)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(9)
+	s := r.Sample(20, 10)
+	if len(s) != 10 {
+		t.Fatalf("Sample len = %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Sample invalid or duplicate: %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSamplePanicsWhenKTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(10)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(2)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exponential(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-5, 5)
+		if v < -5 || v >= 5 {
+			t.Fatalf("Uniform = %v out of [-5,5)", v)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(12)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, 8)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d lost in shuffle: %v", i, xs)
+		}
+	}
+}

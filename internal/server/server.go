@@ -1,0 +1,484 @@
+// Package server implements the CrowdWiFi crowd-server (Section 5.5): an
+// HTTP service holding the crowdsourced AP database, assigning AP-pattern
+// mapping tasks to crowd-vehicles over a bipartite graph, collecting labels
+// and online-CS reports, inferring per-vehicle reliability with iterative
+// message passing, and serving reliability-weighted fused AP lookup results
+// to user-vehicles.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"crowdwifi/internal/crowd"
+	"crowdwifi/internal/geo"
+)
+
+// APReport is one AP estimate inside a vehicle report.
+type APReport struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Credit float64 `json:"credit"`
+}
+
+// Report is a crowd-vehicle's upload for one road segment.
+type Report struct {
+	Vehicle string     `json:"vehicle"`
+	Segment string     `json:"segment"`
+	APs     []APReport `json:"aps"`
+}
+
+// Pattern is a candidate AP distribution pattern (a mapping task): a set of
+// AP positions on a segment that crowd-vehicles confirm or reject.
+type Pattern struct {
+	ID      int        `json:"id"`
+	Segment string     `json:"segment"`
+	APs     []APReport `json:"aps"`
+}
+
+// Label is a crowd-vehicle's ±1 answer for a pattern.
+type Label struct {
+	Vehicle string `json:"vehicle"`
+	TaskID  int    `json:"taskId"`
+	Value   int    `json:"value"`
+}
+
+// LookupResult is a fused AP record served to user-vehicles.
+type LookupResult struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Weight float64 `json:"weight"`
+}
+
+// Store is the crowd-server's mutable state. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu sync.Mutex
+
+	patterns    []Pattern
+	labels      []Label
+	reports     []Report
+	fused       map[string][]LookupResult // per segment
+	reliability map[string]float64
+	vehicles    map[string]int // vehicle id → dense index
+	mergeRadius float64
+}
+
+// NewStore returns an empty store. mergeRadius controls fusion clustering
+// (≤ 0 selects 10 m).
+func NewStore(mergeRadius float64) *Store {
+	if mergeRadius <= 0 {
+		mergeRadius = 10
+	}
+	return &Store{
+		fused:       map[string][]LookupResult{},
+		reliability: map[string]float64{},
+		vehicles:    map[string]int{},
+		mergeRadius: mergeRadius,
+	}
+}
+
+func (s *Store) vehicleIndex(id string) int {
+	if idx, ok := s.vehicles[id]; ok {
+		return idx
+	}
+	idx := len(s.vehicles)
+	s.vehicles[id] = idx
+	return idx
+}
+
+// AddPattern registers a mapping task and returns its id.
+func (s *Store) AddPattern(segment string, aps []APReport) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := len(s.patterns)
+	s.patterns = append(s.patterns, Pattern{ID: id, Segment: segment, APs: aps})
+	return id
+}
+
+// Patterns returns the mapping tasks, optionally filtered by segment.
+func (s *Store) Patterns(segment string) []Pattern {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Pattern
+	for _, p := range s.patterns {
+		if segment == "" || p.Segment == segment {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AddLabel records an answer. The task must exist and the value must be ±1.
+func (s *Store) AddLabel(l Label) error {
+	if l.Value != 1 && l.Value != -1 {
+		return errors.New("server: label value must be ±1")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l.TaskID < 0 || l.TaskID >= len(s.patterns) {
+		return fmt.Errorf("server: unknown task %d", l.TaskID)
+	}
+	s.vehicleIndex(l.Vehicle)
+	s.labels = append(s.labels, l)
+	return nil
+}
+
+// AddReport stores a vehicle's AP report.
+func (s *Store) AddReport(r Report) error {
+	if r.Vehicle == "" || r.Segment == "" {
+		return errors.New("server: report needs vehicle and segment")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vehicleIndex(r.Vehicle)
+	s.reports = append(s.reports, r)
+	return nil
+}
+
+// Reliability returns the inferred reliability map (copy).
+func (s *Store) Reliability() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.reliability))
+	for k, v := range s.reliability {
+		out[k] = v
+	}
+	return out
+}
+
+// Aggregate runs the offline crowdsourcing pipeline: labels feed the
+// iterative inference, whose per-vehicle reliabilities weight the centroid
+// fusion of all AP reports (Sections 5.3–5.4). It returns the number of
+// fused APs across segments.
+func (s *Store) Aggregate() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	rel := s.inferReliabilityLocked()
+	for id, r := range rel {
+		s.reliability[id] = r
+	}
+
+	// Group reports per segment and fuse with reliability weights.
+	bySeg := map[string][]crowd.VehicleReport{}
+	weights := map[string][]float64{}
+	for _, rep := range s.reports {
+		idx := len(bySeg[rep.Segment])
+		pts := make([]geo.Point, len(rep.APs))
+		for i, ap := range rep.APs {
+			pts[i] = geo.Point{X: ap.X, Y: ap.Y}
+		}
+		bySeg[rep.Segment] = append(bySeg[rep.Segment], crowd.VehicleReport{Vehicle: idx, APs: pts})
+		w := 1.0
+		if r, ok := s.reliability[rep.Vehicle]; ok {
+			w = r
+		}
+		weights[rep.Segment] = append(weights[rep.Segment], w)
+	}
+	total := 0
+	for seg, reps := range bySeg {
+		// MinWeight 0.5 drops clusters supported only by vehicles the
+		// inference marked unreliable: a lone spammer (weight ≈ 0.05) cannot
+		// plant APs, while a single honest vehicle (weight ≈ 1) still can.
+		fusedPts, err := crowd.WeightedFusion(reps, weights[seg], crowd.FusionOptions{
+			MergeRadius: s.mergeRadius,
+			MinWeight:   0.5,
+		})
+		if err != nil {
+			return 0, err
+		}
+		out := make([]LookupResult, len(fusedPts))
+		for i, p := range fusedPts {
+			out[i] = LookupResult{X: p.X, Y: p.Y, Weight: 1}
+		}
+		s.fused[seg] = out
+		total += len(out)
+	}
+	return total, nil
+}
+
+// inferReliabilityLocked runs iterative inference over the collected labels
+// and maps the raw worker messages to [0,1] weights per vehicle id. Vehicles
+// without labels default to weight 1 (no evidence against them). Requires
+// s.mu held.
+func (s *Store) inferReliabilityLocked() map[string]float64 {
+	out := map[string]float64{}
+	if len(s.labels) == 0 {
+		return out
+	}
+	// Build a dense bipartite instance from the recorded labels, keeping
+	// only each vehicle's first answer per task.
+	type key struct {
+		task    int
+		vehicle string
+	}
+	seen := map[key]bool{}
+	taskWorkers := make([][]int, len(s.patterns))
+	taskValues := make([][]int8, len(s.patterns))
+	workerIDs := make([]string, 0, len(s.vehicles))
+	widx := map[string]int{}
+	workerTasks := map[int][]int{}
+	for _, l := range s.labels {
+		k := key{l.TaskID, l.Vehicle}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		w, ok := widx[l.Vehicle]
+		if !ok {
+			w = len(workerIDs)
+			widx[l.Vehicle] = w
+			workerIDs = append(workerIDs, l.Vehicle)
+		}
+		taskWorkers[l.TaskID] = append(taskWorkers[l.TaskID], w)
+		taskValues[l.TaskID] = append(taskValues[l.TaskID], int8(l.Value))
+		workerTasks[w] = append(workerTasks[w], l.TaskID)
+	}
+	a := &crowd.Assignment{
+		NumTasks:    len(s.patterns),
+		NumWorkers:  len(workerIDs),
+		TaskWorkers: taskWorkers,
+		WorkerTasks: make([][]int, len(workerIDs)),
+	}
+	for w, ts := range workerTasks {
+		a.WorkerTasks[w] = ts
+	}
+	labels := &crowd.Labels{Assignment: a, Values: taskValues}
+	res := crowd.Infer(labels, crowd.InferenceOptions{})
+	norm := crowd.NormalizeReliability(res.WorkerReliability)
+	for w, id := range workerIDs {
+		out[id] = norm[w]
+	}
+	return out
+}
+
+// Lookup returns the fused APs intersecting the query rectangle, across all
+// segments, ordered by weight then position for determinism.
+func (s *Store) Lookup(area geo.Rect) []LookupResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []LookupResult
+	for _, results := range s.fused {
+		for _, r := range results {
+			if area.Contains(geo.Point{X: r.X, Y: r.Y}) {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// Server wires the store to an HTTP mux.
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+}
+
+// New returns a server around the given store.
+func New(store *Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/patterns", s.handlePatterns)
+	s.mux.HandleFunc("/v1/tasks", s.handleTasks)
+	s.mux.HandleFunc("/v1/labels", s.handleLabels)
+	s.mux.HandleFunc("/v1/reports", s.handleReports)
+	s.mux.HandleFunc("/v1/aggregate", s.handleAggregate)
+	s.mux.HandleFunc("/v1/lookup", s.handleLookup)
+	s.mux.HandleFunc("/v1/reliability", s.handleReliability)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+var _ http.Handler = (*Server)(nil)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handlePatterns: POST registers a pattern; GET lists patterns (optionally
+// ?segment=...).
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var p Pattern
+		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if p.Segment == "" {
+			writeError(w, http.StatusBadRequest, errors.New("segment required"))
+			return
+		}
+		id := s.store.AddPattern(p.Segment, p.APs)
+		writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.store.Patterns(r.URL.Query().Get("segment")))
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+// handleTasks assigns up to n=?count mapping tasks to ?vehicle, preferring
+// the tasks with the fewest labels so coverage stays balanced (the (ℓ,γ)
+// regularity of Section 5.2 emerges from this balancing).
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	vehicle := r.URL.Query().Get("vehicle")
+	if vehicle == "" {
+		writeError(w, http.StatusBadRequest, errors.New("vehicle required"))
+		return
+	}
+	count := 5
+	if c := r.URL.Query().Get("count"); c != "" {
+		v, err := strconv.Atoi(c)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("bad count"))
+			return
+		}
+		count = v
+	}
+	writeJSON(w, http.StatusOK, s.store.AssignTasks(vehicle, count))
+}
+
+// AssignTasks picks up to count patterns for a vehicle: tasks the vehicle
+// has not answered, fewest-labelled first.
+func (s *Store) AssignTasks(vehicle string, count int) []Pattern {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	answered := map[int]bool{}
+	counts := make([]int, len(s.patterns))
+	for _, l := range s.labels {
+		if l.Vehicle == vehicle {
+			answered[l.TaskID] = true
+		}
+		counts[l.TaskID]++
+	}
+	idx := make([]int, 0, len(s.patterns))
+	for i := range s.patterns {
+		if !answered[i] {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if counts[idx[a]] != counts[idx[b]] {
+			return counts[idx[a]] < counts[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > count {
+		idx = idx[:count]
+	}
+	out := make([]Pattern, len(idx))
+	for i, id := range idx {
+		out[i] = s.patterns[id]
+	}
+	return out
+}
+
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var ls []Label
+	if err := json.NewDecoder(r.Body).Decode(&ls); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, l := range ls {
+		if err := s.store.AddLabel(l); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(ls)})
+}
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	var rep Report
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.AddReport(rep); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "stored"})
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	n, err := s.store.Aggregate()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"fusedAPs": n})
+}
+
+// handleLookup serves GET /v1/lookup?xmin=&ymin=&xmax=&ymax=.
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	vals := make([]float64, 4)
+	for i, name := range []string{"xmin", "ymin", "xmax", "ymax"} {
+		v, err := strconv.ParseFloat(q.Get(name), 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s", name))
+			return
+		}
+		vals[i] = v
+	}
+	area := geo.NewRect(geo.Point{X: vals[0], Y: vals[1]}, geo.Point{X: vals[2], Y: vals[3]})
+	results := s.store.Lookup(area)
+	if results == nil {
+		results = []LookupResult{}
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.Reliability())
+}

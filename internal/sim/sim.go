@@ -1,0 +1,314 @@
+// Package sim is the vehicular RSS simulator that replaces the paper's
+// NCTUns v5.0 setup: scenarios describe an area, an AP deployment and a
+// channel model; drives sample RSS measurements along a trajectory using the
+// paper's myopic source model (each reading comes from a nearby AP with
+// probability ∝ e^{−d}) and optional AWGN at a target SNR.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/radio"
+	"crowdwifi/internal/rng"
+)
+
+// Scenario is a static world: map area, AP constellation, and radio
+// parameters.
+type Scenario struct {
+	// Name labels the scenario in logs and bench output.
+	Name string
+	// Area is the map rectangle in metres.
+	Area geo.Rect
+	// APs are the true access point locations.
+	APs []geo.Point
+	// Channel is the propagation model.
+	Channel radio.Channel
+	// Radius is the effective AP transmission radius; readings are only
+	// generated from APs within this range.
+	Radius float64
+	// Lattice is the evaluation grid cell length.
+	Lattice float64
+}
+
+// Validate checks scenario consistency.
+func (s Scenario) Validate() error {
+	if len(s.APs) == 0 {
+		return errors.New("sim: scenario has no APs")
+	}
+	if s.Area.Width() <= 0 || s.Area.Height() <= 0 {
+		return errors.New("sim: degenerate area")
+	}
+	if s.Radius <= 0 || s.Lattice <= 0 {
+		return errors.New("sim: radius and lattice must be positive")
+	}
+	return s.Channel.Validate()
+}
+
+// UCI returns the paper's first simulation scenario: the UCI campus map
+// scaled to a 300 m × 180 m rectangle with 8 APs at least 50 m apart, an
+// effective transmission radius of 100 m, path loss 45.6 dB at 1 m, exponent
+// 1.76, and shadow fading σ = 0.5 dB. APs sit exactly on 8 m grid points, as
+// in the paper's first experiment.
+func UCI() Scenario {
+	return Scenario{
+		Name: "uci",
+		Area: geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 304, Y: 184}),
+		APs: []geo.Point{
+			{X: 40, Y: 40},
+			{X: 120, Y: 32},
+			{X: 208, Y: 40},
+			{X: 272, Y: 88},
+			{X: 216, Y: 144},
+			{X: 144, Y: 152},
+			{X: 64, Y: 144},
+			{X: 152, Y: 88},
+		},
+		Channel: radio.UCIChannel(),
+		Radius:  100,
+		Lattice: 8,
+	}
+}
+
+// UCIDrive returns the winding collection route used for the Fig. 5
+// reproduction. Like the paper's Fig. 5(a) drive, it snakes through campus
+// and approaches every AP, with turns that break the collinear mirror
+// ambiguity of straight-segment RSS collection.
+func UCIDrive() *geo.Trajectory {
+	t, err := geo.NewTrajectory([]geo.Point{
+		{X: 8, Y: 8},
+		{X: 36, Y: 28},
+		{X: 110, Y: 24},
+		{X: 128, Y: 44},
+		{X: 204, Y: 28},
+		{X: 232, Y: 52},
+		{X: 266, Y: 78},
+		{X: 258, Y: 108},
+		{X: 224, Y: 134},
+		{X: 196, Y: 150},
+		{X: 152, Y: 142},
+		{X: 146, Y: 104},
+		{X: 160, Y: 82},
+		{X: 120, Y: 96},
+		{X: 76, Y: 136},
+		{X: 48, Y: 152},
+		{X: 28, Y: 120},
+		{X: 48, Y: 52},
+	})
+	if err != nil {
+		// The waypoint list is a compile-time constant; failure is a bug.
+		panic(fmt.Sprintf("sim: invalid UCI drive: %v", err))
+	}
+	return t
+}
+
+// RandomScenario places k APs uniformly in a square area with a minimum
+// pairwise separation, on grid points of the given lattice. It reproduces
+// the paper's second and third simulation setups (random AP deployments on
+// the grid structure). Placement uses rejection sampling; it returns an
+// error if the separation constraint cannot be met in a bounded number of
+// attempts.
+func RandomScenario(name string, side float64, k int, minSep, lattice float64, ch radio.Channel, radius float64, r *rng.RNG) (Scenario, error) {
+	if k <= 0 || side <= 0 || lattice <= 0 {
+		return Scenario{}, errors.New("sim: invalid random scenario parameters")
+	}
+	cols := int(side/lattice) + 1
+	aps := make([]geo.Point, 0, k)
+	const maxAttempts = 100000
+	attempts := 0
+	for len(aps) < k {
+		if attempts++; attempts > maxAttempts {
+			return Scenario{}, fmt.Errorf("sim: cannot place %d APs with separation %.1f in %.0fx%.0f", k, minSep, side, side)
+		}
+		p := geo.Point{
+			X: float64(r.Intn(cols)) * lattice,
+			Y: float64(r.Intn(cols)) * lattice,
+		}
+		ok := true
+		for _, q := range aps {
+			if p.Dist(q) < minSep {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			aps = append(aps, p)
+		}
+	}
+	return Scenario{
+		Name:    name,
+		Area:    geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: side, Y: side}),
+		APs:     aps,
+		Channel: ch,
+		Radius:  radius,
+		Lattice: lattice,
+	}, nil
+}
+
+// DriveConfig configures one RSS collection run.
+type DriveConfig struct {
+	// Trajectory is the vehicle's route.
+	Trajectory *geo.Trajectory
+	// NumSamples is the number of RSS readings collected, spaced evenly in
+	// arc length along the trajectory.
+	NumSamples int
+	// SNR, when positive, adds white Gaussian noise to the whole RSS vector
+	// at this signal-to-noise ratio in dB (the paper's robustness setting is
+	// 30 dB).
+	SNR float64
+	// MyopicScale is the length scale (metres) of the myopic source weights
+	// w ∝ e^{−d/scale} (default 10). Smaller values make the nearest AP
+	// dominate; a negative value selects uniformly among in-range APs.
+	MyopicScale float64
+	// SampleInterval is the simulated time between consecutive readings in
+	// seconds (default 1).
+	SampleInterval float64
+}
+
+// Drive collects RSS measurements along the trajectory. Each reading is
+// attributed to one AP drawn with myopic probability among the APs within
+// the scenario radius, and its RSS follows the log-distance model with
+// shadow fading. Readings at positions with no AP in range are skipped, so
+// fewer than NumSamples measurements may be returned.
+func (s Scenario) Drive(cfg DriveConfig, r *rng.RNG) ([]radio.Measurement, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Trajectory == nil || cfg.NumSamples <= 0 {
+		return nil, errors.New("sim: drive requires a trajectory and a positive sample count")
+	}
+	scale := cfg.MyopicScale
+	if scale == 0 {
+		scale = 10
+	}
+	dt := cfg.SampleInterval
+	if dt <= 0 {
+		dt = 1
+	}
+	total := cfg.Trajectory.Length()
+	step := total / float64(cfg.NumSamples-1)
+	if cfg.NumSamples == 1 {
+		step = 0
+	}
+
+	ms := make([]radio.Measurement, 0, cfg.NumSamples)
+	for i := 0; i < cfg.NumSamples; i++ {
+		pos := cfg.Trajectory.At(float64(i) * step)
+		src, ok := s.pickSource(pos, scale, r)
+		if !ok {
+			continue
+		}
+		ms = append(ms, radio.Measurement{
+			Pos:    pos,
+			RSS:    s.Channel.SampleRSS(pos.Dist(s.APs[src]), r),
+			Time:   float64(i) * dt,
+			Source: src,
+		})
+	}
+	if cfg.SNR > 0 {
+		y := make([]float64, len(ms))
+		for i, m := range ms {
+			y[i] = m.RSS
+		}
+		y = radio.AddAWGN(y, cfg.SNR, r)
+		for i := range ms {
+			ms[i].RSS = y[i]
+		}
+	}
+	return ms, nil
+}
+
+// CollectAt generates one myopic RSS reading per reference point, skipping
+// points with no AP in range. It reproduces the scattered-RP measurement
+// model of the paper's Fig. 3 / Fig. 8 experiments.
+func (s Scenario) CollectAt(points []geo.Point, myopicScale float64, r *rng.RNG) []radio.Measurement {
+	if myopicScale == 0 {
+		myopicScale = 10
+	}
+	ms := make([]radio.Measurement, 0, len(points))
+	for i, pos := range points {
+		src, ok := s.pickSource(pos, myopicScale, r)
+		if !ok {
+			continue
+		}
+		ms = append(ms, radio.Measurement{
+			Pos:    pos,
+			RSS:    s.Channel.SampleRSS(pos.Dist(s.APs[src]), r),
+			Time:   float64(i),
+			Source: src,
+		})
+	}
+	return ms
+}
+
+// RandomPoints draws n uniform positions inside the scenario area.
+func (s Scenario) RandomPoints(n int, r *rng.RNG) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{
+			X: r.Uniform(s.Area.Min.X, s.Area.Max.X),
+			Y: r.Uniform(s.Area.Min.Y, s.Area.Max.Y),
+		}
+	}
+	return out
+}
+
+// pickSource draws the transmitting AP for a reading at pos using myopic
+// weights w ∝ e^{−d/scale} over APs within the scenario radius; a negative
+// scale selects uniformly among in-range APs (a channel-scanning collector
+// that logs whichever beacon arrives). The second return value is false when
+// no AP is in range.
+func (s Scenario) pickSource(pos geo.Point, scale float64, r *rng.RNG) (int, bool) {
+	if scale < 0 {
+		var audible []int
+		for j, ap := range s.APs {
+			if pos.Dist(ap) <= s.Radius {
+				audible = append(audible, j)
+			}
+		}
+		if len(audible) == 0 {
+			return 0, false
+		}
+		return audible[r.Intn(len(audible))], true
+	}
+	weights := make([]float64, len(s.APs))
+	var total float64
+	minD := math.Inf(1)
+	for _, ap := range s.APs {
+		if d := pos.Dist(ap); d < minD {
+			minD = d
+		}
+	}
+	if minD > s.Radius {
+		return 0, false
+	}
+	for j, ap := range s.APs {
+		d := pos.Dist(ap)
+		if d > s.Radius {
+			continue
+		}
+		// Shift by minD before exponentiating to avoid underflow.
+		weights[j] = math.Exp(-(d - minD) / scale)
+		total += weights[j]
+	}
+	u := r.Float64() * total
+	for j, w := range weights {
+		if w == 0 {
+			continue
+		}
+		if u < w {
+			return j, true
+		}
+		u -= w
+	}
+	// Floating point slack: fall back to the nearest AP.
+	best := 0
+	for j, ap := range s.APs {
+		if pos.Dist(ap) < pos.Dist(s.APs[best]) {
+			best = j
+		}
+	}
+	return best, true
+}

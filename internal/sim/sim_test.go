@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/radio"
+	"crowdwifi/internal/rng"
+)
+
+func TestUCIScenarioMatchesPaper(t *testing.T) {
+	sc := UCI()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.APs) != 8 {
+		t.Fatalf("APs = %d, want 8", len(sc.APs))
+	}
+	// Paper: pairwise distance > 50 m, radius 100 m, lattice 8 m.
+	for i := 0; i < len(sc.APs); i++ {
+		for j := i + 1; j < len(sc.APs); j++ {
+			if d := sc.APs[i].Dist(sc.APs[j]); d <= 50 {
+				t.Fatalf("APs %d,%d only %.1f m apart, paper requires > 50", i, j, d)
+			}
+		}
+	}
+	if sc.Radius != 100 || sc.Lattice != 8 {
+		t.Fatalf("radius/lattice = %v/%v", sc.Radius, sc.Lattice)
+	}
+	// APs on grid points of the 8 m lattice (paper's first experiment).
+	for i, ap := range sc.APs {
+		if math.Mod(ap.X, 8) != 0 || math.Mod(ap.Y, 8) != 0 {
+			t.Fatalf("AP %d at %v not on an 8 m grid point", i, ap)
+		}
+		if !sc.Area.Contains(ap) {
+			t.Fatalf("AP %d outside the area", i)
+		}
+	}
+}
+
+func TestUCIDriveCoversAllAPs(t *testing.T) {
+	sc := UCI()
+	tr := UCIDrive()
+	pts := tr.SampleByDistance(2)
+	for i, ap := range sc.APs {
+		best := math.Inf(1)
+		for _, p := range pts {
+			if d := p.Dist(ap); d < best {
+				best = d
+			}
+		}
+		if best > 30 {
+			t.Fatalf("drive never comes within 30 m of AP %d (closest %.1f)", i, best)
+		}
+	}
+	if !sc.Area.Contains(tr.Waypoints()[0]) {
+		t.Fatal("drive starts outside the area")
+	}
+}
+
+func TestValidateCatchesBadScenarios(t *testing.T) {
+	good := UCI()
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"no APs", func(s *Scenario) { s.APs = nil }},
+		{"bad area", func(s *Scenario) { s.Area = geo.Rect{} }},
+		{"zero radius", func(s *Scenario) { s.Radius = 0 }},
+		{"zero lattice", func(s *Scenario) { s.Lattice = 0 }},
+		{"bad channel", func(s *Scenario) { s.Channel = radio.Channel{} }},
+	}
+	for _, c := range cases {
+		sc := good
+		c.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestRandomScenarioSeparation(t *testing.T) {
+	r := rng.New(1)
+	sc, err := RandomScenario("rand", 240, 10, 50, 8, radio.UCIChannel(), 100, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.APs) != 10 {
+		t.Fatalf("APs = %d", len(sc.APs))
+	}
+	for i := 0; i < len(sc.APs); i++ {
+		if math.Mod(sc.APs[i].X, 8) != 0 || math.Mod(sc.APs[i].Y, 8) != 0 {
+			t.Fatalf("AP %d off-grid at %v", i, sc.APs[i])
+		}
+		for j := i + 1; j < len(sc.APs); j++ {
+			if sc.APs[i].Dist(sc.APs[j]) < 50 {
+				t.Fatalf("APs %d,%d violate separation", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomScenarioInfeasible(t *testing.T) {
+	r := rng.New(2)
+	// 100 APs at 200 m separation cannot fit in 240×240.
+	if _, err := RandomScenario("bad", 240, 100, 200, 8, radio.UCIChannel(), 100, r); err == nil {
+		t.Fatal("expected placement failure")
+	}
+	if _, err := RandomScenario("bad", 0, 1, 0, 8, radio.UCIChannel(), 100, r); err == nil {
+		t.Fatal("expected parameter error")
+	}
+}
+
+func TestDriveProducesLabelledMeasurements(t *testing.T) {
+	sc := UCI()
+	r := rng.New(3)
+	ms, err := sc.Drive(DriveConfig{Trajectory: UCIDrive(), NumSamples: 100}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 100 {
+		t.Fatalf("measurements = %d, want 100 (all positions are in range)", len(ms))
+	}
+	for i, m := range ms {
+		if m.Source < 0 || m.Source >= len(sc.APs) {
+			t.Fatalf("measurement %d has source %d", i, m.Source)
+		}
+		if m.RSS > 0 || m.RSS < -150 {
+			t.Fatalf("implausible RSS %v", m.RSS)
+		}
+		if i > 0 && m.Time <= ms[i-1].Time {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+}
+
+func TestDriveMyopicFavorsNearestAP(t *testing.T) {
+	sc := UCI()
+	r := rng.New(4)
+	ms, err := sc.Drive(DriveConfig{Trajectory: UCIDrive(), NumSamples: 500, MyopicScale: 5}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearest := 0
+	for _, m := range ms {
+		best := 0
+		for j := range sc.APs {
+			if m.Pos.Dist(sc.APs[j]) < m.Pos.Dist(sc.APs[best]) {
+				best = j
+			}
+		}
+		if m.Source == best {
+			nearest++
+		}
+	}
+	if frac := float64(nearest) / float64(len(ms)); frac < 0.6 {
+		t.Fatalf("only %.0f%% of readings from the nearest AP; myopic model broken", frac*100)
+	}
+}
+
+func TestDriveSNRInjectsNoise(t *testing.T) {
+	sc := UCI()
+	sc.Channel.ShadowSigma = 0
+	clean, err := sc.Drive(DriveConfig{Trajectory: UCIDrive(), NumSamples: 50}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := sc.Drive(DriveConfig{Trajectory: UCIDrive(), NumSamples: 50, SNR: 30}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range clean {
+		if clean[i].RSS != noisy[i].RSS {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("SNR setting did not perturb readings")
+	}
+}
+
+func TestDriveErrors(t *testing.T) {
+	sc := UCI()
+	r := rng.New(6)
+	if _, err := sc.Drive(DriveConfig{}, r); err == nil {
+		t.Fatal("expected error without trajectory")
+	}
+	if _, err := sc.Drive(DriveConfig{Trajectory: UCIDrive(), NumSamples: 0}, r); err == nil {
+		t.Fatal("expected error for zero samples")
+	}
+}
+
+func TestDriveDeterministic(t *testing.T) {
+	sc := UCI()
+	a, err := sc.Drive(DriveConfig{Trajectory: UCIDrive(), NumSamples: 60, SNR: 30}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Drive(DriveConfig{Trajectory: UCIDrive(), NumSamples: 60, SNR: 30}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drives diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCollectAtSkipsOutOfRange(t *testing.T) {
+	sc := UCI()
+	sc.Radius = 30
+	r := rng.New(8)
+	pts := []geo.Point{
+		{X: 40, Y: 40},     // on an AP
+		{X: -500, Y: -500}, // far outside
+	}
+	ms := sc.CollectAt(pts, 10, r)
+	if len(ms) != 1 {
+		t.Fatalf("measurements = %d, want 1 (out-of-range point skipped)", len(ms))
+	}
+}
+
+func TestRandomPointsInArea(t *testing.T) {
+	sc := UCI()
+	r := rng.New(9)
+	for _, p := range sc.RandomPoints(200, r) {
+		if !sc.Area.Contains(p) {
+			t.Fatalf("point %v outside area", p)
+		}
+	}
+}
+
+func TestUniformSourceSelection(t *testing.T) {
+	// Negative myopic scale: uniform among in-range APs. Every AP audible
+	// from the centre should be sampled roughly equally.
+	sc := UCI()
+	r := rng.New(20)
+	center := geo.Point{X: 150, Y: 90}
+	counts := map[int]int{}
+	var audible int
+	for _, ap := range sc.APs {
+		if center.Dist(ap) <= sc.Radius {
+			audible++
+		}
+	}
+	if audible < 2 {
+		t.Skip("test point hears too few APs")
+	}
+	pts := make([]geo.Point, 3000)
+	for i := range pts {
+		pts[i] = center
+	}
+	for _, m := range sc.CollectAt(pts, -1, r) {
+		counts[m.Source]++
+	}
+	if len(counts) != audible {
+		t.Fatalf("sampled %d distinct APs, want all %d audible", len(counts), audible)
+	}
+	for src, c := range counts {
+		expected := 3000 / audible
+		if c < expected/2 || c > expected*2 {
+			t.Fatalf("AP %d sampled %d times, want ~%d (uniform)", src, c, expected)
+		}
+	}
+}
+
+func TestDriveSingleSample(t *testing.T) {
+	sc := UCI()
+	ms, err := sc.Drive(DriveConfig{Trajectory: UCIDrive(), NumSamples: 1}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+}

@@ -1,0 +1,160 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"crowdwifi/internal/rng"
+)
+
+func TestScenarioMatchesPaper(t *testing.T) {
+	sc := Scenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.APs) != 6 {
+		t.Fatalf("APs = %d, want 6 Open-Mesh nodes", len(sc.APs))
+	}
+	if sc.Area.Width() != 100 || sc.Area.Height() != 100 {
+		t.Fatalf("area %vx%v, want 100x100", sc.Area.Width(), sc.Area.Height())
+	}
+	if sc.Lattice != 10 {
+		t.Fatalf("lattice %v, want 10 (paper)", sc.Lattice)
+	}
+	if math.Abs(sc.Radius-30) > 1e-9 {
+		t.Fatalf("radius %v, want ~30 (paper)", sc.Radius)
+	}
+	for i, ap := range sc.APs {
+		if !sc.Area.Contains(ap) {
+			t.Fatalf("AP %d outside the area", i)
+		}
+	}
+}
+
+func TestDriveLoopCoversAllNodes(t *testing.T) {
+	sc := Scenario()
+	pts := DriveLoop().SampleByDistance(2)
+	for i, ap := range sc.APs {
+		best := math.Inf(1)
+		for _, p := range pts {
+			if d := p.Dist(ap); d < best {
+				best = d
+			}
+		}
+		if best > sc.Radius {
+			t.Fatalf("loop never enters node %d's range (closest %.1f m)", i, best)
+		}
+	}
+}
+
+func TestCollectSampleCountDropsWithSpeed(t *testing.T) {
+	sc := Scenario()
+	var prev int
+	for i, speed := range PaperSpeeds() {
+		run, err := Collect(sc, speed, 1, rng.New(uint64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.SpeedMph != speed {
+			t.Fatalf("run speed %v", run.SpeedMph)
+		}
+		if i > 0 && run.Samples >= prev {
+			t.Fatalf("samples did not drop with speed: %d mph → %d samples (prev %d)",
+				int(speed), run.Samples, prev)
+		}
+		prev = run.Samples
+	}
+}
+
+func TestCollectPhysicalSampleCount(t *testing.T) {
+	sc := Scenario()
+	run, err := Collect(sc, 45, 1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop length / (45 mph in m/s · 1 s) — every sample in range on this
+	// compact loop.
+	want := int(DriveLoop().Length() / (45 * 0.44704))
+	if run.Samples > want || run.Samples < want-5 {
+		t.Fatalf("samples = %d, want ≈ %d", run.Samples, want)
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	sc := Scenario()
+	if _, err := Collect(sc, 0, 1, rng.New(1)); err == nil {
+		t.Fatal("expected error for zero speed")
+	}
+	if _, err := Collect(sc, 100000, 1, rng.New(1)); err == nil {
+		t.Fatal("expected error for absurd speed (too few samples)")
+	}
+}
+
+func TestCollectLabelsValid(t *testing.T) {
+	sc := Scenario()
+	run, err := Collect(sc, 20, 1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range run.Measurements {
+		if m.Source < 0 || m.Source >= len(sc.APs) {
+			t.Fatalf("measurement %d source %d", i, m.Source)
+		}
+	}
+}
+
+func TestSpeedInflatesVariance(t *testing.T) {
+	// Statistical check: residuals around the channel mean should spread
+	// more at 45 mph than at 20 mph.
+	sc := Scenario()
+	spread := func(speed float64) float64 {
+		var ss float64
+		var n int
+		for trial := 0; trial < 30; trial++ {
+			run, err := Collect(sc, speed, 1, rng.New(uint64(100+trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range run.Measurements {
+				resid := m.RSS - sc.Channel.MeanRSS(m.Pos.Dist(sc.APs[m.Source]))
+				ss += resid * resid
+				n++
+			}
+		}
+		return math.Sqrt(ss / float64(n))
+	}
+	s20, s45 := spread(20), spread(45)
+	if s45 <= s20 {
+		t.Fatalf("variance did not grow with speed: 20 mph σ=%.2f, 45 mph σ=%.2f", s20, s45)
+	}
+}
+
+func TestCollectMultiLapScalesSamples(t *testing.T) {
+	sc := Scenario()
+	one, err := Collect(sc, 20, 1, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := Collect(sc, 20, 3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Samples < 2*one.Samples {
+		t.Fatalf("3 laps = %d samples, 1 lap = %d; want ~3x", three.Samples, one.Samples)
+	}
+}
+
+func TestDefaultLaps(t *testing.T) {
+	sc := Scenario()
+	def, err := Collect(sc, 20, 0, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := Collect(sc, 20, DefaultLaps, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Samples != explicit.Samples {
+		t.Fatalf("default laps %d samples != explicit %d", def.Samples, explicit.Samples)
+	}
+}

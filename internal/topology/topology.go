@@ -1,0 +1,233 @@
+// Package topology implements the WiFi topology analysis service the paper
+// lists among CrowdWiFi's middleware applications (Fig. 1): given the
+// crowdsensed AP database, it derives the deployment's network density,
+// coverage, connectivity, and interference structure, and proposes a channel
+// assignment that minimizes co-channel interference (greedy graph coloring
+// over the 2.4 GHz non-overlapping channels).
+package topology
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"crowdwifi/internal/geo"
+)
+
+// Graph is the interference graph over a crowdsensed AP deployment: APs are
+// vertices; an edge connects APs whose coverage disks overlap (distance
+// below the interference range).
+type Graph struct {
+	// APs are the analyzed AP positions.
+	APs []geo.Point
+	// Range is the interference range used to build the edges.
+	Range float64
+	// Adj is the adjacency list (sorted neighbour indices).
+	Adj [][]int
+}
+
+// BuildGraph constructs the interference graph for APs with the given
+// interference range (typically twice the usable association range, since
+// two transmitters interfere well beyond where they can serve clients).
+func BuildGraph(aps []geo.Point, interferenceRange float64) (*Graph, error) {
+	if interferenceRange <= 0 {
+		return nil, errors.New("topology: interference range must be positive")
+	}
+	g := &Graph{
+		APs:   append([]geo.Point(nil), aps...),
+		Range: interferenceRange,
+		Adj:   make([][]int, len(aps)),
+	}
+	for i := 0; i < len(aps); i++ {
+		for j := i + 1; j < len(aps); j++ {
+			if aps[i].Dist(aps[j]) <= interferenceRange {
+				g.Adj[i] = append(g.Adj[i], j)
+				g.Adj[j] = append(g.Adj[j], i)
+			}
+		}
+	}
+	for i := range g.Adj {
+		sort.Ints(g.Adj[i])
+	}
+	return g, nil
+}
+
+// Degrees returns the per-AP neighbour counts.
+func (g *Graph) Degrees() []int {
+	out := make([]int, len(g.Adj))
+	for i, n := range g.Adj {
+		out[i] = len(n)
+	}
+	return out
+}
+
+// MeanDegree is the average interference degree — the paper's "interference
+// properties" summary statistic.
+func (g *Graph) MeanDegree() float64 {
+	if len(g.Adj) == 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range g.Adj {
+		total += len(n)
+	}
+	return float64(total) / float64(len(g.Adj))
+}
+
+// Components returns the connected components of the interference graph,
+// each a sorted list of AP indices, ordered by size descending (ties by
+// first index). A fragmented deployment (many components) indicates coverage
+// holes between AP clusters.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.Adj))
+	var comps [][]int
+	for start := range g.Adj {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.Adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(a, b int) bool {
+		if len(comps[a]) != len(comps[b]) {
+			return len(comps[a]) > len(comps[b])
+		}
+		return comps[a][0] < comps[b][0]
+	})
+	return comps
+}
+
+// AssignChannels greedily colours the interference graph with the given
+// number of channels (use 3 for the classic 2.4 GHz channels 1/6/11),
+// processing APs in descending degree order and picking for each the
+// channel least used among its already-coloured neighbours. It returns the
+// per-AP channel (0-based) and the number of conflicting edges remaining
+// (edges whose endpoints share a channel) — zero when the graph is
+// channels-colourable by the greedy order.
+func (g *Graph) AssignChannels(channels int) ([]int, int, error) {
+	if channels <= 0 {
+		return nil, 0, errors.New("topology: need at least one channel")
+	}
+	n := len(g.Adj)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := len(g.Adj[order[a]]), len(g.Adj[order[b]])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	counts := make([]int, channels)
+	for _, v := range order {
+		for c := range counts {
+			counts[c] = 0
+		}
+		for _, w := range g.Adj[v] {
+			if assign[w] >= 0 {
+				counts[assign[w]]++
+			}
+		}
+		best := 0
+		for c := 1; c < channels; c++ {
+			if counts[c] < counts[best] {
+				best = c
+			}
+		}
+		assign[v] = best
+	}
+	conflicts := 0
+	for v, ns := range g.Adj {
+		for _, w := range ns {
+			if w > v && assign[v] == assign[w] {
+				conflicts++
+			}
+		}
+	}
+	return assign, conflicts, nil
+}
+
+// CoverageReport summarizes a deployment's spatial coverage.
+type CoverageReport struct {
+	// Area is the analyzed rectangle.
+	Area geo.Rect
+	// ServiceRange is the per-AP usable radius used for the estimate.
+	ServiceRange float64
+	// CoveredFraction is the Monte-Carlo-free grid estimate of the area
+	// fraction within ServiceRange of at least one AP.
+	CoveredFraction float64
+	// DensityPerKm2 is APs per square kilometre.
+	DensityPerKm2 float64
+	// MeanNearestAPDist is the mean distance from a grid sample to its
+	// nearest AP.
+	MeanNearestAPDist float64
+}
+
+// Coverage rasterizes the area at the given resolution (metres per sample)
+// and reports covered fraction, AP density, and mean nearest-AP distance —
+// the paper's "network density, connectivity" analyses.
+func Coverage(aps []geo.Point, area geo.Rect, serviceRange, resolution float64) (*CoverageReport, error) {
+	if serviceRange <= 0 || resolution <= 0 {
+		return nil, errors.New("topology: service range and resolution must be positive")
+	}
+	if area.Width() <= 0 || area.Height() <= 0 {
+		return nil, errors.New("topology: degenerate area")
+	}
+	var covered, samples int
+	var distSum float64
+	for y := area.Min.Y; y <= area.Max.Y; y += resolution {
+		for x := area.Min.X; x <= area.Max.X; x += resolution {
+			p := geo.Point{X: x, Y: y}
+			samples++
+			nearest := math.Inf(1)
+			for _, ap := range aps {
+				if d := p.Dist(ap); d < nearest {
+					nearest = d
+				}
+			}
+			if nearest <= serviceRange {
+				covered++
+			}
+			if !math.IsInf(nearest, 1) {
+				distSum += nearest
+			}
+		}
+	}
+	areaKm2 := area.Width() * area.Height() / 1e6
+	rep := &CoverageReport{
+		Area:         area,
+		ServiceRange: serviceRange,
+	}
+	if samples > 0 {
+		rep.CoveredFraction = float64(covered) / float64(samples)
+		if len(aps) > 0 {
+			rep.MeanNearestAPDist = distSum / float64(samples)
+		} else {
+			rep.MeanNearestAPDist = math.Inf(1)
+		}
+	}
+	if areaKm2 > 0 {
+		rep.DensityPerKm2 = float64(len(aps)) / areaKm2
+	}
+	return rep, nil
+}

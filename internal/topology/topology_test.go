@@ -1,0 +1,218 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/rng"
+)
+
+func line(n int, spacing float64) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = geo.Point{X: float64(i) * spacing, Y: 0}
+	}
+	return out
+}
+
+func TestBuildGraphEdges(t *testing.T) {
+	// Three APs in a line, 50 m apart, range 60: chain edges only.
+	g, err := BuildGraph(line(3, 50), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{1}, {0, 2}, {1}}
+	for i := range want {
+		if len(g.Adj[i]) != len(want[i]) {
+			t.Fatalf("Adj[%d] = %v, want %v", i, g.Adj[i], want[i])
+		}
+		for j := range want[i] {
+			if g.Adj[i][j] != want[i][j] {
+				t.Fatalf("Adj[%d] = %v, want %v", i, g.Adj[i], want[i])
+			}
+		}
+	}
+	if g.MeanDegree() != 4.0/3 {
+		t.Fatalf("mean degree = %v", g.MeanDegree())
+	}
+	degrees := g.Degrees()
+	if degrees[1] != 2 {
+		t.Fatalf("degrees = %v", degrees)
+	}
+}
+
+func TestBuildGraphErrors(t *testing.T) {
+	if _, err := BuildGraph(line(2, 10), 0); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two clusters far apart.
+	aps := append(line(3, 40), geo.Point{X: 1000, Y: 0}, geo.Point{X: 1030, Y: 0})
+	g, err := BuildGraph(aps, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Fatalf("component sizes = %d/%d", len(comps[0]), len(comps[1]))
+	}
+}
+
+func TestComponentsSingletons(t *testing.T) {
+	g, err := BuildGraph(line(4, 1000), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Components()); got != 4 {
+		t.Fatalf("components = %d, want 4 singletons", got)
+	}
+}
+
+func TestAssignChannelsChain(t *testing.T) {
+	// A chain is 2-colourable: zero conflicts with 2+ channels.
+	g, err := BuildGraph(line(6, 50), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, conflicts, err := g.AssignChannels(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflicts != 0 {
+		t.Fatalf("conflicts = %d, want 0", conflicts)
+	}
+	for i := 1; i < len(assign); i++ {
+		if assign[i] == assign[i-1] {
+			t.Fatalf("adjacent APs share channel: %v", assign)
+		}
+	}
+}
+
+func TestAssignChannelsSingleChannel(t *testing.T) {
+	g, err := BuildGraph(line(3, 50), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, conflicts, err := g.AssignChannels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflicts != 2 {
+		t.Fatalf("single-channel conflicts = %d, want 2 (every edge)", conflicts)
+	}
+	if _, _, err := g.AssignChannels(0); err == nil {
+		t.Fatal("expected channel-count error")
+	}
+}
+
+func TestAssignChannelsValidProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + int(seed%20)
+		aps := make([]geo.Point, n)
+		for i := range aps {
+			aps[i] = geo.Point{X: r.Uniform(0, 300), Y: r.Uniform(0, 300)}
+		}
+		g, err := BuildGraph(aps, 80)
+		if err != nil {
+			return false
+		}
+		assign, conflicts, err := g.AssignChannels(3)
+		if err != nil {
+			return false
+		}
+		// Channels in range, conflicts consistent with the assignment.
+		recount := 0
+		for v, ns := range g.Adj {
+			if assign[v] < 0 || assign[v] >= 3 {
+				return false
+			}
+			for _, w := range ns {
+				if w > v && assign[v] == assign[w] {
+					recount++
+				}
+			}
+		}
+		return recount == conflicts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageFullAndEmpty(t *testing.T) {
+	area := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 100, Y: 100})
+	// One central AP with a huge range covers everything.
+	rep, err := Coverage([]geo.Point{{X: 50, Y: 50}}, area, 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoveredFraction != 1 {
+		t.Fatalf("covered = %v, want 1", rep.CoveredFraction)
+	}
+	if rep.DensityPerKm2 != 100 { // 1 AP / 0.01 km²
+		t.Fatalf("density = %v, want 100", rep.DensityPerKm2)
+	}
+	// No APs: nothing covered, infinite nearest distance.
+	rep, err = Coverage(nil, area, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoveredFraction != 0 {
+		t.Fatalf("covered = %v, want 0", rep.CoveredFraction)
+	}
+	if !math.IsInf(rep.MeanNearestAPDist, 1) {
+		t.Fatalf("nearest dist = %v, want +Inf", rep.MeanNearestAPDist)
+	}
+}
+
+func TestCoveragePartial(t *testing.T) {
+	area := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 100, Y: 100})
+	rep, err := Coverage([]geo.Point{{X: 0, Y: 0}}, area, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A quarter disk of radius 50 covers ~π·50²/4 / 10⁴ ≈ 19.6%.
+	if rep.CoveredFraction < 0.15 || rep.CoveredFraction > 0.25 {
+		t.Fatalf("covered = %v, want ≈ 0.196", rep.CoveredFraction)
+	}
+	if rep.MeanNearestAPDist <= 0 {
+		t.Fatalf("nearest dist = %v", rep.MeanNearestAPDist)
+	}
+}
+
+func TestCoverageErrors(t *testing.T) {
+	area := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 10, Y: 10})
+	if _, err := Coverage(nil, area, 0, 5); err == nil {
+		t.Fatal("expected service range error")
+	}
+	if _, err := Coverage(nil, geo.Rect{}, 10, 5); err == nil {
+		t.Fatal("expected degenerate area error")
+	}
+}
+
+func TestCoverageMoreAPsCoverMore(t *testing.T) {
+	area := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 200, Y: 200})
+	one, err := Coverage([]geo.Point{{X: 50, Y: 50}}, area, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Coverage([]geo.Point{{X: 50, Y: 50}, {X: 150, Y: 150}}, area, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.CoveredFraction <= one.CoveredFraction {
+		t.Fatalf("adding an AP did not increase coverage: %v vs %v",
+			two.CoveredFraction, one.CoveredFraction)
+	}
+	if two.MeanNearestAPDist >= one.MeanNearestAPDist {
+		t.Fatal("adding an AP did not reduce mean nearest distance")
+	}
+}

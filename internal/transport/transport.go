@@ -1,0 +1,143 @@
+// Package transport simulates the TCP file transfers of Section 6.3's
+// connectivity experiment: 10 KB transfers over the per-slot packet success
+// process of an association policy, with transfers that make no progress for
+// 10 seconds terminated and restarted afresh. It reports the per-transfer
+// completion times and the throughput (completed transfers per connectivity
+// session) that Fig. 11 plots against lookup error.
+package transport
+
+import (
+	"errors"
+
+	"crowdwifi/internal/eval"
+)
+
+// Config describes the transfer workload.
+type Config struct {
+	// FileBytes is the transfer size (default 10·1024, the paper's 10 KB).
+	FileBytes int
+	// PacketBytes is the payload per successful slot (default 500, the
+	// paper's packet size).
+	PacketBytes int
+	// SlotSeconds is the slot duration (default 0.1 s, the beacon interval).
+	SlotSeconds float64
+	// StallSeconds is the no-progress restart threshold (default 10 s).
+	StallSeconds float64
+}
+
+func (c Config) fill() Config {
+	if c.FileBytes <= 0 {
+		c.FileBytes = 10 * 1024
+	}
+	if c.PacketBytes <= 0 {
+		c.PacketBytes = 500
+	}
+	if c.SlotSeconds <= 0 {
+		c.SlotSeconds = 0.1
+	}
+	if c.StallSeconds <= 0 {
+		c.StallSeconds = 10
+	}
+	return c
+}
+
+// Transfer records one completed or abandoned file transfer.
+type Transfer struct {
+	// StartSlot and EndSlot bracket the attempt (EndSlot is one past the
+	// final slot used).
+	StartSlot, EndSlot int
+	// Seconds is the wall-clock duration of the attempt.
+	Seconds float64
+	// Completed reports whether the file finished (false only for the
+	// trailing attempt cut off by the end of the trace).
+	Completed bool
+	// Restarts counts the stall-triggered restarts inside this attempt.
+	Restarts int
+}
+
+// Result aggregates a run of back-to-back transfers.
+type Result struct {
+	// Transfers lists every attempt in order.
+	Transfers []Transfer
+	// Completed is the number of finished transfers.
+	Completed int
+	// MedianSeconds is the median completion time over finished transfers
+	// (0 when none finished).
+	MedianSeconds float64
+	// MeanSeconds is the mean completion time over finished transfers.
+	MeanSeconds float64
+}
+
+// Run simulates back-to-back transfers over a slot success series: a new
+// transfer starts as soon as the previous one completes. A transfer that
+// sees no successful slot for StallSeconds is restarted from scratch (the
+// paper's "terminated and re-started afresh"), with the clock still running
+// — the restart models TCP's connection re-establishment after a timeout.
+func Run(slots []bool, cfg Config) (*Result, error) {
+	if len(slots) == 0 {
+		return nil, errors.New("transport: empty slot series")
+	}
+	c := cfg.fill()
+	packetsNeeded := (c.FileBytes + c.PacketBytes - 1) / c.PacketBytes
+	stallSlots := int(c.StallSeconds / c.SlotSeconds)
+
+	res := &Result{}
+	var durations []float64
+
+	start := 0
+	progress := 0
+	sinceProgress := 0
+	restarts := 0
+	for s := 0; s < len(slots); s++ {
+		if slots[s] {
+			progress++
+			sinceProgress = 0
+		} else {
+			sinceProgress++
+			if sinceProgress >= stallSlots {
+				// Stall: lose progress, keep the clock.
+				progress = 0
+				sinceProgress = 0
+				restarts++
+			}
+		}
+		if progress >= packetsNeeded {
+			seconds := float64(s-start+1) * c.SlotSeconds
+			res.Transfers = append(res.Transfers, Transfer{
+				StartSlot: start,
+				EndSlot:   s + 1,
+				Seconds:   seconds,
+				Completed: true,
+				Restarts:  restarts,
+			})
+			durations = append(durations, seconds)
+			start = s + 1
+			progress = 0
+			sinceProgress = 0
+			restarts = 0
+		}
+	}
+	if start < len(slots) {
+		res.Transfers = append(res.Transfers, Transfer{
+			StartSlot: start,
+			EndSlot:   len(slots),
+			Seconds:   float64(len(slots)-start) * c.SlotSeconds,
+			Completed: false,
+			Restarts:  restarts,
+		})
+	}
+	res.Completed = len(durations)
+	res.MedianSeconds = eval.Median(durations)
+	res.MeanSeconds = eval.Mean(durations)
+	return res, nil
+}
+
+// PerSession computes the paper's throughput metric: completed transfers per
+// connectivity session. sessions is the session count from the handoff
+// analysis for the same trace and policy.
+func PerSession(res *Result, sessions int) float64 {
+	if sessions <= 0 {
+		return 0
+	}
+	return float64(res.Completed) / float64(sessions)
+}

@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"math"
+	"testing"
+)
+
+func allGood(n int) []bool {
+	s := make([]bool, n)
+	for i := range s {
+		s[i] = true
+	}
+	return s
+}
+
+func TestRunPerfectLink(t *testing.T) {
+	// 10 KB / 500 B = 21 packets (ceil), one per 100 ms slot → 2.1 s each.
+	res, err := Run(allGood(1000), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 47 { // floor(1000/21)
+		t.Fatalf("completed = %d, want 47", res.Completed)
+	}
+	if math.Abs(res.MedianSeconds-2.1) > 1e-9 {
+		t.Fatalf("median = %v, want 2.1", res.MedianSeconds)
+	}
+	for _, tr := range res.Transfers[:res.Completed] {
+		if !tr.Completed || tr.Restarts != 0 {
+			t.Fatalf("unexpected transfer record %+v", tr)
+		}
+	}
+}
+
+func TestRunEmptySlots(t *testing.T) {
+	if _, err := Run(nil, Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunHalfLossSlower(t *testing.T) {
+	slots := make([]bool, 2000)
+	for i := range slots {
+		slots[i] = i%2 == 0
+	}
+	res, err := Run(slots, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MedianSeconds <= 2.1*1.5 {
+		t.Fatalf("median %v should be well above the perfect-link 2.1 s", res.MedianSeconds)
+	}
+	perfect, _ := Run(allGood(2000), Config{})
+	if res.Completed >= perfect.Completed {
+		t.Fatal("lossy link completed at least as many transfers")
+	}
+}
+
+func TestStallRestartsProgress(t *testing.T) {
+	// 10 successes, 100-slot (10 s) gap, then plenty of successes: the gap
+	// must reset progress, so the transfer needs 21 fresh successes after it.
+	var slots []bool
+	slots = append(slots, allGood(10)...)
+	slots = append(slots, make([]bool, 100)...)
+	slots = append(slots, allGood(40)...)
+	res, err := Run(slots, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", res.Completed)
+	}
+	tr := res.Transfers[0]
+	if tr.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", tr.Restarts)
+	}
+	// Completion at slot 10+100+21 = 131 → 13.1 s.
+	if math.Abs(tr.Seconds-13.1) > 1e-9 {
+		t.Fatalf("duration = %v, want 13.1", tr.Seconds)
+	}
+}
+
+func TestShortGapKeepsProgress(t *testing.T) {
+	// A 5 s gap (50 slots) is under the 10 s stall threshold: progress kept.
+	var slots []bool
+	slots = append(slots, allGood(10)...)
+	slots = append(slots, make([]bool, 50)...)
+	slots = append(slots, allGood(11)...)
+	res, err := Run(slots, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", res.Completed)
+	}
+	if res.Transfers[0].Restarts != 0 {
+		t.Fatalf("restarts = %d, want 0", res.Transfers[0].Restarts)
+	}
+}
+
+func TestTrailingIncompleterecorded(t *testing.T) {
+	res, err := Run(allGood(30), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || len(res.Transfers) != 2 {
+		t.Fatalf("completed=%d transfers=%d", res.Completed, len(res.Transfers))
+	}
+	if res.Transfers[1].Completed {
+		t.Fatal("trailing partial transfer marked complete")
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	// 1 KB files of 500 B packets → 2 packets, 0.2 s on a perfect link.
+	res, err := Run(allGood(10), Config{FileBytes: 1000, PacketBytes: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 5 {
+		t.Fatalf("completed = %d, want 5", res.Completed)
+	}
+	if math.Abs(res.MedianSeconds-0.2) > 1e-9 {
+		t.Fatalf("median = %v", res.MedianSeconds)
+	}
+}
+
+func TestPerSession(t *testing.T) {
+	res := &Result{Completed: 10}
+	if got := PerSession(res, 4); got != 2.5 {
+		t.Fatalf("per session = %v", got)
+	}
+	if PerSession(res, 0) != 0 {
+		t.Fatal("zero sessions should yield 0")
+	}
+}

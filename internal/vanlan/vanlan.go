@@ -1,0 +1,308 @@
+// Package vanlan generates synthetic VanLan-like traces, replacing the
+// Microsoft VanLan dataset of Section 6.3: 11 APs across five buildings on a
+// 828 m × 559 m campus, two vans looping at 25 mph with GPS once a second,
+// and 500-byte beacons broadcast every 100 ms in both directions. Beacon
+// reception is bursty and link-independent, modelled with per-link
+// Gilbert-Elliott two-state chains on top of an RSS threshold — the
+// structural properties (coverage geometry, bursty loss) Fig. 10 and Fig. 11
+// depend on.
+package vanlan
+
+import (
+	"errors"
+	"fmt"
+
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/radio"
+	"crowdwifi/internal/rng"
+	"crowdwifi/internal/sim"
+)
+
+// BeaconInterval is the beacon period in seconds (100 ms).
+const BeaconInterval = 0.1
+
+// RxThresholdDBm is the receiver sensitivity: beacons below this RSS are
+// never received.
+const RxThresholdDBm = -85
+
+// Campus returns the VanLan-like world: 11 APs across five building
+// clusters in an 828 m × 559 m area, with Atheros-class radios at 26.02 dBm.
+func Campus() sim.Scenario {
+	return sim.Scenario{
+		Name: "vanlan",
+		Area: geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 828, Y: 559}),
+		APs: []geo.Point{
+			// Building 1 (north-west cluster).
+			{X: 140, Y: 430}, {X: 190, Y: 470},
+			// Building 2 (north-east cluster).
+			{X: 560, Y: 440}, {X: 620, Y: 480}, {X: 680, Y: 430},
+			// Building 3 (center).
+			{X: 380, Y: 300}, {X: 430, Y: 260},
+			// Building 4 (south-west).
+			{X: 170, Y: 130}, {X: 230, Y: 90},
+			// Building 5 (south-east).
+			{X: 600, Y: 120}, {X: 660, Y: 160},
+		},
+		Channel: radio.Channel{
+			TxPower:     26.02, // Atheros 5213 output power (paper)
+			RefLoss:     46.7,  // free-space at 2.4 GHz, 1 m
+			RefDist:     1,
+			Exponent:    3.2, // campus with building obstructions
+			ShadowSigma: 4,
+		},
+		Radius:  150,
+		Lattice: 10,
+	}
+}
+
+// VanRoute returns the campus loop the vans repeat, passing all five
+// buildings.
+func VanRoute() *geo.Trajectory {
+	t, err := geo.NewTrajectory([]geo.Point{
+		{X: 100, Y: 60},
+		{X: 640, Y: 60},
+		{X: 760, Y: 180},
+		{X: 740, Y: 420},
+		{X: 640, Y: 520},
+		{X: 240, Y: 520},
+		{X: 90, Y: 420},
+		{X: 70, Y: 160},
+		{X: 100, Y: 60},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("vanlan: invalid route: %v", err))
+	}
+	return t
+}
+
+// Beacon is one beacon transmission opportunity on a (van, AP) link.
+type Beacon struct {
+	// Time is the transmission time in seconds from trace start.
+	Time float64
+	// Van identifies the vehicle.
+	Van int
+	// Pos is the van's position at transmission time.
+	Pos geo.Point
+	// AP is the access point index.
+	AP int
+	// RSS is the received signal strength the van would measure (dBm).
+	RSS float64
+	// Received reports whether the beacon got through (RSS above threshold
+	// and the Gilbert-Elliott link state permitting).
+	Received bool
+}
+
+// Config tunes trace generation.
+type Config struct {
+	// Vans is the number of vehicles (paper: 2).
+	Vans int
+	// Duration is the trace length in seconds.
+	Duration float64
+	// SpeedMph is the driving speed (paper: 25 mph limit).
+	SpeedMph float64
+	// GoodToBad and BadToGood are the per-beacon Gilbert-Elliott transition
+	// probabilities (defaults 0.06 and 0.2: mean bad burst ≈ 0.5 s,
+	// matching the paper's "packet loss events are usually bursty").
+	GoodToBad, BadToGood float64
+	// BadLoss is the loss probability in the bad state (default 0.95); the
+	// good state loses packets with GoodLoss probability (default 0.05).
+	BadLoss, GoodLoss float64
+}
+
+func (c Config) fill() (Config, error) {
+	if c.Vans <= 0 {
+		c.Vans = 2
+	}
+	if c.Duration <= 0 {
+		return c, errors.New("vanlan: duration must be positive")
+	}
+	if c.SpeedMph <= 0 {
+		c.SpeedMph = 25
+	}
+	if c.GoodToBad <= 0 {
+		c.GoodToBad = 0.06
+	}
+	if c.BadToGood <= 0 {
+		c.BadToGood = 0.2
+	}
+	if c.BadLoss <= 0 {
+		c.BadLoss = 0.95
+	}
+	if c.GoodLoss <= 0 {
+		c.GoodLoss = 0.05
+	}
+	return c, nil
+}
+
+// Trace is a generated VanLan-like dataset.
+type Trace struct {
+	// Scenario is the world the trace was generated on.
+	Scenario sim.Scenario
+	// Config echoes the generation parameters.
+	Config Config
+	// Beacons holds every beacon opportunity in time order (all vans
+	// interleaved).
+	Beacons []Beacon
+}
+
+// Generate produces a trace. Van v starts offset around the loop by
+// v/Vans of its length so the vans do not shadow each other.
+func Generate(sc sim.Scenario, cfg Config, r *rng.RNG) (*Trace, error) {
+	c, err := cfg.fill()
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	route := VanRoute()
+	mps := geo.MphToMps(c.SpeedMph)
+	loop := route.Length()
+
+	// Per (van, AP) Gilbert-Elliott state: false = good.
+	bad := make([][]bool, c.Vans)
+	for v := range bad {
+		bad[v] = make([]bool, len(sc.APs))
+	}
+	linkRNG := r.Split(1)
+	rssRNG := r.Split(2)
+
+	steps := int(c.Duration / BeaconInterval)
+	var beacons []Beacon
+	for s := 0; s < steps; s++ {
+		tm := float64(s) * BeaconInterval
+		for v := 0; v < c.Vans; v++ {
+			arc := mps * tm
+			offset := loop * float64(v) / float64(c.Vans)
+			pos := route.At(modFloat(arc+offset, loop))
+			for ap, appos := range sc.APs {
+				d := pos.Dist(appos)
+				if d > sc.Radius {
+					continue
+				}
+				// Advance the Gilbert-Elliott chain.
+				if bad[v][ap] {
+					if linkRNG.Bernoulli(c.BadToGood) {
+						bad[v][ap] = false
+					}
+				} else {
+					if linkRNG.Bernoulli(c.GoodToBad) {
+						bad[v][ap] = true
+					}
+				}
+				rss := sc.Channel.SampleRSS(d, rssRNG)
+				loss := c.GoodLoss
+				if bad[v][ap] {
+					loss = c.BadLoss
+				}
+				received := rss >= RxThresholdDBm && !linkRNG.Bernoulli(loss)
+				beacons = append(beacons, Beacon{
+					Time:     tm,
+					Van:      v,
+					Pos:      pos,
+					AP:       ap,
+					RSS:      rss,
+					Received: received,
+				})
+			}
+		}
+	}
+	return &Trace{Scenario: sc, Config: c, Beacons: beacons}, nil
+}
+
+func modFloat(x, m float64) float64 {
+	v := x - m*float64(int(x/m))
+	if v < 0 {
+		v += m
+	}
+	return v
+}
+
+// Measurements converts a van's received beacons into labelled RSS
+// measurements for the CrowdWiFi lookup pipeline, optionally downsampled to
+// at most maxSamples readings (the paper uses 300 of the 12544 RSS records).
+func (t *Trace) Measurements(van, maxSamples int) []radio.Measurement {
+	var ms []radio.Measurement
+	for _, b := range t.Beacons {
+		if b.Van != van || !b.Received {
+			continue
+		}
+		ms = append(ms, radio.Measurement{Pos: b.Pos, RSS: b.RSS, Time: b.Time, Source: b.AP})
+	}
+	if maxSamples > 0 && len(ms) > maxSamples {
+		stride := float64(len(ms)) / float64(maxSamples)
+		out := make([]radio.Measurement, 0, maxSamples)
+		for i := 0; i < maxSamples; i++ {
+			out = append(out, ms[int(float64(i)*stride)])
+		}
+		ms = out
+	}
+	return ms
+}
+
+// ReceptionRatios aggregates per-second reception ratios for one van:
+// out[second][ap] = received/sent in that second (NaN-free; APs with no
+// beacons that second report −1).
+func (t *Trace) ReceptionRatios(van int) [][]float64 {
+	seconds := int(t.Config.Duration) + 1
+	naps := len(t.Scenario.APs)
+	sent := make([][]int, seconds)
+	recv := make([][]int, seconds)
+	for i := range sent {
+		sent[i] = make([]int, naps)
+		recv[i] = make([]int, naps)
+	}
+	for _, b := range t.Beacons {
+		if b.Van != van {
+			continue
+		}
+		s := int(b.Time)
+		if s >= seconds {
+			continue
+		}
+		sent[s][b.AP]++
+		if b.Received {
+			recv[s][b.AP]++
+		}
+	}
+	out := make([][]float64, seconds)
+	for s := range out {
+		out[s] = make([]float64, naps)
+		for ap := 0; ap < naps; ap++ {
+			if sent[s][ap] == 0 {
+				out[s][ap] = -1
+			} else {
+				out[s][ap] = float64(recv[s][ap]) / float64(sent[s][ap])
+			}
+		}
+	}
+	return out
+}
+
+// VanPositions returns one position per second for a van.
+func (t *Trace) VanPositions(van int) []geo.Point {
+	seconds := int(t.Config.Duration) + 1
+	out := make([]geo.Point, seconds)
+	seen := make([]bool, seconds)
+	for _, b := range t.Beacons {
+		if b.Van != van {
+			continue
+		}
+		s := int(b.Time)
+		if s < seconds && !seen[s] {
+			out[s] = b.Pos
+			seen[s] = true
+		}
+	}
+	// Fill gaps (seconds with no in-range AP) by recomputing from the route.
+	route := VanRoute()
+	mps := geo.MphToMps(t.Config.SpeedMph)
+	loop := route.Length()
+	offset := loop * float64(van) / float64(t.Config.Vans)
+	for s := range out {
+		if !seen[s] {
+			out[s] = route.At(modFloat(mps*float64(s)+offset, loop))
+		}
+	}
+	return out
+}

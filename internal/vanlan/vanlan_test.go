@@ -1,0 +1,191 @@
+package vanlan
+
+import (
+	"testing"
+
+	"crowdwifi/internal/rng"
+)
+
+func genTrace(t *testing.T, seed uint64, duration float64) *Trace {
+	t.Helper()
+	tr, err := Generate(Campus(), Config{Duration: duration}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCampusMatchesPaper(t *testing.T) {
+	sc := Campus()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.APs) != 11 {
+		t.Fatalf("APs = %d, want 11 (paper)", len(sc.APs))
+	}
+	if sc.Area.Width() != 828 || sc.Area.Height() != 559 {
+		t.Fatalf("area %vx%v, want 828x559 (paper)", sc.Area.Width(), sc.Area.Height())
+	}
+	if sc.Channel.TxPower != 26.02 {
+		t.Fatalf("tx power %v, want 26.02 dBm (paper)", sc.Channel.TxPower)
+	}
+	for i, ap := range sc.APs {
+		if !sc.Area.Contains(ap) {
+			t.Fatalf("AP %d outside area", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genTrace(t, 1, 60)
+	b := genTrace(t, 1, 60)
+	if len(a.Beacons) != len(b.Beacons) {
+		t.Fatalf("beacon counts differ: %d vs %d", len(a.Beacons), len(b.Beacons))
+	}
+	for i := range a.Beacons {
+		if a.Beacons[i] != b.Beacons[i] {
+			t.Fatalf("beacon %d differs", i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Campus(), Config{}, rng.New(1)); err == nil {
+		t.Fatal("expected error for zero duration")
+	}
+	bad := Campus()
+	bad.APs = nil
+	if _, err := Generate(bad, Config{Duration: 10}, rng.New(1)); err == nil {
+		t.Fatal("expected scenario validation error")
+	}
+}
+
+func TestBeaconsWellFormed(t *testing.T) {
+	tr := genTrace(t, 2, 120)
+	if len(tr.Beacons) == 0 {
+		t.Fatal("no beacons generated")
+	}
+	prev := -1.0
+	for i, b := range tr.Beacons {
+		if b.Time < prev {
+			t.Fatalf("beacon %d out of time order", i)
+		}
+		prev = b.Time
+		if b.Van < 0 || b.Van >= tr.Config.Vans {
+			t.Fatalf("beacon %d van %d", i, b.Van)
+		}
+		if b.AP < 0 || b.AP >= len(tr.Scenario.APs) {
+			t.Fatalf("beacon %d AP %d", i, b.AP)
+		}
+		if b.Pos.Dist(tr.Scenario.APs[b.AP]) > tr.Scenario.Radius {
+			t.Fatalf("beacon %d out of radius", i)
+		}
+		if b.Received && b.RSS < RxThresholdDBm {
+			t.Fatalf("beacon %d received below sensitivity (%.1f dBm)", i, b.RSS)
+		}
+	}
+}
+
+func TestLossIsBursty(t *testing.T) {
+	// Consecutive same-link losses should be positively correlated: the
+	// conditional loss probability after a loss must exceed the marginal.
+	tr := genTrace(t, 3, 600)
+	type key struct{ van, ap int }
+	prevLost := map[key]bool{}
+	var losses, total, lossAfterLoss, afterLoss int
+	for _, b := range tr.Beacons {
+		if b.Van != 0 {
+			continue
+		}
+		k := key{b.Van, b.AP}
+		lost := !b.Received
+		if wasLost, seen := prevLost[k]; seen {
+			if wasLost {
+				afterLoss++
+				if lost {
+					lossAfterLoss++
+				}
+			}
+		}
+		prevLost[k] = lost
+		total++
+		if lost {
+			losses++
+		}
+	}
+	marginal := float64(losses) / float64(total)
+	conditional := float64(lossAfterLoss) / float64(afterLoss)
+	if conditional <= marginal {
+		t.Fatalf("loss not bursty: P(loss|loss)=%.2f <= P(loss)=%.2f", conditional, marginal)
+	}
+}
+
+func TestMeasurementsDownsample(t *testing.T) {
+	tr := genTrace(t, 4, 300)
+	full := tr.Measurements(0, 0)
+	if len(full) == 0 {
+		t.Fatal("no measurements")
+	}
+	capped := tr.Measurements(0, 100)
+	if len(capped) != 100 {
+		t.Fatalf("downsampled to %d, want 100", len(capped))
+	}
+	for i := 1; i < len(capped); i++ {
+		if capped[i].Time < capped[i-1].Time {
+			t.Fatal("downsampled series out of order")
+		}
+	}
+	// Only received beacons become measurements.
+	for _, m := range full {
+		if m.Source < 0 {
+			t.Fatal("unlabelled measurement from trace")
+		}
+	}
+}
+
+func TestReceptionRatiosBounds(t *testing.T) {
+	tr := genTrace(t, 5, 120)
+	ratios := tr.ReceptionRatios(0)
+	if len(ratios) != 121 {
+		t.Fatalf("seconds = %d, want 121", len(ratios))
+	}
+	for s, row := range ratios {
+		for ap, v := range row {
+			if v != -1 && (v < 0 || v > 1) {
+				t.Fatalf("ratio[%d][%d] = %v", s, ap, v)
+			}
+		}
+	}
+}
+
+func TestVanPositionsOnRoute(t *testing.T) {
+	tr := genTrace(t, 6, 120)
+	route := VanRoute()
+	pts := route.SampleByDistance(1)
+	for s, p := range tr.VanPositions(0) {
+		best := 1e18
+		for _, q := range pts {
+			if d := p.Dist(q); d < best {
+				best = d
+			}
+		}
+		if best > 15 {
+			t.Fatalf("van position at second %d is %.1f m off the route", s, best)
+		}
+	}
+}
+
+func TestVansAreOffset(t *testing.T) {
+	tr := genTrace(t, 7, 60)
+	p0 := tr.VanPositions(0)
+	p1 := tr.VanPositions(1)
+	same := 0
+	for s := range p0 {
+		if p0[s].Dist(p1[s]) < 10 {
+			same++
+		}
+	}
+	if same > len(p0)/4 {
+		t.Fatalf("vans shadow each other for %d/%d seconds", same, len(p0))
+	}
+}
