@@ -24,6 +24,7 @@ import (
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/grid"
 	"crowdwifi/internal/mat"
+	"crowdwifi/internal/obs"
 	"crowdwifi/internal/radio"
 	"crowdwifi/internal/rng"
 	"crowdwifi/internal/sim"
@@ -334,6 +335,47 @@ func BenchmarkExtensionAggregators(b *testing.B) {
 		}
 		b.ReportMetric(ber, "bit_err")
 	})
+}
+
+// BenchmarkEngineAdd measures the metrics overhead on the online-CS hot
+// path: the same UCI drive streamed sample-by-sample through Engine.Add with
+// instrumentation off (nil Metrics) and on (live registry). The two
+// sub-benchmark times should agree within a few percent — instruments only
+// fire at round boundaries, never per sample.
+func BenchmarkEngineAdd(b *testing.B) {
+	sc := sim.UCI()
+	r := rng.New(2014)
+	ms, err := sc.Drive(sim.DriveConfig{Trajectory: sim.UCIDrive(), NumSamples: 180, SNR: 30}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, instrumented := range []bool{false, true} {
+		name := "noop"
+		var metrics *cs.Metrics
+		if instrumented {
+			name = "instrumented"
+			metrics = cs.NewMetrics(obs.NewRegistry())
+		}
+		b.Run(name, func(b *testing.B) {
+			area := sc.Area
+			cfg := cs.EngineConfig{
+				Channel: sc.Channel, Radius: sc.Radius, Lattice: sc.Lattice,
+				Area: &area, WindowSize: 60, StepSize: 10,
+				MergeRadius: 1.5 * sc.Lattice, Select: cs.SelectOptions{MaxK: 8},
+				Metrics: metrics,
+			}
+			eng, err := cs.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Add(ms[i%len(ms)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Micro-benchmarks for the numerical kernels ---

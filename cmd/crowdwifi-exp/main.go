@@ -10,24 +10,53 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"crowdwifi/internal/exp"
+	"crowdwifi/internal/obs"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 2014, "experiment seed (deterministic)")
 	trials := flag.Int("trials", 0, "override trial counts (0 = per-figure default)")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	metricsAddr := flag.String("metrics-addr", "",
+		"optional listen address serving /metrics and /debug/pprof while experiments run")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
-	if err := run(*seed, *trials, *quick, flag.Args()); err != nil {
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	if err := run(*seed, *trials, *quick, *metricsAddr, logger, flag.Args()); err != nil {
+		logger.Error("experiment run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, trials int, quick bool, args []string) error {
+func run(seed uint64, trials int, quick bool, metricsAddr string, logger *obs.Logger, args []string) error {
+	if metricsAddr != "" {
+		// Long experiment sweeps are the main profiling target: expose the
+		// runtime series and /debug/pprof for the duration of the run.
+		reg := obs.NewRegistry()
+		reg.RegisterGoRuntime()
+		go func() {
+			srv := &http.Server{
+				Addr:              metricsAddr,
+				Handler:           obs.NewDebugMux(reg),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			if err := srv.ListenAndServe(); err != nil {
+				logger.Warn("metrics listener failed", "addr", metricsAddr, "err", err)
+			}
+		}()
+		logger.Info("metrics listening", "addr", metricsAddr)
+	}
 	if len(args) == 0 {
 		return fmt.Errorf("usage: crowdwifi-exp [-seed N] [-trials N] [-quick] fig5|fig6|fig7|fig8|fig9|fig10|fig11|all")
 	}
@@ -109,6 +138,7 @@ func run(seed uint64, trials int, quick bool, args []string) error {
 		selected = append(selected, gs...)
 	}
 	for _, g := range selected {
+		logger.Debug("experiment starting", "name", g.name)
 		start := time.Now()
 		t, err := g.f()
 		if err != nil {
@@ -116,6 +146,7 @@ func run(seed uint64, trials int, quick bool, args []string) error {
 		}
 		fmt.Println(t)
 		fmt.Printf("[%s completed in %.1fs]\n\n", g.name, time.Since(start).Seconds())
+		logger.Info("experiment complete", "name", g.name, "duration", time.Since(start))
 	}
 	return nil
 }

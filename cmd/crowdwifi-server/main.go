@@ -2,9 +2,15 @@
 // that assigns AP mapping tasks, collects crowd-vehicle reports and labels,
 // infers per-vehicle reliability, and serves fused AP lookup results.
 //
+// The API mux also serves /metrics (Prometheus text format), /debug/vars
+// (expvar), and /debug/pprof/; -metrics-addr exposes the same debug surface
+// on a second, separate listener for deployments that keep it off the public
+// port.
+//
 // Usage:
 //
 //	crowdwifi-server [-addr :8700] [-merge-radius 10] [-aggregate-every 30s]
+//	                 [-metrics-addr :8701] [-log-level info]
 package main
 
 import (
@@ -12,12 +18,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
+	"crowdwifi/internal/cs"
+	"crowdwifi/internal/obs"
 	"crowdwifi/internal/server"
 )
 
@@ -26,25 +33,59 @@ func main() {
 	mergeRadius := flag.Float64("merge-radius", 10, "fusion merge radius in metres")
 	aggregateEvery := flag.Duration("aggregate-every", 30*time.Second,
 		"how often to re-run reliability inference and fusion (0 disables)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"optional extra listen address serving only /metrics and /debug endpoints")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
-	if err := run(*addr, *mergeRadius, *aggregateEvery); err != nil {
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	if err := run(*addr, *mergeRadius, *aggregateEvery, *metricsAddr, logger); err != nil {
+		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, mergeRadius float64, aggregateEvery time.Duration) error {
+func run(addr string, mergeRadius float64, aggregateEvery time.Duration, metricsAddr string, logger *obs.Logger) error {
+	reg := obs.NewRegistry()
+	reg.RegisterGoRuntime()
+	metrics := server.NewMetrics(reg)
+	// The crowd-server does not run CS engines itself, but registering the
+	// solver and CS series keeps the full metric catalogue visible on
+	// /metrics (at zero) for dashboards built against one scrape target.
+	cs.NewMetrics(reg)
+
 	store := server.NewStore(mergeRadius)
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(store),
+		Handler:           server.New(store, server.WithMetrics(metrics), server.WithLogger(logger)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	// Periodic aggregation, bounded by the shutdown context.
+	aggLog := logger.With("component", "aggregate")
+	runCycle := func() {
+		stats, err := store.AggregateCycle()
+		if err != nil {
+			aggLog.Error("cycle failed", "err", err)
+			return
+		}
+		aggLog.Info("cycle complete",
+			"duration", stats.Duration,
+			"vehicles_scored", stats.VehiclesScored,
+			"spammers_flagged", stats.SpammersFlagged,
+			"segments", stats.Segments,
+			"fused_aps", stats.FusedAPs)
+	}
+
+	// Periodic aggregation, bounded by the shutdown context. A final cycle
+	// runs on shutdown so the last reports received still get fused.
 	aggDone := make(chan struct{})
 	go func() {
 		defer close(aggDone)
@@ -56,31 +97,60 @@ func run(addr string, mergeRadius float64, aggregateEvery time.Duration) error {
 		for {
 			select {
 			case <-ticker.C:
-				if n, err := store.Aggregate(); err != nil {
-					log.Printf("aggregate: %v", err)
-				} else {
-					log.Printf("aggregate: %d fused APs", n)
-				}
+				runCycle()
 			case <-ctx.Done():
 				return
 			}
 		}
 	}()
 
+	// Optional dedicated observability listener.
+	var metricsSrv *http.Server
+	if metricsAddr != "" {
+		metricsSrv = &http.Server{
+			Addr:              metricsAddr,
+			Handler:           obs.NewDebugMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("metrics listener failed", "addr", metricsAddr, "err", err)
+			}
+		}()
+		logger.Info("metrics listening", "addr", metricsAddr)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("crowd-server listening on %s", addr)
+	logger.Info("crowd-server listening", "addr", addr,
+		"merge_radius", mergeRadius, "aggregate_every", aggregateEvery)
+
+	shutdownMetrics := func() {
+		if metricsSrv == nil {
+			return
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = metricsSrv.Shutdown(sctx)
+	}
 
 	select {
 	case err := <-errCh:
 		<-aggDone
+		shutdownMetrics()
 		return err
 	case <-ctx.Done():
-		log.Print("shutting down")
+		logger.Info("shutting down")
+		<-aggDone
+		if aggregateEvery > 0 {
+			// Flush a final aggregation so reports that arrived since the
+			// last tick make it into the fused database before exit.
+			runCycle()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
-		<-aggDone
+		shutdownMetrics()
 		if errors.Is(err, context.DeadlineExceeded) {
 			return errors.New("shutdown timed out")
 		}

@@ -17,12 +17,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"crowdwifi/internal/client"
 	"crowdwifi/internal/cs"
 	"crowdwifi/internal/eval"
 	"crowdwifi/internal/geo"
+	"crowdwifi/internal/obs"
 	"crowdwifi/internal/radio"
 	"crowdwifi/internal/rng"
 	"crowdwifi/internal/server"
@@ -39,14 +42,40 @@ func main() {
 	spammer := flag.Bool("spammer", false, "answer mapping tasks randomly")
 	tracePath := flag.String("trace", "", "replay a measurement CSV instead of simulating a drive")
 	outPath := flag.String("out", "", "write the consolidated AP estimates to this CSV")
+	metricsAddr := flag.String("metrics-addr", "",
+		"optional listen address serving /metrics and /debug endpoints for the run")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
-	if err := run(*id, *serverURL, *segment, *tracePath, *outPath, *samples, *seed, *spammer); err != nil {
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level).With("vehicle", *id)
+	if err := run(*id, *serverURL, *segment, *tracePath, *outPath, *samples, *seed, *spammer, *metricsAddr, logger); err != nil {
+		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, serverURL, segment, tracePath, outPath string, samples int, seed uint64, spammer bool) error {
+func run(id, serverURL, segment, tracePath, outPath string, samples int, seed uint64, spammer bool, metricsAddr string, logger *obs.Logger) error {
+	reg := obs.NewRegistry()
+	reg.RegisterGoRuntime()
+	if metricsAddr != "" {
+		go func() {
+			srv := &http.Server{
+				Addr:              metricsAddr,
+				Handler:           obs.NewDebugMux(reg),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
+			if err := srv.ListenAndServe(); err != nil {
+				logger.Warn("metrics listener failed", "addr", metricsAddr, "err", err)
+			}
+		}()
+		logger.Info("metrics listening", "addr", metricsAddr)
+	}
+
 	sc := sim.UCI()
 	r := rng.New(seed)
 	var ms []radio.Measurement
@@ -81,12 +110,15 @@ func run(id, serverURL, segment, tracePath, outPath string, samples int, seed ui
 		StepSize:    10,
 		MergeRadius: 1.5 * sc.Lattice,
 		Select:      cs.SelectOptions{MaxK: 8},
+		Metrics:     cs.NewMetrics(reg),
 	}
 
 	vehicle, err := client.NewCrowdVehicle(id, serverURL, cfg)
 	if err != nil {
 		return err
 	}
+	vehicle.Metrics = client.NewMetrics(reg)
+	logger.Info("driving", "scenario", "uci-campus", "samples", len(ms))
 	fmt.Printf("%s: driving the UCI campus, %d RSS samples...\n", id, len(ms))
 	if err := vehicle.Sense(ms); err != nil {
 		return err

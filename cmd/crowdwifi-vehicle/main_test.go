@@ -11,7 +11,7 @@ func TestRunOfflineWithCSVOutput(t *testing.T) {
 		t.Skip("runs the full engine")
 	}
 	out := filepath.Join(t.TempDir(), "ests.csv")
-	if err := run("test-veh", "", "seg", "", out, 120, 3, false); err != nil {
+	if err := run("test-veh", "", "seg", "", out, 120, 3, false, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -37,13 +37,13 @@ func TestRunTraceRoundTrip(t *testing.T) {
 	if err := os.WriteFile(trace, []byte(content), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("replay-veh", "", "seg", trace, "", 0, 1, false); err != nil {
+	if err := run("replay-veh", "", "seg", trace, "", 0, 1, false, "", nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadTracePath(t *testing.T) {
-	if err := run("v", "", "seg", "/nonexistent/trace.csv", "", 10, 1, false); err == nil {
+	if err := run("v", "", "seg", "/nonexistent/trace.csv", "", 10, 1, false, "", nil); err == nil {
 		t.Fatal("expected error for missing trace")
 	}
 }

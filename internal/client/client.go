@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"time"
 
 	"crowdwifi/internal/cs"
 	"crowdwifi/internal/geo"
@@ -33,6 +34,8 @@ type CrowdVehicle struct {
 	BaseURL string
 	// HTTP is the transport (default http.DefaultClient).
 	HTTP HTTPDoer
+	// Metrics, when non-nil, records request latency and outcomes.
+	Metrics *Metrics
 
 	engine *cs.Engine
 }
@@ -166,6 +169,8 @@ type UserVehicle struct {
 	BaseURL string
 	// HTTP is the transport (default http.DefaultClient).
 	HTTP HTTPDoer
+	// Metrics, when non-nil, records request latency and outcomes.
+	Metrics *Metrics
 }
 
 // NewUserVehicle builds a user-vehicle client.
@@ -178,7 +183,11 @@ func (u *UserVehicle) Lookup(area geo.Rect) ([]geo.Point, error) {
 	q := fmt.Sprintf("%s/v1/lookup?xmin=%g&ymin=%g&xmax=%g&ymax=%g",
 		u.BaseURL, area.Min.X, area.Min.Y, area.Max.X, area.Max.Y)
 	var raw []server.LookupResult
-	if err := getJSON(u.HTTP, q, &raw); err != nil {
+	req, err := http.NewRequest(http.MethodGet, q, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := doJSONMetered(u.Metrics, u.HTTP, req, &raw); err != nil {
 		return nil, err
 	}
 	out := make([]geo.Point, len(raw))
@@ -223,11 +232,15 @@ func (v *CrowdVehicle) postJSON(path string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	return doJSON(v.httpDoer(), req, out)
+	return doJSONMetered(v.Metrics, v.httpDoer(), req, out)
 }
 
 func (v *CrowdVehicle) getJSON(url string, out any) error {
-	return getJSON(v.httpDoer(), url, out)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSONMetered(v.Metrics, v.httpDoer(), req, out)
 }
 
 func (v *CrowdVehicle) httpDoer() HTTPDoer {
@@ -246,6 +259,14 @@ func getJSON(h HTTPDoer, url string, out any) error {
 		return err
 	}
 	return doJSON(h, req, out)
+}
+
+// doJSONMetered wraps doJSON with latency/outcome recording.
+func doJSONMetered(m *Metrics, h HTTPDoer, req *http.Request, out any) error {
+	start := time.Now()
+	err := doJSON(h, req, out)
+	m.observe(start, err)
+	return err
 }
 
 func doJSON(h HTTPDoer, req *http.Request, out any) error {

@@ -1,0 +1,42 @@
+package client
+
+import (
+	"time"
+
+	"crowdwifi/internal/obs"
+)
+
+// Metrics instruments vehicle-side HTTP traffic to the crowd-server. A nil
+// *Metrics is a no-op, so unit tests and simulations pay nothing.
+type Metrics struct {
+	requestsOK  *obs.Counter
+	requestsErr *obs.Counter
+	reqDuration *obs.Histogram
+}
+
+// NewMetrics registers the client series on reg. Returns nil for a nil
+// registry.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	help := "Requests issued to the crowd-server, by outcome."
+	return &Metrics{
+		requestsOK:  reg.Counter("crowdwifi_client_requests_total", help, obs.L("outcome", "ok")),
+		requestsErr: reg.Counter("crowdwifi_client_requests_total", help, obs.L("outcome", "error")),
+		reqDuration: reg.Histogram("crowdwifi_client_request_duration_seconds", "End-to-end latency of crowd-server requests.", nil),
+	}
+}
+
+// observe records one completed request round trip.
+func (m *Metrics) observe(start time.Time, err error) {
+	if m == nil {
+		return
+	}
+	m.reqDuration.Observe(time.Since(start).Seconds())
+	if err != nil {
+		m.requestsErr.Inc()
+	} else {
+		m.requestsOK.Inc()
+	}
+}

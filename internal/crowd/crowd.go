@@ -194,6 +194,8 @@ type InferenceOptions struct {
 	RandomInit bool
 	// Seed seeds the random initialization.
 	Seed uint64
+	// Metrics, when non-nil, records sweep counts and run outcomes.
+	Metrics *Metrics
 }
 
 // InferenceResult carries the iterative inference output.
@@ -320,13 +322,15 @@ func Infer(l *Labels, opts InferenceOptions) *InferenceResult {
 		}
 		wrel[j] = s
 	}
-	return &InferenceResult{
+	res := &InferenceResult{
 		Labels:            labels,
 		TaskScores:        scores,
 		WorkerReliability: wrel,
 		Iterations:        iter,
 		Converged:         converged,
 	}
+	opts.Metrics.record(res)
+	return res
 }
 
 // Oracle estimates labels with the true worker reliabilities known,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/grid"
@@ -52,6 +53,9 @@ type EngineConfig struct {
 	MinCredit float64
 	// Select configures per-round model selection.
 	Select SelectOptions
+	// Metrics, when non-nil, instruments rounds, consolidation, and the
+	// underlying solvers. A nil value adds no per-sample overhead.
+	Metrics *Metrics
 }
 
 func (c EngineConfig) fill() (EngineConfig, error) {
@@ -78,6 +82,9 @@ func (c EngineConfig) fill() (EngineConfig, error) {
 	}
 	if c.MinCredit <= 0 {
 		c.MinCredit = 1
+	}
+	if c.Metrics != nil && c.Select.Hypothesis.Recovery.Metrics == nil {
+		c.Select.Hypothesis.Recovery.Metrics = c.Metrics.Solver
 	}
 	return c, nil
 }
@@ -184,6 +191,7 @@ func (e *Engine) runRound() (*RoundResult, error) {
 	if len(e.buf) == 0 {
 		return nil, ErrNoMeasurements
 	}
+	start := time.Now()
 	window := e.buf
 	if len(window) > e.cfg.WindowSize {
 		window = window[len(window)-e.cfg.WindowSize:]
@@ -205,17 +213,22 @@ func (e *Engine) runRound() (*RoundResult, error) {
 	if err != nil {
 		// An unproductive window (too little data, degenerate geometry) is
 		// not an engine failure: report an empty round and keep driving.
+		e.cfg.Metrics.observeRound(start, len(window), nil)
 		return &RoundResult{Round: e.round, WindowLen: len(window)}, nil
 	}
-	e.consolidate(h.APs)
+	merges := e.consolidate(h.APs)
+	e.cfg.Metrics.observeRound(start, len(window), h)
+	e.cfg.Metrics.observeConsolidation(merges, len(e.estimates))
 	return &RoundResult{Round: e.round, WindowLen: len(window), Hypothesis: h}, nil
 }
 
 // consolidate implements credit-based consolidation (Section 4.3.6): each
 // estimate from the winning hypothesis earns one credit; estimates aligning
 // with a prior location merge, with the merged coordinate the credit-weighted
-// centroid; new locations enter the set with one credit.
-func (e *Engine) consolidate(aps []geo.Point) {
+// centroid; new locations enter the set with one credit. It returns the
+// total number of merges performed.
+func (e *Engine) consolidate(aps []geo.Point) int {
+	merges := 0
 	for _, p := range aps {
 		bestIdx, bestDist := -1, math.Inf(1)
 		for i, est := range e.estimates {
@@ -232,6 +245,7 @@ func (e *Engine) consolidate(aps []geo.Point) {
 			}
 			est.Credit = total
 			est.LastSeen = e.round
+			merges++
 		} else {
 			e.estimates = append(e.estimates, Estimate{
 				Pos:       p,
@@ -241,13 +255,15 @@ func (e *Engine) consolidate(aps []geo.Point) {
 			})
 		}
 	}
-	e.coalesce()
+	return merges + e.coalesce()
 }
 
-// coalesce repeatedly merges the closest estimate pair within MergeRadius.
-// Greedy insert-time merging can leave chains of near-duplicates (a drifts
-// toward b while c lands between them); this pass closes them.
-func (e *Engine) coalesce() {
+// coalesce repeatedly merges the closest estimate pair within MergeRadius,
+// returning the number of merges. Greedy insert-time merging can leave
+// chains of near-duplicates (a drifts toward b while c lands between them);
+// this pass closes them.
+func (e *Engine) coalesce() int {
+	merges := 0
 	for {
 		bi, bj, bd := -1, -1, math.Inf(1)
 		for i := 0; i < len(e.estimates); i++ {
@@ -258,7 +274,7 @@ func (e *Engine) coalesce() {
 			}
 		}
 		if bi < 0 || bd > e.cfg.MergeRadius {
-			return
+			return merges
 		}
 		a, b := e.estimates[bi], e.estimates[bj]
 		total := a.Credit + b.Credit
@@ -273,21 +289,8 @@ func (e *Engine) coalesce() {
 		}
 		e.estimates[bi] = merged
 		e.estimates = append(e.estimates[:bj], e.estimates[bj+1:]...)
+		merges++
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Estimates returns the consolidated AP set with spurious entries (credit ≤

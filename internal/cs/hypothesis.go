@@ -77,7 +77,9 @@ func (o HypothesisOptions) fill() HypothesisOptions {
 		o.MaxPartitions = 20000
 	}
 	if o.Recovery.Solver == 0 {
+		m := o.Recovery.Metrics
 		o.Recovery = DefaultRecoveryOptions()
+		o.Recovery.Metrics = m
 	}
 	if o.MaxGroupRows <= 0 {
 		o.MaxGroupRows = 24

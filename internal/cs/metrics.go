@@ -1,0 +1,69 @@
+package cs
+
+import (
+	"time"
+
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/solve"
+)
+
+// Metrics instruments the online CS pipeline: round latency, window
+// occupancy, hypothesis size, consolidation merges, and (through Solver) the
+// underlying ℓ1 programs. A nil *Metrics is a no-op.
+type Metrics struct {
+	// Solver carries the per-solver series shared with internal/solve.
+	Solver *solve.Metrics
+
+	roundDuration    *obs.Histogram
+	roundsProductive *obs.Counter
+	roundsEmpty      *obs.Counter
+	windowSamples    *obs.Gauge
+	hypothesisAPs    *obs.Gauge
+	merges           *obs.Counter
+	estimates        *obs.Gauge
+}
+
+// NewMetrics registers the online-CS series (and the solver series) on reg.
+// Returns nil for a nil registry.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Solver:           solve.NewMetrics(reg),
+		roundDuration:    reg.Histogram("crowdwifi_cs_round_duration_seconds", "Latency of one online-CS round (grid formation, recovery, BIC selection, consolidation).", nil),
+		roundsProductive: reg.Counter("crowdwifi_cs_rounds_total", "Completed online-CS rounds by outcome.", obs.L("outcome", "productive")),
+		roundsEmpty:      reg.Counter("crowdwifi_cs_rounds_total", "Completed online-CS rounds by outcome.", obs.L("outcome", "empty")),
+		windowSamples:    reg.Gauge("crowdwifi_cs_window_samples", "Samples in the sliding window of the most recent round."),
+		hypothesisAPs:    reg.Gauge("crowdwifi_cs_hypothesis_aps", "AP count of the most recent winning hypothesis."),
+		merges:           reg.Counter("crowdwifi_cs_consolidation_merges_total", "Estimate merges performed during credit consolidation."),
+		estimates:        reg.Gauge("crowdwifi_cs_estimates", "Consolidated AP estimates currently held by the engine."),
+	}
+}
+
+// observeRound records the outcome of one engine round.
+func (m *Metrics) observeRound(start time.Time, windowLen int, h *Hypothesis) {
+	if m == nil {
+		return
+	}
+	m.roundDuration.Observe(time.Since(start).Seconds())
+	m.windowSamples.Set(float64(windowLen))
+	if h == nil {
+		m.roundsEmpty.Inc()
+		return
+	}
+	m.roundsProductive.Inc()
+	m.hypothesisAPs.Set(float64(len(h.APs)))
+}
+
+// observeConsolidation records the merge count and current estimate total
+// after a consolidation pass.
+func (m *Metrics) observeConsolidation(merges, estimates int) {
+	if m == nil {
+		return
+	}
+	if merges > 0 {
+		m.merges.Add(uint64(merges))
+	}
+	m.estimates.Set(float64(estimates))
+}

@@ -74,6 +74,9 @@ type RecoveryOptions struct {
 	Tol     float64
 	// MaxAtoms bounds OMP's support size (0 → 3).
 	MaxAtoms int
+	// Metrics, when non-nil, records solver run outcomes, iteration counts,
+	// and residual norms.
+	Metrics *solve.Metrics
 }
 
 // DefaultRecoveryOptions returns the configuration used throughout the
@@ -236,7 +239,7 @@ func RecoverTheta(a *mat.Mat, y []float64, opts RecoveryOptions) ([]float64, err
 			lambda = 1e-6
 		}
 	}
-	sopts := solve.Options{MaxIter: opts.MaxIter, Tol: opts.Tol, NonNegative: opts.NonNegative}
+	sopts := solve.Options{MaxIter: opts.MaxIter, Tol: opts.Tol, NonNegative: opts.NonNegative, Metrics: opts.Metrics}
 
 	var res *solve.Result
 	var err error
@@ -254,6 +257,10 @@ func RecoverTheta(a *mat.Mat, y []float64, opts RecoveryOptions) ([]float64, err
 			atoms = n
 		}
 		res, err = solve.OMP(aw, yw, atoms, 1e-6*mat.Norm2(yw))
+		if err == nil {
+			// OMP takes no Options, so its outcome is recorded here.
+			opts.Metrics.Record("omp", res)
+		}
 	case SolverIRLS:
 		res, err = solve.IRLS(aw, yw, sopts)
 	default:

@@ -193,10 +193,3 @@ func Orth(a *Mat) *Mat {
 	}
 	return out
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

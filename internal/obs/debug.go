@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// Mount attaches the observability endpoints to mux: the registry's
+// /metrics, expvar's /debug/vars, and the full net/http/pprof suite under
+// /debug/pprof/. It is safe to call with a nil registry (the /metrics
+// endpoint then serves an empty exposition).
+func Mount(mux *http.ServeMux, reg *Registry) {
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewDebugMux returns a mux with the Mount endpoints, for serving metrics
+// and profiles on a dedicated listener next to the main service port.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	Mount(mux, reg)
+	return mux
+}
+
+// RegisterGoRuntime registers process-level gauges (goroutines, heap usage,
+// GC cycles) refreshed on every scrape.
+func (r *Registry) RegisterGoRuntime() {
+	if r == nil {
+		return
+	}
+	goroutines := r.Gauge("go_goroutines", "Number of live goroutines.")
+	heapAlloc := r.Gauge("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapObjects := r.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.")
+	totalAlloc := r.Gauge("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.")
+	gcCycles := r.Gauge("go_gc_cycles_total", "Completed GC cycles.")
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		totalAlloc.Set(float64(ms.TotalAlloc))
+		gcCycles.Set(float64(ms.NumGC))
+	})
+}

@@ -1,0 +1,28 @@
+package obs
+
+import "time"
+
+// Timer measures a duration and records it into a histogram in seconds.
+// Usage:
+//
+//	t := obs.StartTimer(hist)
+//	defer t.ObserveDuration()
+//
+// Timer is a value type so the defer pattern allocates nothing.
+type Timer struct {
+	start time.Time
+	h     *Histogram
+}
+
+// StartTimer starts timing against h (h may be nil; the observation is then
+// dropped but the elapsed duration is still returned).
+func StartTimer(h *Histogram) Timer {
+	return Timer{start: time.Now(), h: h}
+}
+
+// ObserveDuration records the elapsed time into the histogram and returns it.
+func (t Timer) ObserveDuration() time.Duration {
+	d := time.Since(t.start)
+	t.h.Observe(d.Seconds())
+	return d
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"crowdwifi/internal/crowd"
+	"crowdwifi/internal/obs"
+)
+
+// Metrics instruments the crowd-server: per-route HTTP traffic, ingest
+// volume, and the aggregation pipeline (reliability inference + fusion). A
+// nil *Metrics is a no-op everywhere it is consulted.
+type Metrics struct {
+	registry *obs.Registry
+
+	// Crowd carries the reliability-inference series shared with
+	// internal/crowd; Store.Aggregate threads it into Infer.
+	Crowd *crowd.Metrics
+
+	requestsHelp    string
+	reqDuration     map[string]*obs.Histogram
+	reports         *obs.Counter
+	labels          *obs.Counter
+	patterns        *obs.Counter
+	aggregateCycles *obs.Counter
+	aggregateErrors *obs.Counter
+	aggregateDur    *obs.Histogram
+	fusedAPs        *obs.Gauge
+	vehiclesScored  *obs.Gauge
+	spammersFlagged *obs.Gauge
+	relMean         *obs.Gauge
+	relMin          *obs.Gauge
+	relMax          *obs.Gauge
+}
+
+// NewMetrics registers the crowd-server series on reg. Returns nil for a nil
+// registry.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		registry:        reg,
+		Crowd:           crowd.NewMetrics(reg),
+		requestsHelp:    "HTTP requests served, by route, method, and status code.",
+		reqDuration:     map[string]*obs.Histogram{},
+		reports:         reg.Counter("crowdwifi_server_reports_total", "Vehicle AP reports accepted."),
+		labels:          reg.Counter("crowdwifi_server_labels_total", "Mapping-task labels accepted."),
+		patterns:        reg.Counter("crowdwifi_server_patterns_total", "Mapping tasks (patterns) registered."),
+		aggregateCycles: reg.Counter("crowdwifi_server_aggregate_cycles_total", "Completed aggregation cycles (reliability inference + fusion)."),
+		aggregateErrors: reg.Counter("crowdwifi_server_aggregate_errors_total", "Aggregation cycles that failed."),
+		aggregateDur:    reg.Histogram("crowdwifi_server_aggregate_duration_seconds", "Duration of one aggregation cycle.", nil),
+		fusedAPs:        reg.Gauge("crowdwifi_server_fused_aps", "Fused APs across all segments after the last aggregation."),
+		vehiclesScored:  reg.Gauge("crowdwifi_server_vehicles_scored", "Vehicles assigned a reliability score in the last aggregation."),
+		spammersFlagged: reg.Gauge("crowdwifi_server_spammers_flagged", "Vehicles with normalized reliability below 0.5 in the last aggregation."),
+		relMean:         reg.Gauge("crowdwifi_server_reliability_mean", "Mean normalized vehicle reliability."),
+		relMin:          reg.Gauge("crowdwifi_server_reliability_min", "Minimum normalized vehicle reliability."),
+		relMax:          reg.Gauge("crowdwifi_server_reliability_max", "Maximum normalized vehicle reliability."),
+	}
+}
+
+// Registry exposes the backing registry (for mounting /metrics).
+func (m *Metrics) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.registry
+}
+
+// routeHistogram returns (registering on first use) the latency histogram
+// for a route. The server pre-registers every mux route so the exposition
+// lists all of them from startup.
+func (m *Metrics) routeHistogram(route string) *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	h, ok := m.reqDuration[route]
+	if !ok {
+		h = m.registry.Histogram("crowdwifi_http_request_duration_seconds",
+			"HTTP request latency by route.", nil, obs.L("route", route))
+		m.reqDuration[route] = h
+	}
+	return h
+}
+
+// countRequest records one served request.
+func (m *Metrics) countRequest(route, method string, code int) {
+	if m == nil {
+		return
+	}
+	m.registry.Counter("crowdwifi_http_requests_total", m.requestsHelp,
+		obs.L("route", route), obs.L("method", method), obs.L("code", strconv.Itoa(code))).Inc()
+}
+
+// Ingest counters, nil-safe so Store call sites need no conditionals.
+func (m *Metrics) incPatterns() {
+	if m != nil {
+		m.patterns.Inc()
+	}
+}
+
+func (m *Metrics) incLabels() {
+	if m != nil {
+		m.labels.Inc()
+	}
+}
+
+func (m *Metrics) incReports() {
+	if m != nil {
+		m.reports.Inc()
+	}
+}
+
+func (m *Metrics) crowdMetrics() *crowd.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.Crowd
+}
+
+// observeAggregate records one aggregation cycle's outcome.
+func (m *Metrics) observeAggregate(stats CycleStats, reliability map[string]float64, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.aggregateErrors.Inc()
+		return
+	}
+	m.aggregateCycles.Inc()
+	m.aggregateDur.Observe(stats.Duration.Seconds())
+	m.fusedAPs.Set(float64(stats.FusedAPs))
+	m.vehiclesScored.Set(float64(stats.VehiclesScored))
+	m.spammersFlagged.Set(float64(stats.SpammersFlagged))
+	if len(reliability) > 0 {
+		lo, hi, sum := math.Inf(1), math.Inf(-1), 0.0
+		for _, r := range reliability {
+			lo = math.Min(lo, r)
+			hi = math.Max(hi, r)
+			sum += r
+		}
+		m.relMean.Set(sum / float64(len(reliability)))
+		m.relMin.Set(lo)
+		m.relMax.Set(hi)
+	}
+}
+
+// statusWriter captures the response code for the HTTP middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency observation
+// for one route.
+func (m *Metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if m == nil {
+		return h
+	}
+	hist := m.routeHistogram(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		m.countRequest(route, r.Method, sw.code)
+	}
+}

@@ -14,9 +14,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"crowdwifi/internal/crowd"
 	"crowdwifi/internal/geo"
+	"crowdwifi/internal/obs"
 )
 
 // APReport is one AP estimate inside a vehicle report.
@@ -67,6 +69,7 @@ type Store struct {
 	reliability map[string]float64
 	vehicles    map[string]int // vehicle id → dense index
 	mergeRadius float64
+	metrics     *Metrics
 }
 
 // NewStore returns an empty store. mergeRadius controls fusion clustering
@@ -81,6 +84,12 @@ func NewStore(mergeRadius float64) *Store {
 		vehicles:    map[string]int{},
 		mergeRadius: mergeRadius,
 	}
+}
+
+// Instrument attaches metrics to the store. Call before serving traffic;
+// the store's hot paths read the pointer without synchronization.
+func (s *Store) Instrument(m *Metrics) {
+	s.metrics = m
 }
 
 func (s *Store) vehicleIndex(id string) int {
@@ -98,6 +107,7 @@ func (s *Store) AddPattern(segment string, aps []APReport) int {
 	defer s.mu.Unlock()
 	id := len(s.patterns)
 	s.patterns = append(s.patterns, Pattern{ID: id, Segment: segment, APs: aps})
+	s.metrics.incPatterns()
 	return id
 }
 
@@ -126,6 +136,7 @@ func (s *Store) AddLabel(l Label) error {
 	}
 	s.vehicleIndex(l.Vehicle)
 	s.labels = append(s.labels, l)
+	s.metrics.incLabels()
 	return nil
 }
 
@@ -138,6 +149,7 @@ func (s *Store) AddReport(r Report) error {
 	defer s.mu.Unlock()
 	s.vehicleIndex(r.Vehicle)
 	s.reports = append(s.reports, r)
+	s.metrics.incReports()
 	return nil
 }
 
@@ -152,17 +164,57 @@ func (s *Store) Reliability() map[string]float64 {
 	return out
 }
 
+// CycleStats summarizes one aggregation cycle for logging and metrics.
+type CycleStats struct {
+	// FusedAPs is the number of fused APs across all segments.
+	FusedAPs int
+	// Segments is the number of road segments with reports.
+	Segments int
+	// VehiclesScored is the number of vehicles assigned a reliability score.
+	VehiclesScored int
+	// SpammersFlagged counts vehicles whose normalized reliability fell
+	// below 0.5 — the fusion threshold that strips their solo clusters.
+	SpammersFlagged int
+	// Duration is the cycle's wall-clock time.
+	Duration time.Duration
+}
+
 // Aggregate runs the offline crowdsourcing pipeline: labels feed the
 // iterative inference, whose per-vehicle reliabilities weight the centroid
 // fusion of all AP reports (Sections 5.3–5.4). It returns the number of
 // fused APs across segments.
 func (s *Store) Aggregate() (int, error) {
+	stats, err := s.AggregateCycle()
+	return stats.FusedAPs, err
+}
+
+// AggregateCycle runs one aggregation pass like Aggregate and additionally
+// reports cycle statistics; metrics, when attached, are updated as a side
+// effect.
+func (s *Store) AggregateCycle() (CycleStats, error) {
+	start := time.Now()
+	stats, err := s.aggregate()
+	stats.Duration = time.Since(start)
+	if s.metrics != nil {
+		s.metrics.observeAggregate(stats, s.Reliability(), err)
+	}
+	return stats, err
+}
+
+func (s *Store) aggregate() (CycleStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	var stats CycleStats
 	rel := s.inferReliabilityLocked()
 	for id, r := range rel {
 		s.reliability[id] = r
+	}
+	stats.VehiclesScored = len(rel)
+	for _, r := range rel {
+		if r < 0.5 {
+			stats.SpammersFlagged++
+		}
 	}
 
 	// Group reports per segment and fuse with reliability weights.
@@ -181,7 +233,6 @@ func (s *Store) Aggregate() (int, error) {
 		}
 		weights[rep.Segment] = append(weights[rep.Segment], w)
 	}
-	total := 0
 	for seg, reps := range bySeg {
 		// MinWeight 0.5 drops clusters supported only by vehicles the
 		// inference marked unreliable: a lone spammer (weight ≈ 0.05) cannot
@@ -191,16 +242,17 @@ func (s *Store) Aggregate() (int, error) {
 			MinWeight:   0.5,
 		})
 		if err != nil {
-			return 0, err
+			return stats, err
 		}
 		out := make([]LookupResult, len(fusedPts))
 		for i, p := range fusedPts {
 			out[i] = LookupResult{X: p.X, Y: p.Y, Weight: 1}
 		}
 		s.fused[seg] = out
-		total += len(out)
+		stats.Segments++
+		stats.FusedAPs += len(out)
 	}
-	return total, nil
+	return stats, nil
 }
 
 // inferReliabilityLocked runs iterative inference over the collected labels
@@ -250,7 +302,7 @@ func (s *Store) inferReliabilityLocked() map[string]float64 {
 		a.WorkerTasks[w] = ts
 	}
 	labels := &crowd.Labels{Assignment: a, Values: taskValues}
-	res := crowd.Infer(labels, crowd.InferenceOptions{})
+	res := crowd.Infer(labels, crowd.InferenceOptions{Metrics: s.metrics.crowdMetrics()})
 	norm := crowd.NormalizeReliability(res.WorkerReliability)
 	for w, id := range workerIDs {
 		out[id] = norm[w]
@@ -285,21 +337,54 @@ func (s *Store) Lookup(area geo.Rect) []LookupResult {
 
 // Server wires the store to an HTTP mux.
 type Server struct {
-	store *Store
-	mux   *http.ServeMux
+	store   *Store
+	mux     *http.ServeMux
+	metrics *Metrics
+	log     *obs.Logger
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithMetrics attaches a metrics bundle: every route is wrapped with the
+// request-counting middleware, the store's ingest and aggregation paths are
+// instrumented, and /metrics plus the debug endpoints (expvar, pprof) are
+// mounted on the server's own mux.
+func WithMetrics(m *Metrics) Option {
+	return func(s *Server) { s.metrics = m }
+}
+
+// WithLogger attaches a structured logger used for request-level warnings.
+func WithLogger(l *obs.Logger) Option {
+	return func(s *Server) { s.log = l }
 }
 
 // New returns a server around the given store.
-func New(store *Store) *Server {
+func New(store *Store, opts ...Option) *Server {
 	s := &Server{store: store, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/patterns", s.handlePatterns)
-	s.mux.HandleFunc("/v1/tasks", s.handleTasks)
-	s.mux.HandleFunc("/v1/labels", s.handleLabels)
-	s.mux.HandleFunc("/v1/reports", s.handleReports)
-	s.mux.HandleFunc("/v1/aggregate", s.handleAggregate)
-	s.mux.HandleFunc("/v1/lookup", s.handleLookup)
-	s.mux.HandleFunc("/v1/reliability", s.handleReliability)
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.metrics != nil {
+		store.Instrument(s.metrics)
+	}
+	s.handle("/v1/patterns", s.handlePatterns)
+	s.handle("/v1/tasks", s.handleTasks)
+	s.handle("/v1/labels", s.handleLabels)
+	s.handle("/v1/reports", s.handleReports)
+	s.handle("/v1/aggregate", s.handleAggregate)
+	s.handle("/v1/lookup", s.handleLookup)
+	s.handle("/v1/reliability", s.handleReliability)
+	if s.metrics != nil {
+		obs.Mount(s.mux, s.metrics.Registry())
+	}
 	return s
+}
+
+// handle registers a route through the instrumenting middleware (a no-op
+// when no metrics are attached).
+func (s *Server) handle(route string, h http.HandlerFunc) {
+	s.mux.HandleFunc(route, s.metrics.instrument(route, h))
 }
 
 // ServeHTTP implements http.Handler.
@@ -445,6 +530,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.store.Aggregate()
 	if err != nil {
+		s.log.Warn("aggregate request failed", "err", err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

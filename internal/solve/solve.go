@@ -51,6 +51,9 @@ type Options struct {
 	// max(v − t, 0), the prox of t·‖·‖₁ + ι_{x≥0}. CrowdWiFi enables this for
 	// AP recovery because the indicator coefficients Θ are 0/1.
 	NonNegative bool
+	// Metrics, when non-nil, records run outcomes, iteration counts, and
+	// residual norms per solver.
+	Metrics *Metrics
 }
 
 func (o Options) fill() Options {
@@ -152,10 +155,10 @@ func BasisPursuit(a *mat.Mat, b []float64, opts Options) (*Result, error) {
 		}
 		if math.Sqrt(primal) < o.Tol*math.Sqrt(float64(n)) &&
 			o.Rho*math.Sqrt(dual) < o.Tol*math.Sqrt(float64(n)) {
-			return finish(a, b, z, it, true), nil
+			return o.record("basis_pursuit", finish(a, b, z, it, true)), nil
 		}
 	}
-	return finish(a, b, z, o.MaxIter, false), nil
+	return o.record("basis_pursuit", finish(a, b, z, o.MaxIter, false)), nil
 }
 
 // BPDN solves the LASSO form min ½‖Ax − b‖₂² + λ‖x‖₁ by ADMM. For wide A
@@ -234,10 +237,10 @@ func BPDN(a *mat.Mat, b []float64, lambda float64, opts Options) (*Result, error
 		}
 		if math.Sqrt(primal) < o.Tol*math.Sqrt(float64(n)) &&
 			o.Rho*math.Sqrt(dual) < o.Tol*math.Sqrt(float64(n)) {
-			return finish(a, b, z, it, true), nil
+			return o.record("bpdn", finish(a, b, z, it, true)), nil
 		}
 	}
-	return finish(a, b, z, o.MaxIter, false), nil
+	return o.record("bpdn", finish(a, b, z, o.MaxIter, false)), nil
 }
 
 // FISTA solves min ½‖Ax − b‖₂² + λ‖x‖₁ by accelerated proximal gradient.
@@ -253,6 +256,10 @@ func ISTA(a *mat.Mat, b []float64, lambda float64, opts Options) (*Result, error
 }
 
 func proxGradient(a *mat.Mat, b []float64, lambda float64, opts Options, accelerate bool) (*Result, error) {
+	name := "ista"
+	if accelerate {
+		name = "fista"
+	}
 	m, n := a.Dims()
 	if len(b) != m {
 		return nil, ErrDimension
@@ -305,10 +312,10 @@ func proxGradient(a *mat.Mat, b []float64, lambda float64, opts Options, acceler
 			norm += x[i] * x[i]
 		}
 		if math.Sqrt(diff) < o.Tol*(1+math.Sqrt(norm)) {
-			return finish(a, b, x, it, true), nil
+			return o.record(name, finish(a, b, x, it, true)), nil
 		}
 	}
-	return finish(a, b, x, o.MaxIter, false), nil
+	return o.record(name, finish(a, b, x, o.MaxIter, false)), nil
 }
 
 // OMP performs orthogonal matching pursuit: greedily add the column most
@@ -428,9 +435,9 @@ func IRLS(a *mat.Mat, b []float64, opts Options) (*Result, error) {
 		if math.Sqrt(diff) < math.Sqrt(eps)/100 {
 			eps /= 10
 			if eps < o.Tol*o.Tol {
-				return finish(a, b, x, it, true), nil
+				return o.record("irls", finish(a, b, x, it, true)), nil
 			}
 		}
 	}
-	return finish(a, b, x, o.MaxIter, false), nil
+	return o.record("irls", finish(a, b, x, o.MaxIter, false)), nil
 }
