@@ -8,17 +8,28 @@
 //
 //	crowdwifi-vehicle [-id veh-1] [-server http://127.0.0.1:8700]
 //	                  [-samples 180] [-seed 7] [-segment uci-campus]
-//	                  [-spammer]
+//	                  [-spammer] [-outbox-cap 256] [-drain-timeout 5s]
+//	                  [-retry-attempts 4]
 //
 // With -spammer the vehicle answers mapping tasks randomly instead of
 // honestly — useful for demonstrating the server's reliability inference.
+//
+// All server traffic goes through the resilience stack: exponential-backoff
+// retries with a circuit breaker (internal/retry) and a store-and-forward
+// outbox that parks undeliverable uploads. On SIGINT/SIGTERM the vehicle
+// stops its run and flushes the outbox, bounded by -drain-timeout, before
+// exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"crowdwifi/internal/client"
@@ -27,23 +38,47 @@ import (
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs"
 	"crowdwifi/internal/radio"
+	"crowdwifi/internal/retry"
 	"crowdwifi/internal/rng"
 	"crowdwifi/internal/server"
 	"crowdwifi/internal/sim"
 	"crowdwifi/internal/traceio"
 )
 
+// runConfig carries the vehicle run's settings (one field per flag).
+type runConfig struct {
+	ID            string
+	ServerURL     string
+	Segment       string
+	TracePath     string
+	OutPath       string
+	Samples       int
+	Seed          uint64
+	Spammer       bool
+	MetricsAddr   string
+	OutboxCap     int
+	DrainTimeout  time.Duration
+	RetryAttempts int
+}
+
 func main() {
-	id := flag.String("id", "veh-1", "vehicle identifier")
-	serverURL := flag.String("server", "", "crowd-server base URL (empty: offline)")
-	samples := flag.Int("samples", 180, "RSS samples to collect on the drive")
-	seed := flag.Uint64("seed", 7, "simulation seed")
-	segment := flag.String("segment", "uci-campus", "road segment id for uploads")
-	spammer := flag.Bool("spammer", false, "answer mapping tasks randomly")
-	tracePath := flag.String("trace", "", "replay a measurement CSV instead of simulating a drive")
-	outPath := flag.String("out", "", "write the consolidated AP estimates to this CSV")
-	metricsAddr := flag.String("metrics-addr", "",
+	var cfg runConfig
+	flag.StringVar(&cfg.ID, "id", "veh-1", "vehicle identifier")
+	flag.StringVar(&cfg.ServerURL, "server", "", "crowd-server base URL (empty: offline)")
+	flag.IntVar(&cfg.Samples, "samples", 180, "RSS samples to collect on the drive")
+	flag.Uint64Var(&cfg.Seed, "seed", 7, "simulation seed")
+	flag.StringVar(&cfg.Segment, "segment", "uci-campus", "road segment id for uploads")
+	flag.BoolVar(&cfg.Spammer, "spammer", false, "answer mapping tasks randomly")
+	flag.StringVar(&cfg.TracePath, "trace", "", "replay a measurement CSV instead of simulating a drive")
+	flag.StringVar(&cfg.OutPath, "out", "", "write the consolidated AP estimates to this CSV")
+	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "",
 		"optional listen address serving /metrics and /debug endpoints for the run")
+	flag.IntVar(&cfg.OutboxCap, "outbox-cap", client.DefaultOutboxCapacity,
+		"store-and-forward outbox capacity (oldest entries evicted when full)")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", 5*time.Second,
+		"deadline for flushing queued uploads on exit")
+	flag.IntVar(&cfg.RetryAttempts, "retry-attempts", 4,
+		"max delivery attempts per request (exponential backoff with jitter)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -52,35 +87,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	logger := obs.NewLogger(os.Stderr, level).With("vehicle", *id)
-	if err := run(*id, *serverURL, *segment, *tracePath, *outPath, *samples, *seed, *spammer, *metricsAddr, logger); err != nil {
+	logger := obs.NewLogger(os.Stderr, level).With("vehicle", cfg.ID)
+
+	// SIGINT/SIGTERM cancels the run context; in-flight uploads fail over to
+	// the outbox and the deferred flush (on its own deadline) delivers them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, cfg, logger); err != nil {
 		logger.Error("run failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, serverURL, segment, tracePath, outPath string, samples int, seed uint64, spammer bool, metricsAddr string, logger *obs.Logger) error {
+func run(ctx context.Context, cfg runConfig, logger *obs.Logger) error {
 	reg := obs.NewRegistry()
 	reg.RegisterGoRuntime()
-	if metricsAddr != "" {
+	if cfg.MetricsAddr != "" {
 		go func() {
 			srv := &http.Server{
-				Addr:              metricsAddr,
+				Addr:              cfg.MetricsAddr,
 				Handler:           obs.NewDebugMux(reg),
 				ReadHeaderTimeout: 5 * time.Second,
 			}
 			if err := srv.ListenAndServe(); err != nil {
-				logger.Warn("metrics listener failed", "addr", metricsAddr, "err", err)
+				logger.Warn("metrics listener failed", "addr", cfg.MetricsAddr, "err", err)
 			}
 		}()
-		logger.Info("metrics listening", "addr", metricsAddr)
+		logger.Info("metrics listening", "addr", cfg.MetricsAddr)
 	}
 
 	sc := sim.UCI()
-	r := rng.New(seed)
+	r := rng.New(cfg.Seed)
 	var ms []radio.Measurement
-	if tracePath != "" {
-		f, err := os.Open(tracePath)
+	if cfg.TracePath != "" {
+		f, err := os.Open(cfg.TracePath)
 		if err != nil {
 			return err
 		}
@@ -93,7 +134,7 @@ func run(id, serverURL, segment, tracePath, outPath string, samples int, seed ui
 		var err error
 		ms, err = sc.Drive(sim.DriveConfig{
 			Trajectory: sim.UCIDrive(),
-			NumSamples: samples,
+			NumSamples: cfg.Samples,
 			SNR:        30,
 		}, r)
 		if err != nil {
@@ -101,7 +142,7 @@ func run(id, serverURL, segment, tracePath, outPath string, samples int, seed ui
 		}
 	}
 	area := sc.Area
-	cfg := cs.EngineConfig{
+	engineCfg := cs.EngineConfig{
 		Channel:     sc.Channel,
 		Radius:      sc.Radius,
 		Lattice:     sc.Lattice,
@@ -113,29 +154,42 @@ func run(id, serverURL, segment, tracePath, outPath string, samples int, seed ui
 		Metrics:     cs.NewMetrics(reg),
 	}
 
-	vehicle, err := client.NewCrowdVehicle(id, serverURL, cfg)
+	vehicle, err := client.NewCrowdVehicle(cfg.ID, cfg.ServerURL, engineCfg)
 	if err != nil {
 		return err
 	}
 	vehicle.Metrics = client.NewMetrics(reg)
+
+	// Resilient transport: backoff retries, a circuit breaker so a dead
+	// server is not hammered, and the outbox as last resort. The flush runs
+	// deferred so even an interrupted or failed run delivers what it can.
+	retryMetrics := retry.NewMetrics(reg)
+	breaker := retry.NewBreaker(retry.BreakerConfig{OnStateChange: retryMetrics.BreakerHook()})
+	vehicle.HTTP = retry.NewDoer(nil,
+		retry.Policy{MaxAttempts: cfg.RetryAttempts},
+		retry.WithBreaker(breaker),
+		retry.WithMetrics(retryMetrics))
+	vehicle.Outbox = client.NewOutbox(cfg.OutboxCap)
+	defer flushOutbox(vehicle, cfg.DrainTimeout, logger)
+
 	logger.Info("driving", "scenario", "uci-campus", "samples", len(ms))
-	fmt.Printf("%s: driving the UCI campus, %d RSS samples...\n", id, len(ms))
+	fmt.Printf("%s: driving the UCI campus, %d RSS samples...\n", cfg.ID, len(ms))
 	if err := vehicle.Sense(ms); err != nil {
 		return err
 	}
 	ests := vehicle.Estimates()
-	fmt.Printf("%s: %d consolidated AP estimates:\n", id, len(ests))
+	fmt.Printf("%s: %d consolidated AP estimates:\n", cfg.ID, len(ests))
 	pts := make([]geo.Point, len(ests))
 	for i, e := range ests {
 		pts[i] = e.Pos
 		fmt.Printf("  AP at (%.1f, %.1f) m, credit %.0f\n", e.Pos.X, e.Pos.Y, e.Credit)
 	}
-	if tracePath == "" {
+	if cfg.TracePath == "" {
 		fmt.Printf("%s: mean matched error vs ground truth: %.2f m\n",
-			id, eval.MeanMatchedDistance(sc.APs, pts))
+			cfg.ID, eval.MeanMatchedDistance(sc.APs, pts))
 	}
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if cfg.OutPath != "" {
+		f, err := os.Create(cfg.OutPath)
 		if err != nil {
 			return err
 		}
@@ -147,48 +201,106 @@ func run(id, serverURL, segment, tracePath, outPath string, samples int, seed ui
 		if cerr != nil {
 			return cerr
 		}
-		fmt.Printf("%s: estimates written to %s\n", id, outPath)
+		fmt.Printf("%s: estimates written to %s\n", cfg.ID, cfg.OutPath)
 	}
 
-	if serverURL == "" {
+	if cfg.ServerURL == "" {
 		return nil
 	}
 
-	if err := vehicle.Report(segment); err != nil {
+	switch err := vehicle.ReportContext(ctx, cfg.Segment); {
+	case err == nil:
+		fmt.Printf("%s: report uploaded to %s\n", cfg.ID, cfg.ServerURL)
+	case errors.Is(err, client.ErrQueued):
+		logger.Warn("report delivery deferred to outbox", "err", err)
+		fmt.Printf("%s: report queued for delivery\n", cfg.ID)
+	default:
 		return fmt.Errorf("upload report: %w", err)
 	}
-	fmt.Printf("%s: report uploaded to %s\n", id, serverURL)
-	taskID, err := vehicle.ProposePattern(segment)
+	if interrupted(ctx, logger) {
+		return nil
+	}
+
+	taskID, err := vehicle.ProposePatternContext(ctx, cfg.Segment)
 	if err != nil {
+		if interrupted(ctx, logger) {
+			return nil
+		}
 		return fmt.Errorf("propose pattern: %w", err)
 	}
-	fmt.Printf("%s: proposed mapping task %d\n", id, taskID)
+	fmt.Printf("%s: proposed mapping task %d\n", cfg.ID, taskID)
 
-	tasks, err := vehicle.PullTasks(10)
+	tasks, err := vehicle.PullTasksContext(ctx, 10)
 	if err != nil {
+		if interrupted(ctx, logger) {
+			return nil
+		}
 		return fmt.Errorf("pull tasks: %w", err)
 	}
-	if spammer {
+	if cfg.Spammer {
 		labels := make([]server.Label, 0, len(tasks))
 		for _, task := range tasks {
 			v := 1
 			if r.Bernoulli(0.5) {
 				v = -1
 			}
-			labels = append(labels, server.Label{Vehicle: id, TaskID: task.ID, Value: v})
+			labels = append(labels, server.Label{Vehicle: cfg.ID, TaskID: task.ID, Value: v})
 		}
 		if len(labels) > 0 {
-			if err := vehicle.SubmitLabels(labels); err != nil {
+			if err := vehicle.SubmitLabelsContext(ctx, labels); err != nil && !errors.Is(err, client.ErrQueued) {
 				return fmt.Errorf("submit labels: %w", err)
 			}
 		}
-		fmt.Printf("%s: SPAMMED %d mapping tasks with random answers\n", id, len(labels))
+		fmt.Printf("%s: SPAMMED %d mapping tasks with random answers\n", cfg.ID, len(labels))
 		return nil
 	}
-	labels, err := vehicle.LabelTasks(tasks, 2*sc.Lattice)
-	if err != nil {
+	labels, err := vehicle.LabelTasksContext(ctx, tasks, 2*sc.Lattice)
+	if err != nil && !errors.Is(err, client.ErrQueued) {
+		if interrupted(ctx, logger) {
+			return nil
+		}
 		return fmt.Errorf("label tasks: %w", err)
 	}
-	fmt.Printf("%s: honestly labelled %d mapping tasks\n", id, len(labels))
+	fmt.Printf("%s: honestly labelled %d mapping tasks\n", cfg.ID, len(labels))
 	return nil
+}
+
+// interrupted reports whether the run context was cancelled (SIGINT/SIGTERM);
+// the caller should stop cleanly and let the deferred outbox flush finish the
+// delivery work.
+func interrupted(ctx context.Context, logger *obs.Logger) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	logger.Info("interrupted; skipping remaining phases")
+	return true
+}
+
+// flushOutbox delivers any queued uploads before exit, bounded by timeout. It
+// runs on a fresh context: the run context is already cancelled when the
+// vehicle was interrupted, but the parked uploads still deserve one bounded
+// drain attempt.
+func flushOutbox(v *client.CrowdVehicle, timeout time.Duration, logger *obs.Logger) {
+	if v.Outbox == nil || v.Outbox.Len() == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	logger.Info("flushing outbox before exit", "depth", v.Outbox.Len(), "timeout", timeout)
+	for v.Outbox.Len() > 0 {
+		n, err := v.DrainOutbox(ctx)
+		if err == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			logger.Warn("outbox flush deadline exceeded", "undelivered", v.Outbox.Len())
+			return
+		}
+		logger.Warn("outbox flush interrupted; retrying", "delivered", n, "err", err)
+		if serr := retry.Sleep(ctx, 200*time.Millisecond); serr != nil {
+			logger.Warn("outbox flush deadline exceeded", "undelivered", v.Outbox.Len())
+			return
+		}
+	}
+	logger.Info("outbox flushed")
 }

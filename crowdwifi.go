@@ -28,11 +28,13 @@ import (
 	"io"
 	"net/http"
 
+	"crowdwifi/internal/chaos"
 	"crowdwifi/internal/client"
 	"crowdwifi/internal/cs"
 	"crowdwifi/internal/eval"
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/radio"
+	"crowdwifi/internal/retry"
 	"crowdwifi/internal/server"
 	"crowdwifi/internal/sim"
 	"crowdwifi/internal/topology"
@@ -81,6 +83,66 @@ type (
 	// Scenario is a simulated world (area, APs, channel).
 	Scenario = sim.Scenario
 )
+
+// Resilience types: the fault-tolerant vehicle↔server transport
+// (retries, circuit breaking, store-and-forward) and the deterministic
+// fault-injection harness used to test it.
+type (
+	// HTTPDoer is the minimal HTTP client interface the resilience stack
+	// wraps; *http.Client satisfies it.
+	HTTPDoer = client.HTTPDoer
+	// RetryPolicy tunes exponential backoff with full jitter.
+	RetryPolicy = retry.Policy
+	// Breaker is a circuit breaker that fast-fails requests to an
+	// endpoint that keeps erroring, then probes for recovery.
+	Breaker = retry.Breaker
+	// BreakerConfig configures a Breaker.
+	BreakerConfig = retry.BreakerConfig
+	// Outbox is the store-and-forward queue a CrowdVehicle parks
+	// undeliverable uploads in; see ErrQueued.
+	Outbox = client.Outbox
+	// ChaosFault is the per-request fault mix (drop, delay, 5xx,
+	// truncation, reset) for the deterministic injection harness.
+	ChaosFault = chaos.Fault
+)
+
+// ErrQueued reports that an upload could not be delivered and was parked in
+// the vehicle's Outbox; CrowdVehicle.DrainOutbox (or process exit via
+// crowdwifi-vehicle's drain) replays it with the same idempotency key.
+var ErrQueued = client.ErrQueued
+
+// NewBreaker builds a circuit breaker; the zero BreakerConfig selects
+// sensible defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return retry.NewBreaker(cfg)
+}
+
+// NewRetryDoer wraps next (nil selects http.DefaultClient) with
+// exponential-backoff retries under policy and an optional circuit breaker
+// (nil disables breaking). Assign the result to CrowdVehicle.HTTP or
+// UserVehicle.HTTP to make their requests fault tolerant.
+func NewRetryDoer(next HTTPDoer, policy RetryPolicy, breaker *Breaker) HTTPDoer {
+	return retry.NewDoer(next, policy, retry.WithBreaker(breaker))
+}
+
+// NewOutbox builds a store-and-forward outbox (capacity ≤ 0 selects the
+// default); assign it to CrowdVehicle.Outbox so failed uploads queue instead
+// of erroring.
+func NewOutbox(capacity int) *Outbox {
+	return client.NewOutbox(capacity)
+}
+
+// NewChaosDoer wraps next with deterministic, seedable client-side fault
+// injection — the same schedule for the same seed, every run.
+func NewChaosDoer(next HTTPDoer, f ChaosFault, seed uint64) HTTPDoer {
+	return chaos.NewInjector(next, f, seed)
+}
+
+// NewChaosMiddleware wraps an HTTP handler with deterministic server-side
+// fault injection.
+func NewChaosMiddleware(next http.Handler, f ChaosFault, seed uint64) http.Handler {
+	return chaos.Middleware(next, f, seed)
+}
 
 // NewEngine builds the online compressive sensing engine (Section 4 of the
 // paper). Feed it measurements with Engine.Add or Engine.AddBatch and read

@@ -2,8 +2,13 @@ package crowdwifi
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"crowdwifi/internal/rng"
 	"crowdwifi/internal/sim"
@@ -125,6 +130,61 @@ func TestFacadeTraceCSV(t *testing.T) {
 	}
 	if len(eBack) != 1 || eBack[0].Pos != ests[0].Pos || eBack[0].Credit != 3 {
 		t.Fatalf("estimate round trip = %+v", eBack)
+	}
+}
+
+func TestFacadeResilience(t *testing.T) {
+	// The resilience stack through the public facade only: retries ride
+	// through transient 503s, a dead link parks the upload in the outbox,
+	// and a drain delivers it once the link recovers.
+	store := NewServerStore(10)
+	handler := NewChaosMiddleware(NewServerHandler(store), ChaosFault{}, 1) // zero faults: passthrough
+	var failures atomic.Int32
+	failures.Store(2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failures.Add(-1) >= 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		handler.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	sc := UCIScenario()
+	area := sc.Area
+	vehicle, err := NewCrowdVehicle("res-1", ts.URL, EngineConfig{
+		Channel: sc.Channel, Radius: sc.Radius, Lattice: sc.Lattice, Area: &area,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	breaker := NewBreaker(BreakerConfig{})
+	vehicle.HTTP = NewRetryDoer(nil, RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+	}, breaker)
+	vehicle.Outbox = NewOutbox(0)
+
+	if err := vehicle.ReportContext(context.Background(), "seg"); err != nil {
+		t.Fatalf("report through two 503s: %v", err)
+	}
+	if _, _, reports := store.Counts(); reports != 1 {
+		t.Fatalf("reports = %d, want 1", reports)
+	}
+
+	vehicle.HTTP = NewChaosDoer(nil, ChaosFault{Drop: 1}, 42)
+	if err := vehicle.ReportContext(context.Background(), "seg"); !errors.Is(err, ErrQueued) {
+		t.Fatalf("report over dead link = %v, want ErrQueued", err)
+	}
+	if vehicle.Outbox.Len() != 1 {
+		t.Fatalf("outbox depth = %d, want 1", vehicle.Outbox.Len())
+	}
+
+	vehicle.HTTP = nil // link restored
+	if n, err := vehicle.DrainOutbox(context.Background()); err != nil || n != 1 {
+		t.Fatalf("drain = (%d, %v), want (1, nil)", n, err)
+	}
+	if _, _, reports := store.Counts(); reports != 2 {
+		t.Fatalf("reports after drain = %d, want 2", reports)
 	}
 }
 

@@ -1,0 +1,291 @@
+// Package chaos provides deterministic, seedable fault injection for the
+// vehicle↔server HTTP path. The paper's Section 6.3 connectivity experiment
+// measures exactly how brief and unreliable roadside contact windows are;
+// this package lets tests reproduce that network — dropped requests, delays,
+// injected 5xx, truncated response bodies, and connections reset after the
+// server already processed the request — with a fixed seed, so resilience
+// guarantees (retry, outbox, exactly-once ingestion) are provable rather
+// than flake-prone.
+//
+// The client-side Injector wraps any HTTPDoer (or serves as an
+// http.RoundTripper); the server-side Middleware wraps an http.Handler.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"crowdwifi/internal/rng"
+)
+
+// HTTPDoer abstracts *http.Client, matching internal/client and
+// internal/retry.
+type HTTPDoer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// Injected fault errors, distinguishable from real transport failures.
+var (
+	// ErrDrop models a request lost before reaching the server.
+	ErrDrop = errors.New("chaos: injected request drop")
+	// ErrReset models a connection reset after the server processed the
+	// request — the client never sees the response. This is the case that
+	// forces idempotent ingestion: a retry re-delivers a request the server
+	// already applied.
+	ErrReset = errors.New("chaos: injected connection reset")
+	// ErrTruncated is what a reader returns past the injected cut.
+	ErrTruncated = errors.New("chaos: injected truncated body")
+)
+
+// Fault configures injection probabilities. All independent; evaluated per
+// request in a fixed order (delay, drop, send, reset, 5xx, truncate) with a
+// fixed number of random draws per request, so a given seed yields the same
+// fault schedule regardless of outcomes.
+type Fault struct {
+	// Drop is the probability the request never reaches the server.
+	Drop float64
+	// Reset is the probability the response is lost after the server
+	// processed the request.
+	Reset float64
+	// Err5xx is the probability the response is replaced with a 503.
+	Err5xx float64
+	// Truncate is the probability the response body is cut in half
+	// mid-stream.
+	Truncate float64
+	// DelayProb is the probability of an added Delay before the request.
+	DelayProb float64
+	// Delay is the injected latency (default 1 ms when DelayProb > 0).
+	Delay time.Duration
+	// RetryAfterSeconds, when > 0, is advertised on injected 503s.
+	RetryAfterSeconds int
+}
+
+func (f Fault) withDefaults() Fault {
+	if f.DelayProb > 0 && f.Delay <= 0 {
+		f.Delay = time.Millisecond
+	}
+	return f
+}
+
+// decisions is one request's pre-drawn fault plan.
+type decisions struct {
+	delay, drop, reset, err5xx, truncate bool
+}
+
+// roller draws a fixed five Bernoulli samples per request under a lock, so
+// concurrent callers interleave whole plans, never partial ones.
+type roller struct {
+	mu  sync.Mutex
+	rng *rng.RNG
+	f   Fault
+}
+
+func newRoller(f Fault, seed uint64) *roller {
+	return &roller{rng: rng.New(seed), f: f.withDefaults()}
+}
+
+func (r *roller) roll() decisions {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return decisions{
+		delay:    r.rng.Bernoulli(r.f.DelayProb),
+		drop:     r.rng.Bernoulli(r.f.Drop),
+		reset:    r.rng.Bernoulli(r.f.Reset),
+		err5xx:   r.rng.Bernoulli(r.f.Err5xx),
+		truncate: r.rng.Bernoulli(r.f.Truncate),
+	}
+}
+
+// Injector is a fault-injecting HTTPDoer wrapping another doer.
+type Injector struct {
+	next HTTPDoer
+	r    *roller
+
+	injected struct {
+		mu                                  sync.Mutex
+		drops, resets, errs, truncs, delays int
+	}
+}
+
+// NewInjector wraps next (nil selects http.DefaultClient) with the fault
+// plan seeded by seed.
+func NewInjector(next HTTPDoer, f Fault, seed uint64) *Injector {
+	if next == nil {
+		next = http.DefaultClient
+	}
+	return &Injector{next: next, r: newRoller(f, seed)}
+}
+
+// Counts reports how many faults of each kind were injected so far.
+func (i *Injector) Counts() (drops, resets, errs, truncs, delays int) {
+	i.injected.mu.Lock()
+	defer i.injected.mu.Unlock()
+	return i.injected.drops, i.injected.resets, i.injected.errs, i.injected.truncs, i.injected.delays
+}
+
+func (i *Injector) count(field *int) {
+	i.injected.mu.Lock()
+	*field++
+	i.injected.mu.Unlock()
+}
+
+// Do implements HTTPDoer with injected faults.
+func (i *Injector) Do(req *http.Request) (*http.Response, error) {
+	d := i.r.roll()
+	if d.delay {
+		i.count(&i.injected.delays)
+		t := time.NewTimer(i.r.f.Delay)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if d.drop {
+		i.count(&i.injected.drops)
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, ErrDrop)
+	}
+	resp, err := i.next.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.reset {
+		i.count(&i.injected.resets)
+		// The server handled the request; the client loses the response.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, ErrReset)
+	}
+	if d.err5xx {
+		i.count(&i.injected.errs)
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return inject503(req, i.r.f.RetryAfterSeconds), nil
+	}
+	if d.truncate {
+		i.count(&i.injected.truncs)
+		resp.Body = truncateBody(resp.Body, resp.ContentLength)
+	}
+	return resp, nil
+}
+
+// RoundTrip implements http.RoundTripper, so the injector can sit inside an
+// *http.Client as its Transport.
+func (i *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	return i.Do(req)
+}
+
+var _ http.RoundTripper = (*Injector)(nil)
+
+// inject503 fabricates a 503 response in place of the real one.
+func inject503(req *http.Request, retryAfterSeconds int) *http.Response {
+	h := http.Header{}
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	if retryAfterSeconds > 0 {
+		h.Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	body := "chaos: injected 503\n"
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateBody returns a reader that yields roughly half the body (at least
+// one byte) and then fails with ErrTruncated, modelling a transfer cut off
+// by the vehicle leaving the AP's range.
+func truncateBody(body io.ReadCloser, contentLength int64) io.ReadCloser {
+	limit := contentLength / 2
+	if limit <= 0 {
+		limit = 16 // unknown length: allow a prefix then cut
+	}
+	return &truncatedReader{inner: body, remaining: limit}
+}
+
+type truncatedReader struct {
+	inner     io.ReadCloser
+	remaining int64
+}
+
+func (t *truncatedReader) Read(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, ErrTruncated
+	}
+	if int64(len(p)) > t.remaining {
+		p = p[:t.remaining]
+	}
+	n, err := t.inner.Read(p)
+	t.remaining -= int64(n)
+	if err == io.EOF {
+		// The real body ended before the cut; pass EOF through untouched.
+		return n, err
+	}
+	if t.remaining <= 0 && err == nil {
+		err = ErrTruncated
+	}
+	return n, err
+}
+
+func (t *truncatedReader) Close() error { return t.inner.Close() }
+
+// Middleware wraps next with server-side fault injection: injected delays,
+// 503s with Retry-After sent before the handler runs (load shedding), and
+// connection resets after the handler ran (the response is computed, then
+// the socket is closed — the client must treat it as unknown-outcome and
+// retry idempotently). Drop behaves like Err5xx server-side; Truncate is
+// client-only and ignored here.
+func Middleware(next http.Handler, f Fault, seed uint64) http.Handler {
+	r := newRoller(f, seed)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		d := r.roll()
+		if d.delay {
+			time.Sleep(r.f.Delay)
+		}
+		if d.drop || d.err5xx {
+			if r.f.RetryAfterSeconds > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(r.f.RetryAfterSeconds))
+			}
+			http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
+			return
+		}
+		if d.reset {
+			next.ServeHTTP(newDiscardWriter(), req)
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			// No hijack support: the closest observable effect is a 503
+			// after the handler already ran.
+			http.Error(w, "chaos: injected post-processing failure", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, req)
+	})
+}
+
+// discardWriter satisfies the handler while throwing the response away.
+type discardWriter struct {
+	h http.Header
+}
+
+func newDiscardWriter() *discardWriter { return &discardWriter{h: http.Header{}} }
+
+func (d *discardWriter) Header() http.Header         { return d.h }
+func (d *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardWriter) WriteHeader(int)             {}

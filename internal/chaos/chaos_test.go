@@ -1,0 +1,197 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func countingServer(t *testing.T) (*atomic.Int64, *httptest.Server) {
+	t.Helper()
+	var handled atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		handled.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok","padding":"0123456789abcdef0123456789abcdef"}`))
+	}))
+	t.Cleanup(ts.Close)
+	return &handled, ts
+}
+
+func get(t *testing.T, d HTTPDoer, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Do(req)
+}
+
+func TestInjectorDeterministicSchedule(t *testing.T) {
+	// Two injectors with the same seed must inject the identical fault
+	// sequence; a different seed must differ somewhere.
+	faultSeq := func(seed uint64) []string {
+		handled, ts := countingServer(t)
+		_ = handled
+		inj := NewInjector(http.DefaultClient, Fault{Drop: 0.3, Reset: 0.2, Err5xx: 0.2}, seed)
+		var seq []string
+		for k := 0; k < 40; k++ {
+			resp, err := get(t, inj, ts.URL)
+			switch {
+			case errors.Is(err, ErrDrop):
+				seq = append(seq, "drop")
+			case errors.Is(err, ErrReset):
+				seq = append(seq, "reset")
+			case err != nil:
+				t.Fatal(err)
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				seq = append(seq, "503")
+				resp.Body.Close()
+			default:
+				seq = append(seq, "ok")
+				resp.Body.Close()
+			}
+		}
+		return seq
+	}
+	a, b, c := faultSeq(42), faultSeq(42), faultSeq(43)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical 40-request schedule")
+	}
+}
+
+func TestInjectorDropNeverReachesServer(t *testing.T) {
+	handled, ts := countingServer(t)
+	inj := NewInjector(http.DefaultClient, Fault{Drop: 1}, 1)
+	if _, err := get(t, inj, ts.URL); !errors.Is(err, ErrDrop) {
+		t.Fatalf("err = %v, want ErrDrop", err)
+	}
+	if handled.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+	drops, _, _, _, _ := inj.Counts()
+	if drops != 1 {
+		t.Fatalf("drops = %d", drops)
+	}
+}
+
+func TestInjectorResetAfterProcessing(t *testing.T) {
+	handled, ts := countingServer(t)
+	inj := NewInjector(http.DefaultClient, Fault{Reset: 1}, 1)
+	if _, err := get(t, inj, ts.URL); !errors.Is(err, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset", err)
+	}
+	// The crucial asymmetry vs. Drop: the server DID process the request.
+	if handled.Load() != 1 {
+		t.Fatalf("server handled %d requests, want 1", handled.Load())
+	}
+}
+
+func TestInjector503CarriesRetryAfter(t *testing.T) {
+	handled, ts := countingServer(t)
+	inj := NewInjector(http.DefaultClient, Fault{Err5xx: 1, RetryAfterSeconds: 3}, 1)
+	resp, err := get(t, inj, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	if handled.Load() != 1 {
+		t.Fatal("injected 503 should replace a processed response")
+	}
+}
+
+func TestInjectorTruncatedBody(t *testing.T) {
+	_, ts := countingServer(t)
+	inj := NewInjector(http.DefaultClient, Fault{Truncate: 1}, 1)
+	resp, err := get(t, inj, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("read err = %v, want ErrTruncated", err)
+	}
+	if len(body) == 0 || int64(len(body)) >= resp.ContentLength {
+		t.Fatalf("read %d of %d bytes, want a strict prefix", len(body), resp.ContentLength)
+	}
+}
+
+func TestMiddlewareSheds503BeforeHandler(t *testing.T) {
+	var handled atomic.Int64
+	h := Middleware(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		handled.Add(1)
+	}), Fault{Err5xx: 1, RetryAfterSeconds: 2}, 9)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	if handled.Load() != 0 {
+		t.Fatal("pre-handler 503 must not run the handler")
+	}
+}
+
+func TestMiddlewareResetAfterHandler(t *testing.T) {
+	var handled atomic.Int64
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		handled.Add(1)
+		_, _ = w.Write([]byte("done"))
+	}), Fault{Reset: 1}, 9)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	_, err := http.Get(ts.URL)
+	if err == nil {
+		t.Fatal("expected a transport error from the hijacked connection")
+	}
+	if handled.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1 (reset happens after processing)", handled.Load())
+	}
+}
+
+func TestMiddlewarePassThrough(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}), Fault{}, 9)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status = %d, want pass-through 418", resp.StatusCode)
+	}
+}

@@ -3,15 +3,29 @@
 // labels mapping tasks, and uploads reports; and the user-vehicle client
 // that downloads fused AP lookup results in advance of entering a road
 // segment (Section 3's three crowdsensing parties, minus the server).
+//
+// The network the paper describes (Section 6.3) is short, lossy roadside
+// contact windows, so every request is context-aware and every upload is
+// built to survive failure: callers plug a retrying transport (see
+// internal/retry) into the HTTP field, uploads carry idempotency keys so the
+// server can deduplicate replays, and an optional store-and-forward Outbox
+// queues reports and labels while the server is unreachable and drains them
+// on the next contact window.
 package client
 
 import (
 	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"crowdwifi/internal/cs"
@@ -20,9 +34,58 @@ import (
 	"crowdwifi/internal/server"
 )
 
-// HTTPDoer abstracts *http.Client for testing.
+// HTTPDoer abstracts *http.Client for testing and for wrapping with
+// internal/retry or internal/chaos.
 type HTTPDoer interface {
 	Do(req *http.Request) (*http.Response, error)
+}
+
+// IdempotencyKeyHeader carries the per-upload deduplication key the server
+// uses to make retries and outbox replays exactly-once in effect.
+const IdempotencyKeyHeader = "Idempotency-Key"
+
+// ErrQueued marks an upload that could not be delivered and was parked in
+// the vehicle's Outbox instead; it will be re-sent by DrainOutbox on the
+// next contact window. Check with errors.Is.
+var ErrQueued = errors.New("client: upload queued to outbox")
+
+// StatusError is a non-2xx response from the crowd-server.
+type StatusError struct {
+	Method string
+	Path   string
+	Status int
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: %s %s: status %d: %s", e.Method, e.Path, e.Status, e.Body)
+}
+
+// retryableStatus mirrors internal/retry's classification: statuses where a
+// later attempt may succeed.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusRequestTimeout, http.StatusTooManyRequests,
+		http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// transientError reports whether err is worth queueing for a later contact
+// window: transport failures, timeouts, cancellations (the vehicle driving
+// out of range mid-upload), and retryable statuses. Definitive 4xx rejections
+// are not transient — replaying them can never succeed.
+func transientError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return retryableStatus(se.Status)
+	}
+	return true
 }
 
 // CrowdVehicle is the worker party: it senses APs with the online CS engine
@@ -32,12 +95,21 @@ type CrowdVehicle struct {
 	ID string
 	// BaseURL is the crowd-server address, e.g. "http://127.0.0.1:8700".
 	BaseURL string
-	// HTTP is the transport (default http.DefaultClient).
+	// HTTP is the transport (default http.DefaultClient). Wrap it with
+	// retry.NewDoer for backoff, budget, and circuit breaking.
 	HTTP HTTPDoer
-	// Metrics, when non-nil, records request latency and outcomes.
+	// Metrics, when non-nil, records request latency, outcomes, and outbox
+	// activity.
 	Metrics *Metrics
+	// Outbox, when non-nil, queues reports and labels that could not be
+	// uploaded; ErrQueued marks affected calls.
+	Outbox *Outbox
 
 	engine *cs.Engine
+
+	keyOnce sync.Once
+	keySalt string
+	keySeq  atomic.Uint64
 }
 
 // NewCrowdVehicle builds a crowd-vehicle with a fresh online CS engine.
@@ -64,19 +136,51 @@ func (v *CrowdVehicle) Estimates() []cs.Estimate {
 	return v.engine.FinalEstimates()
 }
 
-// Report uploads the vehicle's AP estimates for a segment.
+// nextIdempotencyKey mints a key unique across vehicles and process
+// restarts: vehicle id, a random per-process salt, and a sequence number.
+func (v *CrowdVehicle) nextIdempotencyKey() string {
+	v.keyOnce.Do(func() {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Last resort: a clock-derived salt still separates restarts.
+			v.keySalt = fmt.Sprintf("t%x", time.Now().UnixNano())
+			return
+		}
+		v.keySalt = hex.EncodeToString(b[:])
+	})
+	return fmt.Sprintf("%s-%s-%d", v.ID, v.keySalt, v.keySeq.Add(1))
+}
+
+// Report uploads the vehicle's AP estimates for a segment. Equivalent to
+// ReportContext with context.Background().
 func (v *CrowdVehicle) Report(segment string) error {
+	return v.ReportContext(context.Background(), segment)
+}
+
+// ReportContext uploads the vehicle's AP estimates for a segment. With an
+// Outbox attached, delivery failures park the report locally and return
+// ErrQueued.
+func (v *CrowdVehicle) ReportContext(ctx context.Context, segment string) error {
 	ests := v.Estimates()
 	rep := server.Report{Vehicle: v.ID, Segment: segment, APs: make([]server.APReport, len(ests))}
 	for i, e := range ests {
 		rep.APs[i] = server.APReport{X: e.Pos.X, Y: e.Pos.Y, Credit: e.Credit}
 	}
-	return v.postJSON("/v1/reports", rep, nil)
+	return v.postJSON(ctx, "/v1/reports", rep, nil, true)
 }
 
 // ProposePattern registers the vehicle's estimates as a mapping task so
 // other vehicles can confirm or reject them. It returns the task id.
+// Equivalent to ProposePatternContext with context.Background().
 func (v *CrowdVehicle) ProposePattern(segment string) (int, error) {
+	return v.ProposePatternContext(context.Background(), segment)
+}
+
+// ProposePatternContext registers the vehicle's estimates as a mapping task.
+// Proposals are not queueable — the caller needs the assigned id — but they
+// do carry an idempotency key, so a retried proposal returns the original id
+// instead of registering a duplicate task.
+func (v *CrowdVehicle) ProposePatternContext(ctx context.Context, segment string) (int, error) {
 	ests := v.Estimates()
 	p := server.Pattern{Segment: segment, APs: make([]server.APReport, len(ests))}
 	for i, e := range ests {
@@ -85,27 +189,42 @@ func (v *CrowdVehicle) ProposePattern(segment string) (int, error) {
 	var out struct {
 		ID int `json:"id"`
 	}
-	if err := v.postJSON("/v1/patterns", p, &out); err != nil {
+	if err := v.postJSON(ctx, "/v1/patterns", p, &out, false); err != nil {
 		return 0, err
 	}
 	return out.ID, nil
 }
 
 // PullTasks fetches up to count mapping tasks assigned to this vehicle.
+// Equivalent to PullTasksContext with context.Background().
 func (v *CrowdVehicle) PullTasks(count int) ([]server.Pattern, error) {
+	return v.PullTasksContext(context.Background(), count)
+}
+
+// PullTasksContext fetches up to count mapping tasks assigned to this
+// vehicle.
+func (v *CrowdVehicle) PullTasksContext(ctx context.Context, count int) ([]server.Pattern, error) {
 	u := fmt.Sprintf("%s/v1/tasks?vehicle=%s&count=%d", v.BaseURL, url.QueryEscape(v.ID), count)
 	var out []server.Pattern
-	if err := v.getJSON(u, &out); err != nil {
+	if err := getJSONCtx(ctx, v.Metrics, v.httpDoer(), u, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// LabelTasks answers mapping tasks against the vehicle's own estimates: a
-// pattern is confirmed (+1) when every pattern AP lies within tolerance of
-// one of the vehicle's estimates and the counts agree within one; otherwise
-// rejected (−1). It returns the submitted labels.
+// LabelTasks answers mapping tasks against the vehicle's own estimates.
+// Equivalent to LabelTasksContext with context.Background().
 func (v *CrowdVehicle) LabelTasks(tasks []server.Pattern, tolerance float64) ([]server.Label, error) {
+	return v.LabelTasksContext(context.Background(), tasks, tolerance)
+}
+
+// LabelTasksContext answers mapping tasks against the vehicle's own
+// estimates: a pattern is confirmed (+1) when every pattern AP lies within
+// tolerance of one of the vehicle's estimates and the counts agree within
+// one; otherwise rejected (−1). It returns the submitted labels; with an
+// Outbox attached, delivery failures park the batch and return the labels
+// alongside ErrQueued.
+func (v *CrowdVehicle) LabelTasksContext(ctx context.Context, tasks []server.Pattern, tolerance float64) ([]server.Label, error) {
 	if tolerance <= 0 {
 		tolerance = 15
 	}
@@ -121,8 +240,8 @@ func (v *CrowdVehicle) LabelTasks(tasks []server.Pattern, tolerance float64) ([]
 	if len(labels) == 0 {
 		return nil, nil
 	}
-	if err := v.postJSON("/v1/labels", labels, nil); err != nil {
-		return nil, err
+	if err := v.postJSON(ctx, "/v1/labels", labels, nil, true); err != nil {
+		return labels, err
 	}
 	return labels, nil
 }
@@ -143,10 +262,6 @@ func matchPattern(task server.Pattern, own []cs.Estimate, tolerance float64) int
 			}
 		}
 	}
-	diff := len(task.APs) - matched
-	if diff < 0 {
-		diff = -diff
-	}
 	countDiff := len(task.APs) - len(own)
 	if countDiff < 0 {
 		countDiff = -countDiff
@@ -158,9 +273,56 @@ func matchPattern(task server.Pattern, own []cs.Estimate, tolerance float64) int
 }
 
 // SubmitLabels posts raw labels (used by spammer simulations that bypass
-// LabelTasks).
+// LabelTasks). Equivalent to SubmitLabelsContext with context.Background().
 func (v *CrowdVehicle) SubmitLabels(labels []server.Label) error {
-	return v.postJSON("/v1/labels", labels, nil)
+	return v.SubmitLabelsContext(context.Background(), labels)
+}
+
+// SubmitLabelsContext posts raw labels; with an Outbox attached, delivery
+// failures park the batch and return ErrQueued.
+func (v *CrowdVehicle) SubmitLabelsContext(ctx context.Context, labels []server.Label) error {
+	return v.postJSON(ctx, "/v1/labels", labels, nil, true)
+}
+
+// DrainOutbox re-sends queued uploads in FIFO order until the outbox is
+// empty, an entry fails with a transient error (it stays queued and drain
+// stops), or ctx ends. Entries rejected permanently by the server (4xx) are
+// dropped — replaying them can never succeed. Returns the number delivered.
+func (v *CrowdVehicle) DrainOutbox(ctx context.Context) (int, error) {
+	if v.Outbox == nil {
+		return 0, nil
+	}
+	drained := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return drained, err
+		}
+		e, ok := v.Outbox.peek()
+		if !ok {
+			return drained, nil
+		}
+		err := sendJSON(ctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+e.Path, e.Body, e.Key, nil)
+		if err != nil && transientError(err) {
+			v.syncOutboxGauges()
+			return drained, err
+		}
+		v.Outbox.dropHead(e.Key)
+		if err == nil {
+			drained++
+			v.Metrics.incOutboxDrained()
+		} else {
+			v.Metrics.incOutboxDropped()
+		}
+		v.syncOutboxGauges()
+	}
+}
+
+// syncOutboxGauges mirrors outbox depth and age into the metrics gauges.
+func (v *CrowdVehicle) syncOutboxGauges() {
+	if v.Outbox == nil {
+		return
+	}
+	v.Metrics.setOutbox(v.Outbox.Len(), v.Outbox.OldestAge().Seconds())
 }
 
 // UserVehicle is the consumer party: it downloads fused lookup results.
@@ -178,16 +340,25 @@ func NewUserVehicle(baseURL string) *UserVehicle {
 	return &UserVehicle{BaseURL: baseURL, HTTP: http.DefaultClient}
 }
 
-// Lookup downloads the fused APs inside the given area.
+func (u *UserVehicle) httpDoer() HTTPDoer {
+	if u.HTTP != nil {
+		return u.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Lookup downloads the fused APs inside the given area. Equivalent to
+// LookupContext with context.Background().
 func (u *UserVehicle) Lookup(area geo.Rect) ([]geo.Point, error) {
+	return u.LookupContext(context.Background(), area)
+}
+
+// LookupContext downloads the fused APs inside the given area.
+func (u *UserVehicle) LookupContext(ctx context.Context, area geo.Rect) ([]geo.Point, error) {
 	q := fmt.Sprintf("%s/v1/lookup?xmin=%g&ymin=%g&xmax=%g&ymax=%g",
 		u.BaseURL, area.Min.X, area.Min.Y, area.Max.X, area.Max.Y)
 	var raw []server.LookupResult
-	req, err := http.NewRequest(http.MethodGet, q, nil)
-	if err != nil {
-		return nil, err
-	}
-	if err := doJSONMetered(u.Metrics, u.HTTP, req, &raw); err != nil {
+	if err := getJSONCtx(ctx, u.Metrics, u.httpDoer(), q, &raw); err != nil {
 		return nil, err
 	}
 	out := make([]geo.Point, len(raw))
@@ -198,49 +369,58 @@ func (u *UserVehicle) Lookup(area geo.Rect) ([]geo.Point, error) {
 }
 
 // Aggregate asks the server to run the offline crowdsourcing pipeline (an
-// operator action in production; exposed here for orchestration).
+// operator action in production; exposed here for orchestration). Equivalent
+// to AggregateContext with context.Background().
 func Aggregate(h HTTPDoer, baseURL string) (int, error) {
-	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/aggregate", nil)
-	if err != nil {
-		return 0, err
-	}
+	return AggregateContext(context.Background(), h, baseURL)
+}
+
+// AggregateContext asks the server to run the offline crowdsourcing
+// pipeline. A nil h selects http.DefaultClient.
+func AggregateContext(ctx context.Context, h HTTPDoer, baseURL string) (int, error) {
 	var out struct {
 		FusedAPs int `json:"fusedAPs"`
 	}
-	if err := doJSON(h, req, &out); err != nil {
+	if err := sendJSON(ctx, nil, h, http.MethodPost, baseURL+"/v1/aggregate", nil, "", &out); err != nil {
 		return 0, err
 	}
 	return out.FusedAPs, nil
 }
 
-// Reliability fetches the server's per-vehicle reliability map.
+// Reliability fetches the server's per-vehicle reliability map. Equivalent
+// to ReliabilityContext with context.Background().
 func Reliability(h HTTPDoer, baseURL string) (map[string]float64, error) {
+	return ReliabilityContext(context.Background(), h, baseURL)
+}
+
+// ReliabilityContext fetches the server's per-vehicle reliability map. A nil
+// h selects http.DefaultClient.
+func ReliabilityContext(ctx context.Context, h HTTPDoer, baseURL string) (map[string]float64, error) {
 	var out map[string]float64
-	if err := getJSON(h, baseURL+"/v1/reliability", &out); err != nil {
+	if err := getJSONCtx(ctx, nil, h, baseURL+"/v1/reliability", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-func (v *CrowdVehicle) postJSON(path string, body, out any) error {
+// postJSON marshals body, stamps an idempotency key, and posts it. When the
+// upload is queueable, an attached Outbox absorbs transient failures: the
+// payload is parked (with the same key, so the eventual replay deduplicates
+// server-side) and the call returns ErrQueued.
+func (v *CrowdVehicle) postJSON(ctx context.Context, path string, body, out any, queueable bool) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, v.BaseURL+path, bytes.NewReader(buf))
-	if err != nil {
-		return err
+	key := v.nextIdempotencyKey()
+	err = sendJSON(ctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+path, buf, key, out)
+	if err != nil && queueable && v.Outbox != nil && transientError(err) {
+		v.Outbox.enqueue(Entry{Path: path, Body: buf, Key: key})
+		v.Metrics.incOutboxEnqueued()
+		v.syncOutboxGauges()
+		return fmt.Errorf("%w: %s (cause: %v)", ErrQueued, path, err)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	return doJSONMetered(v.Metrics, v.httpDoer(), req, out)
-}
-
-func (v *CrowdVehicle) getJSON(url string, out any) error {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	return doJSONMetered(v.Metrics, v.httpDoer(), req, out)
+	return err
 }
 
 func (v *CrowdVehicle) httpDoer() HTTPDoer {
@@ -250,15 +430,30 @@ func (v *CrowdVehicle) httpDoer() HTTPDoer {
 	return http.DefaultClient
 }
 
-func getJSON(h HTTPDoer, url string, out any) error {
-	if h == nil {
-		h = http.DefaultClient
+// sendJSON is the single request path shared by every client call: it
+// builds the request (with a rewindable body so retrying transports can
+// replay it), stamps the idempotency key, meters the round trip, and decodes
+// the response. A nil h selects http.DefaultClient.
+func sendJSON(ctx context.Context, m *Metrics, h HTTPDoer, method, url string, body []byte, key string, out any) error {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+	req, err := http.NewRequestWithContext(ctx, method, url, reader)
 	if err != nil {
 		return err
 	}
-	return doJSON(h, req, out)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set(IdempotencyKeyHeader, key)
+	}
+	return doJSONMetered(m, h, req, out)
+}
+
+func getJSONCtx(ctx context.Context, m *Metrics, h HTTPDoer, url string, out any) error {
+	return sendJSON(ctx, m, h, http.MethodGet, url, nil, "", out)
 }
 
 // doJSONMetered wraps doJSON with latency/outcome recording.
@@ -280,7 +475,7 @@ func doJSON(h HTTPDoer, req *http.Request, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("client: %s %s: status %d: %s", req.Method, req.URL.Path, resp.StatusCode, body)
+		return &StatusError{Method: req.Method, Path: req.URL.Path, Status: resp.StatusCode, Body: string(body)}
 	}
 	if out == nil {
 		_, err = io.Copy(io.Discard, resp.Body)

@@ -6,12 +6,19 @@ import (
 	"crowdwifi/internal/obs"
 )
 
-// Metrics instruments vehicle-side HTTP traffic to the crowd-server. A nil
-// *Metrics is a no-op, so unit tests and simulations pay nothing.
+// Metrics instruments vehicle-side HTTP traffic to the crowd-server and the
+// store-and-forward outbox. A nil *Metrics is a no-op, so unit tests and
+// simulations pay nothing.
 type Metrics struct {
 	requestsOK  *obs.Counter
 	requestsErr *obs.Counter
 	reqDuration *obs.Histogram
+
+	outboxEnqueued  *obs.Counter
+	outboxDrained   *obs.Counter
+	outboxDropped   *obs.Counter
+	outboxDepth     *obs.Gauge
+	outboxOldestAge *obs.Gauge
 }
 
 // NewMetrics registers the client series on reg. Returns nil for a nil
@@ -22,9 +29,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	}
 	help := "Requests issued to the crowd-server, by outcome."
 	return &Metrics{
-		requestsOK:  reg.Counter("crowdwifi_client_requests_total", help, obs.L("outcome", "ok")),
-		requestsErr: reg.Counter("crowdwifi_client_requests_total", help, obs.L("outcome", "error")),
-		reqDuration: reg.Histogram("crowdwifi_client_request_duration_seconds", "End-to-end latency of crowd-server requests.", nil),
+		requestsOK:      reg.Counter("crowdwifi_client_requests_total", help, obs.L("outcome", "ok")),
+		requestsErr:     reg.Counter("crowdwifi_client_requests_total", help, obs.L("outcome", "error")),
+		reqDuration:     reg.Histogram("crowdwifi_client_request_duration_seconds", "End-to-end latency of crowd-server requests.", nil),
+		outboxEnqueued:  reg.Counter("crowdwifi_client_outbox_enqueued_total", "Uploads parked in the store-and-forward outbox after delivery failure."),
+		outboxDrained:   reg.Counter("crowdwifi_client_outbox_drained_total", "Outbox entries delivered on a later contact window."),
+		outboxDropped:   reg.Counter("crowdwifi_client_outbox_dropped_total", "Outbox entries abandoned after a permanent server rejection."),
+		outboxDepth:     reg.Gauge("crowdwifi_client_outbox_depth", "Uploads currently waiting in the outbox."),
+		outboxOldestAge: reg.Gauge("crowdwifi_client_outbox_oldest_age_seconds", "Age of the oldest queued upload."),
 	}
 }
 
@@ -39,4 +51,31 @@ func (m *Metrics) observe(start time.Time, err error) {
 	} else {
 		m.requestsOK.Inc()
 	}
+}
+
+// Outbox accounting, nil-safe so call sites need no conditionals.
+func (m *Metrics) incOutboxEnqueued() {
+	if m != nil {
+		m.outboxEnqueued.Inc()
+	}
+}
+
+func (m *Metrics) incOutboxDrained() {
+	if m != nil {
+		m.outboxDrained.Inc()
+	}
+}
+
+func (m *Metrics) incOutboxDropped() {
+	if m != nil {
+		m.outboxDropped.Inc()
+	}
+}
+
+func (m *Metrics) setOutbox(depth int, oldestAgeSeconds float64) {
+	if m == nil {
+		return
+	}
+	m.outboxDepth.Set(float64(depth))
+	m.outboxOldestAge.Set(oldestAgeSeconds)
 }

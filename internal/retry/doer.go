@@ -1,0 +1,254 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// HTTPDoer abstracts *http.Client so the Doer can wrap any transport,
+// including the chaos injector.
+type HTTPDoer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// DoerFunc adapts a function to HTTPDoer.
+type DoerFunc func(*http.Request) (*http.Response, error)
+
+// Do implements HTTPDoer.
+func (f DoerFunc) Do(req *http.Request) (*http.Response, error) { return f(req) }
+
+// BudgetConfig bounds how many retries an endpoint may issue relative to its
+// request volume: every initial request deposits Ratio tokens (capped at
+// Burst) and every retry withdraws one, so a fully-down server costs at most
+// Burst + Ratio·requests extra load instead of MaxAttempts×.
+type BudgetConfig struct {
+	// Ratio is the retries allowed per request (default 0.5).
+	Ratio float64
+	// Burst is the token cap (default 10).
+	Burst float64
+}
+
+func (c BudgetConfig) withDefaults() BudgetConfig {
+	if c.Ratio <= 0 {
+		c.Ratio = 0.5
+	}
+	if c.Burst <= 0 {
+		c.Burst = 10
+	}
+	return c
+}
+
+// budget is one endpoint's token bucket. Buckets start full so short bursts
+// of failures right after startup can still retry.
+type budget struct {
+	mu     sync.Mutex
+	tokens float64
+	cfg    BudgetConfig
+}
+
+func newBudget(cfg BudgetConfig) *budget {
+	return &budget{tokens: cfg.Burst, cfg: cfg}
+}
+
+func (b *budget) deposit() {
+	b.mu.Lock()
+	b.tokens += b.cfg.Ratio
+	if b.tokens > b.cfg.Burst {
+		b.tokens = b.cfg.Burst
+	}
+	b.mu.Unlock()
+}
+
+func (b *budget) withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Doer wraps an HTTPDoer with retries, a per-endpoint retry budget, and an
+// optional circuit breaker. It implements HTTPDoer itself, so it drops into
+// any client accepting one, and http.RoundTripper for transport-level use.
+type Doer struct {
+	next    HTTPDoer
+	policy  Policy
+	breaker *Breaker
+	budgets BudgetConfig
+	metrics *Metrics
+
+	mu        sync.Mutex
+	perTarget map[string]*budget
+}
+
+// DoerOption configures a Doer.
+type DoerOption func(*Doer)
+
+// WithBreaker attaches a circuit breaker shared by every request through
+// this Doer.
+func WithBreaker(b *Breaker) DoerOption {
+	return func(d *Doer) { d.breaker = b }
+}
+
+// WithBudget overrides the per-endpoint retry budget.
+func WithBudget(cfg BudgetConfig) DoerOption {
+	return func(d *Doer) { d.budgets = cfg }
+}
+
+// WithMetrics attaches retry metrics.
+func WithMetrics(m *Metrics) DoerOption {
+	return func(d *Doer) { d.metrics = m }
+}
+
+// NewDoer wraps next (nil selects http.DefaultClient) with policy.
+func NewDoer(next HTTPDoer, policy Policy, opts ...DoerOption) *Doer {
+	if next == nil {
+		next = http.DefaultClient
+	}
+	d := &Doer{
+		next:      next,
+		policy:    policy.withDefaults(),
+		budgets:   BudgetConfig{}.withDefaults(),
+		perTarget: map[string]*budget{},
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	d.budgets = d.budgets.withDefaults()
+	return d
+}
+
+// Breaker exposes the attached breaker (nil when none).
+func (d *Doer) Breaker() *Breaker { return d.breaker }
+
+func (d *Doer) budget(endpoint string) *budget {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	b, ok := d.perTarget[endpoint]
+	if !ok {
+		b = newBudget(d.budgets)
+		d.perTarget[endpoint] = b
+	}
+	return b
+}
+
+// RetryableStatus reports whether an HTTP status is worth retrying: 429 and
+// the transient 5xx family.
+func RetryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header in delay-seconds form; 0 means
+// absent or unparseable (HTTP-date form is not supported).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// drainClose releases a response we will not return so its connection can be
+// reused by the retry.
+func drainClose(resp *http.Response) {
+	if resp == nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}
+
+// Do issues req with retries. Failed attempts are retried when the error is
+// transport-level or the status is 429/5xx, the request body can be replayed
+// (GetBody set, or no body), the retry budget allows it, and the request
+// context is still live. The final attempt's response or error is returned
+// unchanged, so callers still observe terminal statuses. A positive
+// Retry-After on 429/503 overrides the backoff.
+func (d *Doer) Do(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	b := d.budget(req.URL.Path)
+	b.deposit()
+
+	for attempt := 0; ; attempt++ {
+		if err := d.breaker.Allow(); err != nil {
+			d.metrics.incBreakerDenied()
+			return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, err)
+		}
+		attemptReq := req
+		if attempt > 0 {
+			attemptReq = req.Clone(ctx)
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, fmt.Errorf("retry: rewind request body: %w", err)
+				}
+				attemptReq.Body = body
+			}
+		}
+		resp, err := d.next.Do(attemptReq)
+
+		failure := err != nil || RetryableStatus(resp.StatusCode)
+		d.breaker.Record(!failure)
+		if !failure {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			// The caller is gone; report its cancellation, not ours.
+			drainClose(resp)
+			if err == nil {
+				err = ctx.Err()
+			}
+			return nil, err
+		}
+		last := attempt+1 >= d.policy.MaxAttempts ||
+			(req.GetBody == nil && req.Body != nil)
+		if last {
+			d.metrics.incExhausted()
+			return resp, err
+		}
+		if !b.withdraw() {
+			d.metrics.incBudgetDenied()
+			return resp, err
+		}
+		hint := retryAfter(resp)
+		drainClose(resp)
+		delay := d.policy.Delay(attempt, hint)
+		d.metrics.incRetry(delay.Seconds())
+		if werr := Sleep(ctx, delay); werr != nil {
+			return nil, werr
+		}
+	}
+}
+
+// RoundTrip implements http.RoundTripper over the same retry loop, so the
+// Doer can also sit inside an *http.Client as its Transport.
+func (d *Doer) RoundTrip(req *http.Request) (*http.Response, error) {
+	return d.Do(req)
+}
+
+var _ http.RoundTripper = (*Doer)(nil)
+
+// IsBreakerOpen reports whether err came from a fast-failing open breaker.
+func IsBreakerOpen(err error) bool {
+	return errors.Is(err, ErrOpen)
+}

@@ -1,0 +1,81 @@
+package retry
+
+import "crowdwifi/internal/obs"
+
+// Metrics instruments the retry layer. A nil *Metrics is a no-op.
+type Metrics struct {
+	retries       *obs.Counter
+	exhausted     *obs.Counter
+	budgetDenied  *obs.Counter
+	breakerDenied *obs.Counter
+	retryDelay    *obs.Histogram
+	breakerState  *obs.Gauge
+	toOpen        *obs.Counter
+	toHalfOpen    *obs.Counter
+	toClosed      *obs.Counter
+}
+
+// NewMetrics registers the retry/breaker series on reg. Returns nil for a
+// nil registry.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	transHelp := "Circuit breaker state transitions, by destination state."
+	return &Metrics{
+		retries:       reg.Counter("crowdwifi_retry_retries_total", "HTTP request retries issued after a retryable failure."),
+		exhausted:     reg.Counter("crowdwifi_retry_exhausted_total", "Requests that failed after exhausting every retry attempt."),
+		budgetDenied:  reg.Counter("crowdwifi_retry_budget_denied_total", "Retries suppressed because the per-endpoint retry budget was empty."),
+		breakerDenied: reg.Counter("crowdwifi_breaker_denied_total", "Requests fast-failed by an open circuit breaker."),
+		retryDelay:    reg.Histogram("crowdwifi_retry_delay_seconds", "Backoff slept before each retry.", nil),
+		breakerState:  reg.Gauge("crowdwifi_breaker_state", "Circuit breaker state: 0 closed, 1 open, 2 half-open."),
+		toOpen:        reg.Counter("crowdwifi_breaker_transitions_total", transHelp, obs.L("to", "open")),
+		toHalfOpen:    reg.Counter("crowdwifi_breaker_transitions_total", transHelp, obs.L("to", "half_open")),
+		toClosed:      reg.Counter("crowdwifi_breaker_transitions_total", transHelp, obs.L("to", "closed")),
+	}
+}
+
+// BreakerHook returns an OnStateChange callback that records transitions and
+// mirrors the current state into a gauge. Safe on a nil receiver.
+func (m *Metrics) BreakerHook() func(from, to State) {
+	if m == nil {
+		return nil
+	}
+	return func(_, to State) {
+		m.breakerState.Set(float64(to))
+		switch to {
+		case Open:
+			m.toOpen.Inc()
+		case HalfOpen:
+			m.toHalfOpen.Inc()
+		case Closed:
+			m.toClosed.Inc()
+		}
+	}
+}
+
+func (m *Metrics) incRetry(delaySeconds float64) {
+	if m == nil {
+		return
+	}
+	m.retries.Inc()
+	m.retryDelay.Observe(delaySeconds)
+}
+
+func (m *Metrics) incExhausted() {
+	if m != nil {
+		m.exhausted.Inc()
+	}
+}
+
+func (m *Metrics) incBudgetDenied() {
+	if m != nil {
+		m.budgetDenied.Inc()
+	}
+}
+
+func (m *Metrics) incBreakerDenied() {
+	if m != nil {
+		m.breakerDenied.Inc()
+	}
+}

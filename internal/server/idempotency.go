@@ -1,0 +1,80 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+)
+
+// idemRecord is a cached successful response, replayed verbatim for
+// duplicate deliveries of the same idempotency key.
+type idemRecord struct {
+	status int
+	body   []byte
+}
+
+// idemCache deduplicates ingestion by idempotency key so client retries and
+// outbox replays are exactly-once in effect. Keys are tracked through three
+// phases: in-flight (a first delivery is being processed), completed (the
+// 2xx response is cached for replay), and evicted (FIFO, bounded capacity).
+// Failed executions release the key so a later retry can try again.
+type idemCache struct {
+	mu       sync.Mutex
+	entries  map[string]*idemRecord // nil value marks in-flight
+	order    []string               // completed keys, oldest first
+	capacity int
+}
+
+func newIdemCache(capacity int) *idemCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &idemCache{entries: map[string]*idemRecord{}, capacity: capacity}
+}
+
+// begin claims key for execution. seen=false means the caller owns the key
+// and must call finish. seen=true with a record means replay it; seen=true
+// with nil means another delivery of the same key is mid-flight.
+func (c *idemCache) begin(key string) (seen bool, rec *idemRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec, ok := c.entries[key]; ok {
+		return true, rec
+	}
+	c.entries[key] = nil
+	return false, nil
+}
+
+// finish completes an execution begun with begin: 2xx responses are cached
+// for replay; anything else releases the key so a retry can re-execute.
+func (c *idemCache) finish(key string, status int, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if status < 200 || status >= 300 {
+		delete(c.entries, key)
+		return
+	}
+	c.entries[key] = &idemRecord{status: status, body: body}
+	c.order = append(c.order, key)
+	for len(c.order) > c.capacity {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// recordingWriter tees the response through while capturing status and body
+// for the idempotency cache.
+type recordingWriter struct {
+	http.ResponseWriter
+	status int
+	body   []byte
+}
+
+func (w *recordingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recordingWriter) Write(p []byte) (int, error) {
+	w.body = append(w.body, p...)
+	return w.ResponseWriter.Write(p)
+}

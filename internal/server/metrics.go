@@ -25,6 +25,9 @@ type Metrics struct {
 	reports         *obs.Counter
 	labels          *obs.Counter
 	patterns        *obs.Counter
+	deduped         *obs.Counter
+	shed            *obs.Counter
+	bodyLimited     *obs.Counter
 	aggregateCycles *obs.Counter
 	aggregateErrors *obs.Counter
 	aggregateDur    *obs.Histogram
@@ -50,6 +53,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		reports:         reg.Counter("crowdwifi_server_reports_total", "Vehicle AP reports accepted."),
 		labels:          reg.Counter("crowdwifi_server_labels_total", "Mapping-task labels accepted."),
 		patterns:        reg.Counter("crowdwifi_server_patterns_total", "Mapping tasks (patterns) registered."),
+		deduped:         reg.Counter("crowdwifi_server_deduped_requests_total", "Duplicate ingestion requests answered from the idempotency cache."),
+		shed:            reg.Counter("crowdwifi_server_shed_requests_total", "Ingestion requests shed with 503 + Retry-After."),
+		bodyLimited:     reg.Counter("crowdwifi_server_body_limit_rejections_total", "Ingestion requests rejected for exceeding the body size cap."),
 		aggregateCycles: reg.Counter("crowdwifi_server_aggregate_cycles_total", "Completed aggregation cycles (reliability inference + fusion)."),
 		aggregateErrors: reg.Counter("crowdwifi_server_aggregate_errors_total", "Aggregation cycles that failed."),
 		aggregateDur:    reg.Histogram("crowdwifi_server_aggregate_duration_seconds", "Duration of one aggregation cycle.", nil),
@@ -111,6 +117,24 @@ func (m *Metrics) incLabels() {
 func (m *Metrics) incReports() {
 	if m != nil {
 		m.reports.Inc()
+	}
+}
+
+func (m *Metrics) incDeduped() {
+	if m != nil {
+		m.deduped.Inc()
+	}
+}
+
+func (m *Metrics) incShed() {
+	if m != nil {
+		m.shed.Inc()
+	}
+}
+
+func (m *Metrics) incBodyLimited() {
+	if m != nil {
+		m.bodyLimited.Inc()
 	}
 }
 

@@ -156,6 +156,35 @@ func TestMetricsEndToEnd(t *testing.T) {
 		}
 	}
 
+	// Resilience counters are exposed from startup (all zero so far: no
+	// duplicate deliveries, no shedding, no oversized bodies).
+	for _, series := range []string{
+		"crowdwifi_server_deduped_requests_total",
+		"crowdwifi_server_shed_requests_total",
+		"crowdwifi_server_body_limit_rejections_total",
+	} {
+		if v := seriesValue(t, exp, series); v != 0 {
+			t.Errorf("%s = %v, want 0", series, v)
+		}
+	}
+
+	// A duplicate delivery of a keyed report is answered from the idempotency
+	// cache: the dedupe counter moves, the ingest counter does not.
+	dup := Report{Vehicle: "veh-0", Segment: "seg-1", APs: aps}
+	for i := 0; i < 2; i++ {
+		resp := postKeyed(t, ts.URL+"/v1/reports", "metrics-dup-key", dup)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("keyed report %d: status %d", i, resp.StatusCode)
+		}
+	}
+	exp = scrape(t, ts.URL)
+	if v := seriesValue(t, exp, "crowdwifi_server_deduped_requests_total"); v != 1 {
+		t.Errorf("deduped_requests_total = %v, want 1", v)
+	}
+	if v := seriesValue(t, exp, "crowdwifi_server_reports_total"); v != 4 {
+		t.Errorf("reports_total after duplicate = %v, want 4 (duplicate not ingested)", v)
+	}
+
 	// Error responses are labelled with their status code.
 	badResp := postJSON(t, ts.URL+"/v1/labels", []Label{{Vehicle: "x", TaskID: 99, Value: 1}})
 	if badResp.StatusCode != http.StatusBadRequest {

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdwifi/internal/obs"
+)
+
+// postKeyed posts body with an Idempotency-Key header.
+func postKeyed(t *testing.T, url, key string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(IdempotencyKeyHeader, key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestIdempotentReportReplay(t *testing.T) {
+	reg := obs.NewRegistry()
+	metrics := NewMetrics(reg)
+	store := NewStore(10)
+	ts := httptest.NewServer(New(store, WithMetrics(metrics)))
+	defer ts.Close()
+
+	rep := Report{Vehicle: "veh-1", Segment: "seg", APs: []APReport{{X: 1, Y: 2, Credit: 3}}}
+	first := postKeyed(t, ts.URL+"/v1/reports", "veh-1-key-1", rep)
+	if first.StatusCode != http.StatusCreated {
+		t.Fatalf("first delivery status = %d", first.StatusCode)
+	}
+	firstBody, _ := io.ReadAll(first.Body)
+
+	// Same key again: the retry of a processed-but-lost response. The
+	// server must not store a second report and must replay the original
+	// response byte-for-byte.
+	second := postKeyed(t, ts.URL+"/v1/reports", "veh-1-key-1", rep)
+	if second.StatusCode != http.StatusCreated {
+		t.Fatalf("replay status = %d", second.StatusCode)
+	}
+	if second.Header.Get("Idempotent-Replay") != "true" {
+		t.Error("replay missing Idempotent-Replay header")
+	}
+	secondBody, _ := io.ReadAll(second.Body)
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Errorf("replayed body %q != original %q", secondBody, firstBody)
+	}
+	if _, _, reports := store.Counts(); reports != 1 {
+		t.Fatalf("stored reports = %d, want 1 (exactly once)", reports)
+	}
+	if metrics.deduped.Value() != 1 {
+		t.Fatalf("deduped metric = %d, want 1", metrics.deduped.Value())
+	}
+
+	// A different key is a different logical upload and must be stored.
+	third := postKeyed(t, ts.URL+"/v1/reports", "veh-1-key-2", rep)
+	if third.StatusCode != http.StatusCreated {
+		t.Fatalf("new key status = %d", third.StatusCode)
+	}
+	if _, _, reports := store.Counts(); reports != 2 {
+		t.Fatalf("stored reports = %d, want 2", reports)
+	}
+}
+
+func TestIdempotencyDoesNotCacheFailures(t *testing.T) {
+	store, ts := newTestServer(t)
+
+	// A report missing its segment is rejected; the key must be released so
+	// a corrected retry under the same key can succeed.
+	bad := Report{Vehicle: "veh-1"}
+	if resp := postKeyed(t, ts.URL+"/v1/reports", "k", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad report status = %d", resp.StatusCode)
+	}
+	good := Report{Vehicle: "veh-1", Segment: "seg"}
+	if resp := postKeyed(t, ts.URL+"/v1/reports", "k", good); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("retried report status = %d", resp.StatusCode)
+	}
+	if _, _, reports := store.Counts(); reports != 1 {
+		t.Fatalf("reports = %d, want 1", reports)
+	}
+}
+
+func TestIdempotentPatternReplayReturnsSameID(t *testing.T) {
+	store, ts := newTestServer(t)
+	p := Pattern{Segment: "seg", APs: []APReport{{X: 5, Y: 5}}}
+
+	var first, second struct {
+		ID int `json:"id"`
+	}
+	resp := postKeyed(t, ts.URL+"/v1/patterns", "prop-1", p)
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp = postKeyed(t, ts.URL+"/v1/patterns", "prop-1", p)
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.ID != second.ID {
+		t.Fatalf("replayed pattern id %d != original %d", second.ID, first.ID)
+	}
+	if patterns, _, _ := store.Counts(); patterns != 1 {
+		t.Fatalf("patterns = %d, want 1", patterns)
+	}
+}
+
+func TestIdemCacheInFlightAndEviction(t *testing.T) {
+	c := newIdemCache(2)
+
+	// In-flight: second begin of the same key sees it without a record.
+	if seen, _ := c.begin("a"); seen {
+		t.Fatal("fresh key reported seen")
+	}
+	seen, rec := c.begin("a")
+	if !seen || rec != nil {
+		t.Fatalf("in-flight begin = (%v, %v), want (true, nil)", seen, rec)
+	}
+	c.finish("a", 201, []byte("ra"))
+
+	// Capacity 2: completing c and d evicts a.
+	c.begin("b")
+	c.finish("b", 200, []byte("rb"))
+	c.begin("d")
+	c.finish("d", 200, []byte("rd"))
+	if seen, _ := c.begin("a"); seen {
+		t.Fatal("evicted key still cached")
+	}
+	if seen, rec := c.begin("d"); !seen || rec == nil || string(rec.body) != "rd" {
+		t.Fatalf("latest key lost: (%v, %+v)", seen, rec)
+	}
+}
+
+func TestShedDuringAggregation(t *testing.T) {
+	reg := obs.NewRegistry()
+	metrics := NewMetrics(reg)
+	store := NewStore(10)
+	ts := httptest.NewServer(New(store, WithMetrics(metrics)))
+	defer ts.Close()
+
+	store.aggregating.Store(true)
+	resp := postJSON(t, ts.URL+"/v1/reports", Report{Vehicle: "v", Segment: "s"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 while aggregating", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if metrics.shed.Value() != 1 {
+		t.Fatalf("shed metric = %d, want 1", metrics.shed.Value())
+	}
+	if _, _, reports := store.Counts(); reports != 0 {
+		t.Fatal("shed request was stored")
+	}
+
+	// Reads are never shed.
+	if resp := getJSON(t, ts.URL+"/v1/reliability", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET while aggregating: status %d", resp.StatusCode)
+	}
+
+	store.aggregating.Store(false)
+	if resp := postJSON(t, ts.URL+"/v1/reports", Report{Vehicle: "v", Segment: "s"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status after aggregation = %d", resp.StatusCode)
+	}
+}
+
+func TestBodyLimitRejectsOversizedReport(t *testing.T) {
+	reg := obs.NewRegistry()
+	metrics := NewMetrics(reg)
+	store := NewStore(10)
+	ts := httptest.NewServer(New(store, WithMetrics(metrics), WithMaxBodyBytes(512)))
+	defer ts.Close()
+
+	big := Report{Vehicle: "v", Segment: strings.Repeat("x", 2048)}
+	resp := postJSON(t, ts.URL+"/v1/reports", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	if metrics.bodyLimited.Value() != 1 {
+		t.Fatalf("body limit metric = %d, want 1", metrics.bodyLimited.Value())
+	}
+	small := Report{Vehicle: "v", Segment: "s"}
+	if resp := postJSON(t, ts.URL+"/v1/reports", small); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("small report status = %d", resp.StatusCode)
+	}
+}
+
+func TestTasksCountCapped(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := getJSON(t, ts.URL+"/v1/tasks?vehicle=v&count=101", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("count=101 status = %d, want 400", resp.StatusCode)
+	}
+	var tasks []Pattern
+	resp = getJSON(t, ts.URL+"/v1/tasks?vehicle=v&count=100", &tasks)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("count=100 status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestLabelsBatchAtomic(t *testing.T) {
+	store, ts := newTestServer(t)
+	store.AddPattern("seg", nil)
+
+	// One valid label followed by one unknown task: nothing may be applied.
+	batch := []Label{
+		{Vehicle: "v", TaskID: 0, Value: 1},
+		{Vehicle: "v", TaskID: 99, Value: 1},
+	}
+	resp := postJSON(t, ts.URL+"/v1/labels", batch)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if _, labels, _ := store.Counts(); labels != 0 {
+		t.Fatalf("labels = %d, want 0 (batch must be atomic)", labels)
+	}
+	// The corrected batch applies fully.
+	resp = postJSON(t, ts.URL+"/v1/labels", batch[:1])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if _, labels, _ := store.Counts(); labels != 1 {
+		t.Fatalf("labels = %d, want 1", labels)
+	}
+}
+
+func TestRequestDeadlineAttached(t *testing.T) {
+	// handle() attaches the per-request deadline; register a probe route on a
+	// server configured with a timeout and check the handler's context.
+	var sawDeadline bool
+	s := &Server{store: NewStore(10), mux: http.NewServeMux(), reqTimeout: 5 * time.Second}
+	s.handle("/probe", func(w http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !sawDeadline {
+		t.Fatal("handler context has no deadline")
+	}
+}

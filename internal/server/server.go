@@ -7,6 +7,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,12 +15,30 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crowdwifi/internal/crowd"
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs"
 )
+
+// Resilience defaults for the HTTP surface.
+const (
+	// DefaultMaxBodyBytes caps ingestion request bodies.
+	DefaultMaxBodyBytes = 1 << 20
+	// DefaultRequestTimeout bounds each request's context.
+	DefaultRequestTimeout = 10 * time.Second
+	// DefaultIdempotencyCapacity bounds the deduplication cache.
+	DefaultIdempotencyCapacity = 4096
+	// MaxTaskCount caps ?count= on /v1/tasks.
+	MaxTaskCount = 100
+	// shedRetryAfterSeconds is advertised on 503 load-shed responses.
+	shedRetryAfterSeconds = 1
+)
+
+// IdempotencyKeyHeader carries the client's per-upload deduplication key.
+const IdempotencyKeyHeader = "Idempotency-Key"
 
 // APReport is one AP estimate inside a vehicle report.
 type APReport struct {
@@ -70,6 +89,7 @@ type Store struct {
 	vehicles    map[string]int // vehicle id → dense index
 	mergeRadius float64
 	metrics     *Metrics
+	aggregating atomic.Bool
 }
 
 // NewStore returns an empty store. mergeRadius controls fusion clustering
@@ -140,6 +160,30 @@ func (s *Store) AddLabel(l Label) error {
 	return nil
 }
 
+// AddLabels records a batch of answers atomically: the whole batch is
+// validated first, so a rejected batch leaves no partial state behind and a
+// client retry of the fixed batch cannot double-apply a prefix.
+func (s *Store) AddLabels(ls []Label) error {
+	for _, l := range ls {
+		if l.Value != 1 && l.Value != -1 {
+			return errors.New("server: label value must be ±1")
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range ls {
+		if l.TaskID < 0 || l.TaskID >= len(s.patterns) {
+			return fmt.Errorf("server: unknown task %d", l.TaskID)
+		}
+	}
+	for _, l := range ls {
+		s.vehicleIndex(l.Vehicle)
+		s.labels = append(s.labels, l)
+		s.metrics.incLabels()
+	}
+	return nil
+}
+
 // AddReport stores a vehicle's AP report.
 func (s *Store) AddReport(r Report) error {
 	if r.Vehicle == "" || r.Segment == "" {
@@ -151,6 +195,20 @@ func (s *Store) AddReport(r Report) error {
 	s.reports = append(s.reports, r)
 	s.metrics.incReports()
 	return nil
+}
+
+// Counts reports the stored pattern, label, and report volumes — the ground
+// truth for exactly-once ingestion tests.
+func (s *Store) Counts() (patterns, labels, reports int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.patterns), len(s.labels), len(s.reports)
+}
+
+// Aggregating reports whether an aggregation cycle is in progress; the HTTP
+// layer sheds ingestion with 503 + Retry-After while it is.
+func (s *Store) Aggregating() bool {
+	return s.aggregating.Load()
 }
 
 // Reliability returns the inferred reliability map (copy).
@@ -202,6 +260,8 @@ func (s *Store) AggregateCycle() (CycleStats, error) {
 }
 
 func (s *Store) aggregate() (CycleStats, error) {
+	s.aggregating.Store(true)
+	defer s.aggregating.Store(false)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -337,14 +397,34 @@ func (s *Store) Lookup(area geo.Rect) []LookupResult {
 
 // Server wires the store to an HTTP mux.
 type Server struct {
-	store   *Store
-	mux     *http.ServeMux
-	metrics *Metrics
-	log     *obs.Logger
+	store      *Store
+	mux        *http.ServeMux
+	metrics    *Metrics
+	log        *obs.Logger
+	maxBody    int64
+	reqTimeout time.Duration
+	idemCap    int
+	idem       *idemCache
 }
 
 // Option configures a Server.
 type Option func(*Server)
+
+// WithMaxBodyBytes caps ingestion request bodies (≤ 0 restores the default).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) { s.maxBody = n }
+}
+
+// WithRequestTimeout bounds every request's context (≤ 0 disables).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
+// WithIdempotencyCapacity bounds the deduplication cache (≤ 0 restores the
+// default).
+func WithIdempotencyCapacity(n int) Option {
+	return func(s *Server) { s.idemCap = n }
+}
 
 // WithMetrics attaches a metrics bundle: every route is wrapped with the
 // request-counting middleware, the store's ingest and aggregation paths are
@@ -361,17 +441,27 @@ func WithLogger(l *obs.Logger) Option {
 
 // New returns a server around the given store.
 func New(store *Store, opts ...Option) *Server {
-	s := &Server{store: store, mux: http.NewServeMux()}
+	s := &Server{
+		store:      store,
+		mux:        http.NewServeMux(),
+		maxBody:    DefaultMaxBodyBytes,
+		reqTimeout: DefaultRequestTimeout,
+		idemCap:    DefaultIdempotencyCapacity,
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.maxBody <= 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	s.idem = newIdemCache(s.idemCap)
 	if s.metrics != nil {
 		store.Instrument(s.metrics)
 	}
-	s.handle("/v1/patterns", s.handlePatterns)
+	s.handle("/v1/patterns", s.ingest(s.handlePatterns))
 	s.handle("/v1/tasks", s.handleTasks)
-	s.handle("/v1/labels", s.handleLabels)
-	s.handle("/v1/reports", s.handleReports)
+	s.handle("/v1/labels", s.ingest(s.handleLabels))
+	s.handle("/v1/reports", s.ingest(s.handleReports))
 	s.handle("/v1/aggregate", s.handleAggregate)
 	s.handle("/v1/lookup", s.handleLookup)
 	s.handle("/v1/reliability", s.handleReliability)
@@ -382,9 +472,85 @@ func New(store *Store, opts ...Option) *Server {
 }
 
 // handle registers a route through the instrumenting middleware (a no-op
-// when no metrics are attached).
+// when no metrics are attached) and the per-request deadline.
 func (s *Server) handle(route string, h http.HandlerFunc) {
+	if d := s.reqTimeout; d > 0 {
+		inner := h
+		h = func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			inner(w, r.WithContext(ctx))
+		}
+	}
 	s.mux.HandleFunc(route, s.metrics.instrument(route, h))
+}
+
+// shed writes a 503 with Retry-After, steering well-behaved clients (whose
+// retry layer honors the header) away from a busy window.
+func (s *Server) shed(w http.ResponseWriter, reason error) {
+	s.metrics.incShed()
+	w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
+	writeError(w, http.StatusServiceUnavailable, reason)
+}
+
+// ingest wraps a write route with the resilience middleware, applied to POST
+// only: load shedding while the store is mid-aggregation, a request body
+// cap, and idempotency-key deduplication. Successful responses are cached by
+// key and replayed verbatim for duplicate deliveries (client retries after a
+// lost response, outbox replays), making ingestion exactly-once in effect.
+func (s *Server) ingest(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			h(w, r)
+			return
+		}
+		if s.store.Aggregating() {
+			s.shed(w, errors.New("aggregation in progress"))
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		key := r.Header.Get(IdempotencyKeyHeader)
+		if key == "" {
+			h(w, r)
+			return
+		}
+		seen, rec := s.idem.begin(key)
+		if seen {
+			if rec == nil {
+				// A first delivery of this key is still executing; the
+				// duplicate cannot be answered yet, so push it to retry.
+				s.shed(w, errors.New("duplicate request still in flight"))
+				return
+			}
+			s.metrics.incDeduped()
+			w.Header().Set("Idempotent-Replay", "true")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(rec.status)
+			_, _ = w.Write(rec.body)
+			return
+		}
+		rw := &recordingWriter{ResponseWriter: w, status: http.StatusOK}
+		h(rw, r)
+		s.idem.finish(key, rw.status, rw.body)
+	}
+}
+
+// decodeBody decodes a JSON request body into v, mapping oversize bodies to
+// 413 and malformed JSON to 400. It reports whether decoding succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.metrics.incBodyLimited()
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", tooLarge.Limit))
+		return false
+	}
+	writeError(w, http.StatusBadRequest, err)
+	return false
 }
 
 // ServeHTTP implements http.Handler.
@@ -410,8 +576,7 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodPost:
 		var p Pattern
-		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if !s.decodeBody(w, r, &p) {
 			return
 		}
 		if p.Segment == "" {
@@ -445,6 +610,11 @@ func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		v, err := strconv.Atoi(c)
 		if err != nil || v <= 0 {
 			writeError(w, http.StatusBadRequest, errors.New("bad count"))
+			return
+		}
+		if v > MaxTaskCount {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("count %d exceeds the assignment cap %d", v, MaxTaskCount))
 			return
 		}
 		count = v
@@ -493,15 +663,12 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var ls []Label
-	if err := json.NewDecoder(r.Body).Decode(&ls); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !s.decodeBody(w, r, &ls) {
 		return
 	}
-	for _, l := range ls {
-		if err := s.store.AddLabel(l); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
+	if err := s.store.AddLabels(ls); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(ls)})
 }
@@ -512,8 +679,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var rep Report
-	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !s.decodeBody(w, r, &rep) {
 		return
 	}
 	if err := s.store.AddReport(rep); err != nil {

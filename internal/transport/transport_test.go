@@ -134,3 +134,99 @@ func TestPerSession(t *testing.T) {
 		t.Fatal("zero sessions should yield 0")
 	}
 }
+
+func TestStallBoundaryExactlyAtThreshold(t *testing.T) {
+	// The restart fires when the no-progress gap reaches exactly
+	// StallSeconds: with 0.1 s slots and the 10 s default, a 100-slot gap
+	// restarts, a 99-slot gap does not.
+	mk := func(gap int) []bool {
+		var slots []bool
+		slots = append(slots, allGood(10)...)
+		slots = append(slots, make([]bool, gap)...)
+		slots = append(slots, allGood(21)...)
+		return slots
+	}
+
+	res, err := Run(mk(99), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Transfers[0].Restarts != 0 {
+		t.Fatalf("gap just under threshold: completed=%d restarts=%d, want 1/0",
+			res.Completed, res.Transfers[0].Restarts)
+	}
+	// Progress was kept, so the transfer finishes 11 successes into the
+	// final run: slot 10+99+11 = 120 → 12.0 s.
+	if math.Abs(res.Transfers[0].Seconds-12.0) > 1e-9 {
+		t.Fatalf("duration = %v, want 12.0", res.Transfers[0].Seconds)
+	}
+
+	res, err = Run(mk(100), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Transfers[0].Restarts != 1 {
+		t.Fatalf("gap exactly at threshold: completed=%d restarts=%d, want 1/1",
+			res.Completed, res.Transfers[0].Restarts)
+	}
+	// Progress was lost, so the transfer needs all 21 fresh successes:
+	// slot 10+100+21 = 131 → 13.1 s.
+	if math.Abs(res.Transfers[0].Seconds-13.1) > 1e-9 {
+		t.Fatalf("duration = %v, want 13.1", res.Transfers[0].Seconds)
+	}
+}
+
+func TestTraceEndsMidStall(t *testing.T) {
+	// The trace cuts off during a dead stretch. Past the stall threshold the
+	// restart must be recorded on the trailing incomplete attempt; under it,
+	// no restart — either way the attempt is reported, not dropped.
+	var slots []bool
+	slots = append(slots, allGood(10)...)
+	slots = append(slots, make([]bool, 150)...) // restart at +100, then 50 more dead slots
+	res, err := Run(slots, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 || len(res.Transfers) != 1 {
+		t.Fatalf("completed=%d transfers=%d, want 0/1", res.Completed, len(res.Transfers))
+	}
+	tr := res.Transfers[0]
+	if tr.Completed {
+		t.Fatal("attempt cut off by trace end marked complete")
+	}
+	if tr.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1 (stall elapsed before the trace ended)", tr.Restarts)
+	}
+	if tr.EndSlot != len(slots) {
+		t.Fatalf("end slot = %d, want %d", tr.EndSlot, len(slots))
+	}
+	if math.Abs(tr.Seconds-16.0) > 1e-9 {
+		t.Fatalf("duration = %v, want 16.0 (whole trace)", tr.Seconds)
+	}
+
+	// Same shape but the trace ends before the threshold: no restart.
+	short := append(allGood(10), make([]bool, 60)...)
+	res, err = Run(short, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transfers[0].Restarts != 0 {
+		t.Fatalf("restarts = %d, want 0 (stall never elapsed)", res.Transfers[0].Restarts)
+	}
+}
+
+func TestPerSessionDegenerateSessionCounts(t *testing.T) {
+	res := &Result{Completed: 7}
+	// Zero and negative session counts cannot divide; the throughput metric
+	// degrades to 0 instead of Inf/NaN.
+	if got := PerSession(res, 0); got != 0 {
+		t.Fatalf("PerSession(_, 0) = %v, want 0", got)
+	}
+	if got := PerSession(res, -3); got != 0 {
+		t.Fatalf("PerSession(_, -3) = %v, want 0", got)
+	}
+	// Zero completions over real sessions is a plain 0, not an error.
+	if got := PerSession(&Result{}, 5); got != 0 {
+		t.Fatalf("PerSession(empty, 5) = %v, want 0", got)
+	}
+}
