@@ -29,6 +29,7 @@ import (
 	"crowdwifi/internal/rng"
 	"crowdwifi/internal/sim"
 	"crowdwifi/internal/solve"
+	"crowdwifi/internal/wal"
 )
 
 // printOnce prints each experiment table a single time even when the bench
@@ -495,6 +496,33 @@ func BenchmarkAblationCredit(b *testing.B) {
 				cntErr = eval.CountingError([]int{len(sc.APs)}, []int{got})
 			}
 			b.ReportMetric(cntErr, "count_err")
+		})
+	}
+}
+
+// BenchmarkWALAppend measures the durable write path under each fsync
+// policy: "always" is the cost of ack⇒durable (one fsync per record),
+// "interval" batches fsyncs in the background, "off" leaves durability to
+// the OS. ~256-byte payloads approximate one report record.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, pol := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncOff} {
+		b.Run("fsync="+pol.String(), func(b *testing.B) {
+			l, _, err := wal.Open(b.TempDir(), wal.Options{Sync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(1, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -2,6 +2,12 @@
 // that assigns AP mapping tasks, collects crowd-vehicle reports and labels,
 // infers per-vehicle reliability, and serves fused AP lookup results.
 //
+// With -data-dir set the store is durable: every mutation is write-ahead
+// logged before it is acknowledged (fsync policy per -fsync), snapshots are
+// cut every -snapshot-every and on shutdown, and a restart recovers the full
+// state — including the idempotency cache, so retries of uploads
+// acknowledged before a crash still dedupe.
+//
 // The API mux also serves /metrics (Prometheus text format), /debug/vars
 // (expvar), and /debug/pprof/; -metrics-addr exposes the same debug surface
 // on a second, separate listener for deployments that keep it off the public
@@ -10,6 +16,8 @@
 // Usage:
 //
 //	crowdwifi-server [-addr :8700] [-merge-radius 10] [-aggregate-every 30s]
+//	                 [-data-dir /var/lib/crowdwifi] [-fsync always]
+//	                 [-snapshot-every 5m]
 //	                 [-metrics-addr :8701] [-log-level info]
 package main
 
@@ -18,23 +26,44 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"crowdwifi/internal/cs"
 	"crowdwifi/internal/obs"
 	"crowdwifi/internal/server"
+	"crowdwifi/internal/wal"
 )
 
+// config carries the parsed flags into run.
+type config struct {
+	addr           string
+	mergeRadius    float64
+	aggregateEvery time.Duration
+	metricsAddr    string
+	dataDir        string
+	fsync          wal.SyncPolicy
+	snapshotEvery  time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8700", "listen address")
-	mergeRadius := flag.Float64("merge-radius", 10, "fusion merge radius in metres")
-	aggregateEvery := flag.Duration("aggregate-every", 30*time.Second,
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", ":8700", "listen address")
+	flag.Float64Var(&cfg.mergeRadius, "merge-radius", 10, "fusion merge radius in metres")
+	flag.DurationVar(&cfg.aggregateEvery, "aggregate-every", 30*time.Second,
 		"how often to re-run reliability inference and fusion (0 disables)")
-	metricsAddr := flag.String("metrics-addr", "",
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "",
 		"optional extra listen address serving only /metrics and /debug endpoints")
+	flag.StringVar(&cfg.dataDir, "data-dir", "",
+		"directory for the write-ahead log and snapshots (empty keeps state in memory)")
+	fsync := flag.String("fsync", "always",
+		"WAL fsync policy: always (ack ⇒ durable), interval, or off")
+	flag.DurationVar(&cfg.snapshotEvery, "snapshot-every", 5*time.Minute,
+		"how often to snapshot the store and compact the WAL (0 disables; a snapshot is always cut on shutdown)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -43,14 +72,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if cfg.fsync, err = wal.ParseSyncPolicy(*fsync); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	logger := obs.NewLogger(os.Stderr, level)
-	if err := run(*addr, *mergeRadius, *aggregateEvery, *metricsAddr, logger); err != nil {
+	if err := run(cfg, logger); err != nil {
 		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, mergeRadius float64, aggregateEvery time.Duration, metricsAddr string, logger *obs.Logger) error {
+func run(cfg config, logger *obs.Logger) error {
 	reg := obs.NewRegistry()
 	reg.RegisterGoRuntime()
 	metrics := server.NewMetrics(reg)
@@ -59,14 +92,38 @@ func run(addr string, mergeRadius float64, aggregateEvery time.Duration, metrics
 	// /metrics (at zero) for dashboards built against one scrape target.
 	cs.NewMetrics(reg)
 
-	store := server.NewStore(mergeRadius)
+	store, recovery, err := server.OpenStore(cfg.mergeRadius, server.StorageOptions{
+		Dir:     cfg.dataDir,
+		Fsync:   cfg.fsync,
+		Metrics: wal.NewMetrics(reg),
+		Logger:  logger,
+	})
+	if err != nil {
+		return fmt.Errorf("opening store: %w", err)
+	}
+	defer store.Close()
+	if cfg.dataDir != "" {
+		logger.Info("state recovered",
+			"data_dir", cfg.dataDir,
+			"fsync", cfg.fsync,
+			"snapshot_loaded", recovery.SnapshotLoaded,
+			"snapshot_seq", recovery.SnapshotSeq,
+			"replayed_records", recovery.ReplayedRecords,
+			"truncated_bytes", recovery.TruncatedBytes,
+			"last_seq", recovery.LastSeq,
+			"patterns", recovery.Patterns,
+			"labels", recovery.Labels,
+			"reports", recovery.Reports,
+			"idem_keys", recovery.IdemKeys,
+			"duration", recovery.Duration)
+	}
+
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           server.New(store, server.WithMetrics(metrics), server.WithLogger(logger)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	aggLog := logger.With("component", "aggregate")
@@ -84,20 +141,40 @@ func run(addr string, mergeRadius float64, aggregateEvery time.Duration, metrics
 			"fused_aps", stats.FusedAPs)
 	}
 
-	// Periodic aggregation, bounded by the shutdown context. A final cycle
-	// runs on shutdown so the last reports received still get fused.
-	aggDone := make(chan struct{})
-	go func() {
-		defer close(aggDone)
-		if aggregateEvery <= 0 {
+	snapLog := logger.With("component", "snapshot")
+	runSnapshot := func() {
+		start := time.Now()
+		seq, err := store.Snapshot()
+		if err != nil {
+			snapLog.Error("snapshot failed", "err", err)
 			return
 		}
-		ticker := time.NewTicker(aggregateEvery)
-		defer ticker.Stop()
+		snapLog.Info("snapshot complete", "seq", seq, "duration", time.Since(start))
+	}
+
+	// Periodic aggregation and snapshotting, bounded by the shutdown
+	// context. A final cycle runs on shutdown so the last reports received
+	// still get fused; the final snapshot happens after the listener drains.
+	bgDone := make(chan struct{})
+	go func() {
+		defer close(bgDone)
+		var aggC, snapC <-chan time.Time
+		if cfg.aggregateEvery > 0 {
+			t := time.NewTicker(cfg.aggregateEvery)
+			defer t.Stop()
+			aggC = t.C
+		}
+		if cfg.dataDir != "" && cfg.snapshotEvery > 0 {
+			t := time.NewTicker(cfg.snapshotEvery)
+			defer t.Stop()
+			snapC = t.C
+		}
 		for {
 			select {
-			case <-ticker.C:
+			case <-aggC:
 				runCycle()
+			case <-snapC:
+				runSnapshot()
 			case <-ctx.Done():
 				return
 			}
@@ -106,24 +183,30 @@ func run(addr string, mergeRadius float64, aggregateEvery time.Duration, metrics
 
 	// Optional dedicated observability listener.
 	var metricsSrv *http.Server
-	if metricsAddr != "" {
+	if cfg.metricsAddr != "" {
 		metricsSrv = &http.Server{
-			Addr:              metricsAddr,
+			Addr:              cfg.metricsAddr,
 			Handler:           obs.NewDebugMux(reg),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				logger.Error("metrics listener failed", "addr", metricsAddr, "err", err)
+				logger.Error("metrics listener failed", "addr", cfg.metricsAddr, "err", err)
 			}
 		}()
-		logger.Info("metrics listening", "addr", metricsAddr)
+		logger.Info("metrics listening", "addr", cfg.metricsAddr)
 	}
 
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	logger.Info("crowd-server listening", "addr", addr,
-		"merge_radius", mergeRadius, "aggregate_every", aggregateEvery)
+	go func() { errCh <- srv.Serve(ln) }()
+	// Log the bound address (not the flag value) so :0 deployments and the
+	// crash-recovery harness can discover the real port.
+	logger.Info("crowd-server listening", "addr", ln.Addr().String(),
+		"merge_radius", cfg.mergeRadius, "aggregate_every", cfg.aggregateEvery)
 
 	shutdownMetrics := func() {
 		if metricsSrv == nil {
@@ -136,13 +219,13 @@ func run(addr string, mergeRadius float64, aggregateEvery time.Duration, metrics
 
 	select {
 	case err := <-errCh:
-		<-aggDone
+		<-bgDone
 		shutdownMetrics()
 		return err
 	case <-ctx.Done():
 		logger.Info("shutting down")
-		<-aggDone
-		if aggregateEvery > 0 {
+		<-bgDone
+		if cfg.aggregateEvery > 0 {
 			// Flush a final aggregation so reports that arrived since the
 			// last tick make it into the fused database before exit.
 			runCycle()
@@ -151,6 +234,14 @@ func run(addr string, mergeRadius float64, aggregateEvery time.Duration, metrics
 		defer cancel()
 		err := srv.Shutdown(shutdownCtx)
 		shutdownMetrics()
+		if cfg.dataDir != "" {
+			// The listener has drained: no appends race the final snapshot,
+			// so the next boot recovers instantly from it.
+			runSnapshot()
+		}
+		if cerr := store.Close(); err == nil {
+			err = cerr
+		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			return errors.New("shutdown timed out")
 		}

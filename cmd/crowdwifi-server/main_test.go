@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+)
+
+var (
+	listeningRe = regexp.MustCompile(`msg="?crowd-server listening"?.* addr=([0-9.\[\]:]+)`)
+	recoveredRe = regexp.MustCompile(`msg="?state recovered"?.* reports=([0-9]+)`)
+)
+
+// buildServer compiles the server binary once per test run.
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "crowdwifi-server")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Skipf("cannot build server binary: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// serverProc is a running crowdwifi-server child process.
+type serverProc struct {
+	cmd              *exec.Cmd
+	addr             string
+	recoveredReports int // parsed from the boot "state recovered" log line
+}
+
+// startServer launches the binary on an ephemeral port and parses the real
+// bound address out of its structured log.
+func startServer(t *testing.T, bin, dataDir string) *serverProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-aggregate-every", "0",
+		"-snapshot-every", "0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+
+	// "state recovered" is logged before "crowd-server listening", so the
+	// count is settled by the time the address arrives.
+	procCh := make(chan *serverProc, 1)
+	go func() {
+		p := &serverProc{cmd: cmd, recoveredReports: -1}
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := recoveredRe.FindStringSubmatch(line); m != nil {
+				fmt.Sscanf(m[1], "%d", &p.recoveredReports)
+			}
+			if m := listeningRe.FindStringSubmatch(line); m != nil {
+				p.addr = m[1]
+				procCh <- p
+			}
+		}
+	}()
+	select {
+	case p := <-procCh:
+		return p
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not log its listening address")
+		return nil
+	}
+}
+
+func (p *serverProc) url() string { return "http://" + p.addr }
+
+// kill SIGKILLs the child — no shutdown hook runs, no snapshot is cut.
+func (p *serverProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = p.cmd.Process.Wait()
+}
+
+func postReport(t *testing.T, url, key string, body any) (int, string, bool) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/reports", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("post %s: %v", key, err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	_, _ = out.ReadFrom(resp.Body)
+	return resp.StatusCode, out.String(), resp.Header.Get("Idempotent-Replay") == "true"
+}
+
+type report struct {
+	Vehicle string `json:"vehicle"`
+	Segment string `json:"segment"`
+	APs     []struct {
+		X      float64 `json:"x"`
+		Y      float64 `json:"y"`
+		Credit float64 `json:"credit"`
+	} `json:"aps"`
+}
+
+func makeReport(i int) report {
+	r := report{Vehicle: fmt.Sprintf("v%d", i%3), Segment: "seg-kill"}
+	r.APs = make([]struct {
+		X      float64 `json:"x"`
+		Y      float64 `json:"y"`
+		Credit float64 `json:"credit"`
+	}, 1)
+	r.APs[0].X = float64(10 * i)
+	r.APs[0].Y = 5
+	r.APs[0].Credit = 1
+	return r
+}
+
+// TestKillDashNineRecovery is the out-of-process half of the crash story:
+// SIGKILL the real binary mid-ingest, restart it on the same directory, and
+// verify a retrying client converges — every pre-kill upload dedupes, every
+// lost upload lands, and the final count is exact.
+func TestKillDashNineRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	bin := buildServer(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+
+	const total = 20
+	const preKill = 12
+	p1 := startServer(t, bin, dataDir)
+	for i := 0; i < preKill; i++ {
+		status, body, replayed := postReport(t, p1.url(), fmt.Sprintf("kill-op-%02d", i), makeReport(i))
+		if status != http.StatusCreated || replayed {
+			t.Fatalf("op %d: status=%d replayed=%v body=%s", i, status, replayed, body)
+		}
+	}
+	p1.kill(t)
+
+	// The WAL must exist: fsync=always means every acknowledged upload is on
+	// disk even though the process never shut down.
+	if matches, _ := filepath.Glob(filepath.Join(dataDir, "wal-*.seg")); len(matches) == 0 {
+		t.Fatal("no WAL segments on disk after kill")
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dataDir, "snap-*.snap")); len(matches) != 0 {
+		t.Fatal("a snapshot exists although the server was SIGKILLed")
+	}
+
+	p2 := startServer(t, bin, dataDir)
+	if p2.recoveredReports != preKill {
+		t.Fatalf("restart recovered %d reports, want %d", p2.recoveredReports, preKill)
+	}
+	// The client retries everything: old keys replay, new keys execute.
+	replays := 0
+	for i := 0; i < total; i++ {
+		status, body, replayed := postReport(t, p2.url(), fmt.Sprintf("kill-op-%02d", i), makeReport(i))
+		if status != http.StatusCreated {
+			t.Fatalf("op %d after restart: status=%d body=%s", i, status, body)
+		}
+		if replayed {
+			replays++
+		} else if i < preKill {
+			t.Fatalf("op %d executed twice across the kill", i)
+		}
+	}
+	if replays != preKill {
+		t.Fatalf("replays = %d, want %d", replays, preKill)
+	}
+
+	// A clean SIGTERM shutdown cuts a snapshot; the third boot loads it and
+	// reports the exact total — no duplicates, nothing lost.
+	if err := p2.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.cmd.Process.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(dataDir, "snap-*.snap")); len(matches) == 0 {
+		t.Fatal("clean shutdown did not write a snapshot")
+	}
+	p3 := startServer(t, bin, dataDir)
+	if p3.recoveredReports != total {
+		t.Fatalf("snapshot boot recovered %d reports, want %d", p3.recoveredReports, total)
+	}
+	// And the recovered idempotency cache still answers across the snapshot.
+	if _, _, replayed := postReport(t, p3.url(), "kill-op-00", makeReport(0)); !replayed {
+		t.Fatal("idempotency cache lost across snapshot boot")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"crowdwifi/internal/sim"
 	"crowdwifi/internal/topology"
 	"crowdwifi/internal/traceio"
+	"crowdwifi/internal/wal"
 )
 
 // Core geometric and radio types, re-exported for API stability.
@@ -168,6 +169,45 @@ func UCIScenario() Scenario { return sim.UCI() }
 // AP reports must be to fuse (≤ 0 selects 10 m).
 func NewServerStore(mergeRadius float64) *ServerStore {
 	return server.NewStore(mergeRadius)
+}
+
+// Durable storage types: the crowd-server's write-ahead log + snapshot
+// subsystem (internal/wal) and its Store wiring.
+type (
+	// StorageOptions configures the crowd-server's durability (data
+	// directory, fsync policy, segment size, snapshot retention). The zero
+	// value keeps the store in memory.
+	StorageOptions = server.StorageOptions
+	// RecoveryStats summarizes one boot's snapshot load and WAL replay.
+	RecoveryStats = server.RecoveryStats
+	// WALSyncPolicy selects when WAL appends are fsynced.
+	WALSyncPolicy = wal.SyncPolicy
+)
+
+// WAL fsync policies, re-exported for StorageOptions.Fsync.
+const (
+	// SyncAlways fsyncs every append: an acknowledged upload is durable.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a background timer.
+	SyncInterval = wal.SyncInterval
+	// SyncOff leaves flushing to the OS.
+	SyncOff = wal.SyncOff
+)
+
+// ParseWALSyncPolicy maps "always", "interval", or "off" to a policy —
+// handy for flag parsing in embedding programs.
+func ParseWALSyncPolicy(s string) (WALSyncPolicy, error) {
+	return wal.ParseSyncPolicy(s)
+}
+
+// OpenServerStore creates crowd-server state backed by a write-ahead log
+// and snapshots in opts.Dir: the newest snapshot is loaded, the log suffix
+// replayed (a torn final record is truncated, not fatal), and every later
+// mutation is logged before it is acknowledged. An empty opts.Dir behaves
+// exactly like NewServerStore. Pair it with NewServerHandler and call
+// ServerStore.Snapshot periodically plus ServerStore.Close on shutdown.
+func OpenServerStore(mergeRadius float64, opts StorageOptions) (*ServerStore, RecoveryStats, error) {
+	return server.OpenStore(mergeRadius, opts)
 }
 
 // NewServerHandler wraps a store in the crowd-server's HTTP API

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"crowdwifi/internal/geo"
+)
+
+// TestListEndpointsEncodeEmptyAsArray: list-returning endpoints must encode
+// an empty result as [] — a null breaks clients that range over the
+// response without a nil check.
+func TestListEndpointsEncodeEmptyAsArray(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, path := range []string{
+		"/v1/tasks?vehicle=v1&count=5",
+		"/v1/lookup?xmin=0&ymin=0&xmax=100&ymax=100",
+		"/v1/patterns?segment=none",
+	} {
+		resp := getJSON(t, ts.URL+path, nil)
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimSpace(string(body)); got != "[]" {
+			t.Errorf("GET %s = %q, want []", path, got)
+		}
+	}
+}
+
+// TestLookupOrderingDeterministic: lookup results are sorted by position so
+// repeated queries (and recovered servers) serve byte-identical lists.
+func TestLookupOrderingDeterministic(t *testing.T) {
+	store := NewStore(10)
+	store.fused["s1"] = []LookupResult{{X: 5, Y: 1, Weight: 1}, {X: 2, Y: 9, Weight: 1}}
+	store.fused["s2"] = []LookupResult{{X: 2, Y: 3, Weight: 2}, {X: 2, Y: 3, Weight: 5}}
+	got := store.Lookup(geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 100, Y: 100}))
+	want := []LookupResult{{X: 2, Y: 3, Weight: 5}, {X: 2, Y: 3, Weight: 2}, {X: 2, Y: 9, Weight: 1}, {X: 5, Y: 1, Weight: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d = %+v, want %+v (full: %+v)", i, got[i], want[i], got)
+		}
+	}
+}

@@ -12,11 +12,29 @@ type idemRecord struct {
 	body   []byte
 }
 
+// idemEntry is the serializable form of one completed key, used to seed the
+// cache from recovery and to carry it into snapshots. Body round-trips
+// through JSON as base64.
+type idemEntry struct {
+	Key    string `json:"key"`
+	Status int    `json:"status"`
+	Body   []byte `json:"body"`
+}
+
 // idemCache deduplicates ingestion by idempotency key so client retries and
 // outbox replays are exactly-once in effect. Keys are tracked through three
 // phases: in-flight (a first delivery is being processed), completed (the
 // 2xx response is cached for replay), and evicted (FIFO, bounded capacity).
 // Failed executions release the key so a later retry can try again.
+//
+// Invariants, preserved across every interleaving of begin/complete/finish
+// and FIFO eviction at the capacity boundary:
+//   - order holds exactly the completed keys, each once, oldest first;
+//   - an in-flight marker (nil entry) is never in order and is only removed
+//     by its owner's release, never by eviction;
+//   - release (a non-2xx finish) removes only in-flight markers — it cannot
+//     delete a completed record installed by complete(), and it scrubs any
+//     stale order occurrence of the key defensively.
 type idemCache struct {
 	mu       sync.Mutex
 	entries  map[string]*idemRecord // nil value marks in-flight
@@ -45,20 +63,103 @@ func (c *idemCache) begin(key string) (seen bool, rec *idemRecord) {
 }
 
 // finish completes an execution begun with begin: 2xx responses are cached
-// for replay; anything else releases the key so a retry can re-execute.
+// for replay; anything else releases the key so a retry can re-execute. If
+// the key was already completed mid-flight (the store's durable mutators
+// install the canonical response atomically with the WAL append), finish is
+// a no-op — the completed record wins over whatever the writer captured.
 func (c *idemCache) finish(key string, status int, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if rec, ok := c.entries[key]; ok && rec != nil {
+		return // completed by the mutator; never downgrade or duplicate
+	}
 	if status < 200 || status >= 300 {
-		delete(c.entries, key)
+		c.releaseLocked(key)
+		return
+	}
+	c.completeLocked(key, status, body)
+}
+
+// complete installs a completed response for key directly, bypassing the
+// begin/finish ownership protocol. The store's durable mutators call it
+// under their own lock so the cached response becomes visible atomically
+// with the mutation it acknowledges. Idempotent: a second complete for a
+// completed key is ignored.
+func (c *idemCache) complete(key string, status int, body []byte) {
+	if key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.completeLocked(key, status, body)
+}
+
+func (c *idemCache) completeLocked(key string, status int, body []byte) {
+	if rec, ok := c.entries[key]; ok && rec != nil {
 		return
 	}
 	c.entries[key] = &idemRecord{status: status, body: body}
 	c.order = append(c.order, key)
-	for len(c.order) > c.capacity {
-		delete(c.entries, c.order[0])
-		c.order = c.order[1:]
+	c.evictLocked()
+}
+
+// releaseLocked frees a failed execution's in-flight marker. A completed
+// record under the same key (installed concurrently by complete) is left
+// alone, and any stale order occurrence is scrubbed so order and entries
+// cannot diverge.
+func (c *idemCache) releaseLocked(key string) {
+	if rec, ok := c.entries[key]; ok && rec == nil {
+		delete(c.entries, key)
 	}
+	if _, ok := c.entries[key]; ok {
+		return // completed record stays, with its order slot
+	}
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// evictLocked enforces the FIFO capacity bound over completed keys.
+// In-flight markers are owned by a live request and are never evicted; a
+// key whose entry vanished already is simply dropped from order.
+func (c *idemCache) evictLocked() {
+	for len(c.order) > c.capacity {
+		k := c.order[0]
+		c.order = c.order[1:]
+		if rec, ok := c.entries[k]; ok && rec != nil {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// seed loads recovered completed entries, oldest first, as if they had just
+// completed; the capacity bound applies.
+func (c *idemCache) seed(entries []idemEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range entries {
+		if e.Key == "" {
+			continue
+		}
+		c.completeLocked(e.Key, e.Status, e.Body)
+	}
+}
+
+// snapshot exports the completed entries, oldest first, for inclusion in a
+// store snapshot.
+func (c *idemCache) snapshot() []idemEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]idemEntry, 0, len(c.order))
+	for _, k := range c.order {
+		if rec, ok := c.entries[k]; ok && rec != nil {
+			out = append(out, idemEntry{Key: k, Status: rec.status, Body: rec.body})
+		}
+	}
+	return out
 }
 
 // recordingWriter tees the response through while capturing status and body

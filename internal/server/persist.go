@@ -1,0 +1,406 @@
+package server
+
+// Durable storage for the crowd-server: every mutating Store path appends a
+// typed record to a write-ahead log before acknowledging, snapshots
+// serialize the full state so old segments can be compacted, and startup
+// recovery loads the latest snapshot then replays the log suffix. The
+// records carry the request's idempotency key, so a recovered server replays
+// previously-acknowledged responses verbatim — exactly-once survives the
+// crash, not just the retry.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/wal"
+)
+
+// WAL record kinds, one per mutating Store path.
+const (
+	recPattern   byte = 1
+	recLabels    byte = 2
+	recReport    byte = 3
+	recAggregate byte = 4
+)
+
+// ErrDurability marks a mutation rejected because its write-ahead append
+// failed; the in-memory state was not changed. HTTP handlers map it to 500
+// (the client may retry) instead of 400 (the client must not).
+var ErrDurability = errors.New("server: durable append failed")
+
+// patternRecord logs one AddPattern.
+type patternRecord struct {
+	ID      int        `json:"id"`
+	Segment string     `json:"segment"`
+	APs     []APReport `json:"aps,omitempty"`
+	IdemKey string     `json:"idemKey,omitempty"`
+}
+
+// labelsRecord logs one validated label batch.
+type labelsRecord struct {
+	Labels  []Label `json:"labels"`
+	IdemKey string  `json:"idemKey,omitempty"`
+}
+
+// reportRecord logs one AddReport.
+type reportRecord struct {
+	Report  Report `json:"report"`
+	IdemKey string `json:"idemKey,omitempty"`
+}
+
+// aggregateRecord logs one aggregation cycle's outputs (the post-cycle fused
+// map and reliability map, which replace rather than accumulate).
+type aggregateRecord struct {
+	Fused       map[string][]LookupResult `json:"fused"`
+	Reliability map[string]float64        `json:"reliability"`
+}
+
+// snapshotState is the full Store serialization: everything recovery needs
+// to stand the server back up without the compacted log prefix.
+type snapshotState struct {
+	Patterns    []Pattern                 `json:"patterns"`
+	Labels      []Label                   `json:"labels"`
+	Reports     []Report                  `json:"reports"`
+	Vehicles    map[string]int            `json:"vehicles"`
+	Fused       map[string][]LookupResult `json:"fused"`
+	Reliability map[string]float64        `json:"reliability"`
+	Idem        []idemEntry               `json:"idem"`
+}
+
+// StorageOptions configures the crowd-server's durability subsystem. The
+// zero value (empty Dir) keeps the store purely in-memory — exactly the
+// pre-durability behaviour.
+type StorageOptions struct {
+	// Dir is the data directory holding WAL segments and snapshots.
+	Dir string
+	// Fsync selects when appends reach stable storage; the zero value is
+	// wal.SyncAlways (acknowledged ⇒ durable).
+	Fsync wal.SyncPolicy
+	// SyncEvery is the wal.SyncInterval period (≤ 0 selects the default).
+	SyncEvery time.Duration
+	// SegmentBytes sets the WAL segment rotation size (≤ 0 selects the
+	// default).
+	SegmentBytes int64
+	// SnapshotKeep is how many snapshots to retain after compaction
+	// (≤ 0 keeps 2: the live one plus a fallback).
+	SnapshotKeep int
+	// Metrics, when non-nil, instruments appends, fsyncs, rotations,
+	// snapshots, and recovery.
+	Metrics *wal.Metrics
+	// Logger, when non-nil, receives recovery warnings.
+	Logger *obs.Logger
+}
+
+// RecoveryStats summarizes one boot's recovery work.
+type RecoveryStats struct {
+	// SnapshotLoaded reports whether a snapshot seeded the state.
+	SnapshotLoaded bool
+	// SnapshotSeq is the log sequence the loaded snapshot covers.
+	SnapshotSeq uint64
+	// ReplayedRecords is how many WAL records were applied on top.
+	ReplayedRecords int
+	// TruncatedBytes is the torn tail recovery cut from the final segment.
+	TruncatedBytes int64
+	// LastSeq is the newest durable sequence after recovery.
+	LastSeq uint64
+	// Patterns, Labels, Reports, IdemKeys are the recovered volumes.
+	Patterns, Labels, Reports, IdemKeys int
+	// Duration is recovery's wall-clock time.
+	Duration time.Duration
+}
+
+// OpenStore builds a Store backed by a write-ahead log and snapshots in
+// opts.Dir: it loads the newest valid snapshot, replays the log suffix
+// (tolerating a torn final record), and leaves the log attached so every
+// later mutation is appended before it is acknowledged. An empty opts.Dir
+// returns a plain in-memory store, and an empty data directory is a fresh
+// boot that behaves exactly like one.
+func OpenStore(mergeRadius float64, opts StorageOptions) (*Store, RecoveryStats, error) {
+	s := NewStore(mergeRadius)
+	var stats RecoveryStats
+	if opts.Dir == "" {
+		return s, stats, nil
+	}
+	start := time.Now()
+	if opts.SnapshotKeep <= 0 {
+		opts.SnapshotKeep = 2
+	}
+
+	snapSeq, snapData, err := wal.LatestSnapshot(opts.Dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("server: loading snapshot: %w", err)
+	}
+	if snapData != nil {
+		var state snapshotState
+		if err := json.Unmarshal(snapData, &state); err != nil {
+			return nil, stats, fmt.Errorf("server: decoding snapshot: %w", err)
+		}
+		s.restoreSnapshot(state)
+		stats.SnapshotLoaded = true
+		stats.SnapshotSeq = snapSeq
+	}
+
+	log, info, err := wal.Open(opts.Dir, wal.Options{
+		SegmentBytes: opts.SegmentBytes,
+		Sync:         opts.Fsync,
+		SyncEvery:    opts.SyncEvery,
+		NextSeq:      snapSeq + 1,
+		Metrics:      opts.Metrics,
+	})
+	if err != nil {
+		return nil, stats, fmt.Errorf("server: opening wal: %w", err)
+	}
+	stats.TruncatedBytes = info.TruncatedBytes
+
+	err = log.Replay(snapSeq, func(rec wal.Record) error {
+		stats.ReplayedRecords++
+		return s.applyRecord(rec)
+	})
+	if err != nil {
+		log.Close()
+		return nil, stats, fmt.Errorf("server: replaying wal: %w", err)
+	}
+
+	s.mu.Lock()
+	s.log = log
+	s.storage = opts
+	stats.LastSeq = log.LastSeq()
+	stats.Patterns = len(s.patterns)
+	stats.Labels = len(s.labels)
+	stats.Reports = len(s.reports)
+	stats.IdemKeys = len(s.recoveredIdem)
+	s.mu.Unlock()
+	stats.Duration = time.Since(start)
+	return s, stats, nil
+}
+
+// restoreSnapshot installs a decoded snapshot as the store's state.
+func (s *Store) restoreSnapshot(state snapshotState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.patterns = state.Patterns
+	s.labels = state.Labels
+	s.reports = state.Reports
+	s.vehicles = state.Vehicles
+	s.fused = state.Fused
+	s.reliability = state.Reliability
+	if s.vehicles == nil {
+		s.vehicles = map[string]int{}
+	}
+	if s.fused == nil {
+		s.fused = map[string][]LookupResult{}
+	}
+	if s.reliability == nil {
+		s.reliability = map[string]float64{}
+	}
+	s.recoveredIdem = state.Idem
+}
+
+// applyRecord replays one WAL record. Replay mirrors the original mutation
+// exactly — including the canonical response a keyed request was (or would
+// have been) acknowledged with, so retries of acknowledged-but-crashed
+// uploads dedupe instead of double-applying.
+func (s *Store) applyRecord(rec wal.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch rec.Kind {
+	case recPattern:
+		var p patternRecord
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return fmt.Errorf("server: record %d: %w", rec.Seq, err)
+		}
+		if p.ID != len(s.patterns) {
+			return fmt.Errorf("server: record %d: pattern id %d does not follow %d stored patterns", rec.Seq, p.ID, len(s.patterns))
+		}
+		s.patterns = append(s.patterns, Pattern{ID: p.ID, Segment: p.Segment, APs: p.APs})
+		s.recoverIdemLocked(p.IdemKey, patternResponse(p.ID))
+	case recLabels:
+		var lr labelsRecord
+		if err := json.Unmarshal(rec.Data, &lr); err != nil {
+			return fmt.Errorf("server: record %d: %w", rec.Seq, err)
+		}
+		for _, l := range lr.Labels {
+			s.vehicleIndex(l.Vehicle)
+			s.labels = append(s.labels, l)
+		}
+		s.recoverIdemLocked(lr.IdemKey, labelsResponse(len(lr.Labels)))
+	case recReport:
+		var rr reportRecord
+		if err := json.Unmarshal(rec.Data, &rr); err != nil {
+			return fmt.Errorf("server: record %d: %w", rec.Seq, err)
+		}
+		s.vehicleIndex(rr.Report.Vehicle)
+		s.reports = append(s.reports, rr.Report)
+		s.recoverIdemLocked(rr.IdemKey, reportResponse())
+	case recAggregate:
+		var ar aggregateRecord
+		if err := json.Unmarshal(rec.Data, &ar); err != nil {
+			return fmt.Errorf("server: record %d: %w", rec.Seq, err)
+		}
+		if ar.Fused == nil {
+			ar.Fused = map[string][]LookupResult{}
+		}
+		if ar.Reliability == nil {
+			ar.Reliability = map[string]float64{}
+		}
+		s.fused = ar.Fused
+		s.reliability = ar.Reliability
+	default:
+		return fmt.Errorf("server: record %d has unknown kind %d", rec.Seq, rec.Kind)
+	}
+	return nil
+}
+
+// cannedResponse is the canonical acknowledgement for one mutation — the
+// handlers send it and recovery reconstructs it, so a replayed idempotency
+// key answers with the same bytes the original delivery did (or would have).
+type cannedResponse struct {
+	status int
+	body   []byte
+}
+
+func jsonBody(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// The canned values are maps of strings and ints; this cannot fail.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+func patternResponse(id int) cannedResponse {
+	return cannedResponse{http.StatusCreated, jsonBody(map[string]int{"id": id})}
+}
+
+func labelsResponse(n int) cannedResponse {
+	return cannedResponse{http.StatusOK, jsonBody(map[string]int{"accepted": n})}
+}
+
+func reportResponse() cannedResponse {
+	return cannedResponse{http.StatusCreated, jsonBody(map[string]string{"status": "stored"})}
+}
+
+// recoverIdemLocked queues a replayed record's idempotency completion. The
+// HTTP layer is not up yet during recovery, so completions buffer on the
+// store until Server.New seeds its cache via attachIdem.
+func (s *Store) recoverIdemLocked(key string, resp cannedResponse) {
+	if key == "" {
+		return
+	}
+	s.recoveredIdem = append(s.recoveredIdem, idemEntry{Key: key, Status: resp.status, Body: resp.body})
+}
+
+// attachIdem hands the store's recovered idempotency completions to a
+// server's cache and registers the cache as the live sink for completions
+// installed by the durable mutators.
+func (s *Store) attachIdem(c *idemCache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.seed(s.recoveredIdem)
+	s.recoveredIdem = nil
+	s.idemSink = c
+}
+
+// appendRecordLocked write-ahead-logs one typed record. Requires s.mu held,
+// which serializes appends with the mutations they precede — a no-op without
+// an attached log. A failed append poisons nothing: the caller returns
+// before mutating.
+func (s *Store) appendRecordLocked(kind byte, v any) error {
+	if s.log == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	if _, err := s.log.Append(kind, data); err != nil {
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// completeIdemLocked installs a keyed request's canonical response in the
+// live idempotency cache, atomically (under s.mu) with the mutation it
+// acknowledges, so a snapshot can never capture the mutation without its
+// completion. Requires s.mu held.
+func (s *Store) completeIdemLocked(key string, resp cannedResponse) {
+	if key == "" {
+		return
+	}
+	if s.idemSink != nil {
+		s.idemSink.complete(key, resp.status, resp.body)
+		return
+	}
+	// No HTTP layer attached yet: buffer like recovery does so the
+	// completion still reaches a later Server.New and the next snapshot.
+	s.recoveredIdem = append(s.recoveredIdem, idemEntry{Key: key, Status: resp.status, Body: resp.body})
+}
+
+// idemEntriesLocked exports the completed idempotency keys for a snapshot.
+// Requires s.mu held.
+func (s *Store) idemEntriesLocked() []idemEntry {
+	if s.idemSink != nil {
+		return s.idemSink.snapshot()
+	}
+	return append([]idemEntry(nil), s.recoveredIdem...)
+}
+
+// Snapshot serializes the full store state (patterns, labels, reports,
+// vehicle index, fused map, reliability, completed idempotency keys) as of
+// the newest durable sequence, installs it atomically, and compacts away the
+// WAL segments and older snapshots it covers. It returns the covered
+// sequence. A no-op (0, nil) on an in-memory store.
+func (s *Store) Snapshot() (uint64, error) {
+	s.mu.Lock()
+	if s.log == nil {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	state := snapshotState{
+		Patterns:    s.patterns,
+		Labels:      s.labels,
+		Reports:     s.reports,
+		Vehicles:    s.vehicles,
+		Fused:       s.fused,
+		Reliability: s.reliability,
+		Idem:        s.idemEntriesLocked(),
+	}
+	seq := s.log.LastSeq()
+	// Marshal under the lock: the state fields are aliased, not copied, and
+	// appends (which all hold s.mu) must not interleave with serialization.
+	data, err := json.Marshal(state)
+	log, opts := s.log, s.storage
+	s.mu.Unlock()
+	if err != nil {
+		opts.Metrics.ObserveSnapshot(0, 0, err)
+		return 0, err
+	}
+
+	start := time.Now()
+	if err := wal.WriteSnapshot(opts.Dir, seq, data); err != nil {
+		opts.Metrics.ObserveSnapshot(0, time.Since(start), err)
+		return 0, err
+	}
+	opts.Metrics.ObserveSnapshot(len(data), time.Since(start), nil)
+	if err := log.CompactThrough(seq); err != nil {
+		return seq, err
+	}
+	return seq, wal.CompactSnapshots(opts.Dir, opts.SnapshotKeep)
+}
+
+// Close flushes and closes the attached log (no-op for an in-memory store).
+// Call Snapshot first on a clean shutdown to make the next boot instant.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	log := s.log
+	s.log = nil
+	s.mu.Unlock()
+	if log == nil {
+		return nil
+	}
+	return log.Close()
+}

@@ -21,6 +21,7 @@ import (
 	"crowdwifi/internal/crowd"
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/wal"
 )
 
 // Resilience defaults for the HTTP surface.
@@ -90,6 +91,14 @@ type Store struct {
 	mergeRadius float64
 	metrics     *Metrics
 	aggregating atomic.Bool
+
+	// Durability (see persist.go). log is nil for an in-memory store;
+	// recoveredIdem buffers replayed idempotency completions until a Server
+	// attaches its cache as idemSink.
+	log           *wal.Log
+	storage       StorageOptions
+	idemSink      *idemCache
+	recoveredIdem []idemEntry
 }
 
 // NewStore returns an empty store. mergeRadius controls fusion clustering
@@ -123,19 +132,34 @@ func (s *Store) vehicleIndex(id string) int {
 
 // AddPattern registers a mapping task and returns its id.
 func (s *Store) AddPattern(segment string, aps []APReport) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id := len(s.patterns)
-	s.patterns = append(s.patterns, Pattern{ID: id, Segment: segment, APs: aps})
-	s.metrics.incPatterns()
+	id, _ := s.AddPatternKeyed("", segment, aps)
 	return id
 }
 
-// Patterns returns the mapping tasks, optionally filtered by segment.
+// AddPatternKeyed is AddPattern with write-ahead durability semantics: the
+// typed record (carrying the request's idempotency key, if any) is appended
+// and synced per policy before the state mutates, and the canonical response
+// is installed in the idempotency cache atomically with the mutation. The
+// only possible error is ErrDurability.
+func (s *Store) AddPatternKeyed(idemKey, segment string, aps []APReport) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := len(s.patterns)
+	if err := s.appendRecordLocked(recPattern, patternRecord{ID: id, Segment: segment, APs: aps, IdemKey: idemKey}); err != nil {
+		return 0, err
+	}
+	s.patterns = append(s.patterns, Pattern{ID: id, Segment: segment, APs: aps})
+	s.metrics.incPatterns()
+	s.completeIdemLocked(idemKey, patternResponse(id))
+	return id, nil
+}
+
+// Patterns returns the mapping tasks, optionally filtered by segment. The
+// result is never nil, so the HTTP layer encodes an empty list as [].
 func (s *Store) Patterns(segment string) []Pattern {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []Pattern
+	out := []Pattern{}
 	for _, p := range s.patterns {
 		if segment == "" || p.Segment == segment {
 			out = append(out, p)
@@ -146,24 +170,19 @@ func (s *Store) Patterns(segment string) []Pattern {
 
 // AddLabel records an answer. The task must exist and the value must be ±1.
 func (s *Store) AddLabel(l Label) error {
-	if l.Value != 1 && l.Value != -1 {
-		return errors.New("server: label value must be ±1")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if l.TaskID < 0 || l.TaskID >= len(s.patterns) {
-		return fmt.Errorf("server: unknown task %d", l.TaskID)
-	}
-	s.vehicleIndex(l.Vehicle)
-	s.labels = append(s.labels, l)
-	s.metrics.incLabels()
-	return nil
+	return s.AddLabelsKeyed("", []Label{l})
 }
 
 // AddLabels records a batch of answers atomically: the whole batch is
 // validated first, so a rejected batch leaves no partial state behind and a
 // client retry of the fixed batch cannot double-apply a prefix.
 func (s *Store) AddLabels(ls []Label) error {
+	return s.AddLabelsKeyed("", ls)
+}
+
+// AddLabelsKeyed is AddLabels with write-ahead durability semantics (see
+// AddPatternKeyed). Validation errors never touch the log.
+func (s *Store) AddLabelsKeyed(idemKey string, ls []Label) error {
 	for _, l := range ls {
 		if l.Value != 1 && l.Value != -1 {
 			return errors.New("server: label value must be ±1")
@@ -176,24 +195,38 @@ func (s *Store) AddLabels(ls []Label) error {
 			return fmt.Errorf("server: unknown task %d", l.TaskID)
 		}
 	}
+	if err := s.appendRecordLocked(recLabels, labelsRecord{Labels: ls, IdemKey: idemKey}); err != nil {
+		return err
+	}
 	for _, l := range ls {
 		s.vehicleIndex(l.Vehicle)
 		s.labels = append(s.labels, l)
 		s.metrics.incLabels()
 	}
+	s.completeIdemLocked(idemKey, labelsResponse(len(ls)))
 	return nil
 }
 
 // AddReport stores a vehicle's AP report.
 func (s *Store) AddReport(r Report) error {
+	return s.AddReportKeyed("", r)
+}
+
+// AddReportKeyed is AddReport with write-ahead durability semantics (see
+// AddPatternKeyed).
+func (s *Store) AddReportKeyed(idemKey string, r Report) error {
 	if r.Vehicle == "" || r.Segment == "" {
 		return errors.New("server: report needs vehicle and segment")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.appendRecordLocked(recReport, reportRecord{Report: r, IdemKey: idemKey}); err != nil {
+		return err
+	}
 	s.vehicleIndex(r.Vehicle)
 	s.reports = append(s.reports, r)
 	s.metrics.incReports()
+	s.completeIdemLocked(idemKey, reportResponse())
 	return nil
 }
 
@@ -312,6 +345,11 @@ func (s *Store) aggregate() (CycleStats, error) {
 		stats.Segments++
 		stats.FusedAPs += len(out)
 	}
+	// Log the cycle's outputs so a recovered server serves the same fused
+	// map without waiting for its first aggregation.
+	if err := s.appendRecordLocked(recAggregate, aggregateRecord{Fused: s.fused, Reliability: s.reliability}); err != nil {
+		return stats, err
+	}
 	return stats, nil
 }
 
@@ -371,11 +409,14 @@ func (s *Store) inferReliabilityLocked() map[string]float64 {
 }
 
 // Lookup returns the fused APs intersecting the query rectangle, across all
-// segments, ordered by weight then position for determinism.
+// segments. The result is never nil and is ordered by position (X, then Y)
+// with ties broken by descending weight — a total order independent of map
+// iteration, so two stores holding the same fused state (e.g. one recovered
+// from disk) answer byte-for-byte identically.
 func (s *Store) Lookup(area geo.Rect) []LookupResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []LookupResult
+	out := []LookupResult{}
 	for _, results := range s.fused {
 		for _, r := range results {
 			if area.Contains(geo.Point{X: r.X, Y: r.Y}) {
@@ -384,13 +425,13 @@ func (s *Store) Lookup(area geo.Rect) []LookupResult {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Weight != out[j].Weight {
-			return out[i].Weight > out[j].Weight
-		}
 		if out[i].X != out[j].X {
 			return out[i].X < out[j].X
 		}
-		return out[i].Y < out[j].Y
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].Weight > out[j].Weight
 	})
 	return out
 }
@@ -455,6 +496,10 @@ func New(store *Store, opts ...Option) *Server {
 		s.maxBody = DefaultMaxBodyBytes
 	}
 	s.idem = newIdemCache(s.idemCap)
+	// Seed the cache with completions recovered from the WAL/snapshot and
+	// register it so durable mutations install their canonical responses
+	// atomically: acknowledged keys replay verbatim even across a crash.
+	store.attachIdem(s.idem)
 	if s.metrics != nil {
 		store.Instrument(s.metrics)
 	}
@@ -570,6 +615,26 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeCanned sends a mutation's canonical acknowledgement (see
+// cannedResponse in persist.go).
+func writeCanned(w http.ResponseWriter, resp cannedResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.status)
+	_, _ = w.Write(resp.body)
+}
+
+// mutationError maps a durable-mutator error to its HTTP status: a failed
+// write-ahead append is the server's problem (500, retryable), anything
+// else is a validation failure (400).
+func (s *Server) mutationError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrDurability) {
+		s.log.Error("durable append failed", "err", err)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
 // handlePatterns: POST registers a pattern; GET lists patterns (optionally
 // ?segment=...).
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
@@ -583,8 +648,12 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, errors.New("segment required"))
 			return
 		}
-		id := s.store.AddPattern(p.Segment, p.APs)
-		writeJSON(w, http.StatusCreated, map[string]int{"id": id})
+		id, err := s.store.AddPatternKeyed(r.Header.Get(IdempotencyKeyHeader), p.Segment, p.APs)
+		if err != nil {
+			s.mutationError(w, err)
+			return
+		}
+		writeCanned(w, patternResponse(id))
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, s.store.Patterns(r.URL.Query().Get("segment")))
 	default:
@@ -666,11 +735,11 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &ls) {
 		return
 	}
-	if err := s.store.AddLabels(ls); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.store.AddLabelsKeyed(r.Header.Get(IdempotencyKeyHeader), ls); err != nil {
+		s.mutationError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]int{"accepted": len(ls)})
+	writeCanned(w, labelsResponse(len(ls)))
 }
 
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
@@ -682,11 +751,11 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &rep) {
 		return
 	}
-	if err := s.store.AddReport(rep); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := s.store.AddReportKeyed(r.Header.Get(IdempotencyKeyHeader), rep); err != nil {
+		s.mutationError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"status": "stored"})
+	writeCanned(w, reportResponse())
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -720,11 +789,8 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		vals[i] = v
 	}
 	area := geo.NewRect(geo.Point{X: vals[0], Y: vals[1]}, geo.Point{X: vals[2], Y: vals[3]})
-	results := s.store.Lookup(area)
-	if results == nil {
-		results = []LookupResult{}
-	}
-	writeJSON(w, http.StatusOK, results)
+	// Store.Lookup never returns nil, so empty results encode as [].
+	writeJSON(w, http.StatusOK, s.store.Lookup(area))
 }
 
 func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame layout, little-endian:
+//
+//	┌──────────┬──────────┬────────┬─────────────┐
+//	│ len u32  │ crc u32  │ kind u8│ data …      │
+//	└──────────┴──────────┴────────┴─────────────┘
+//
+// len counts the payload (kind + data); crc is CRC32-C (Castagnoli) over the
+// payload. A frame whose length field, checksum, or remaining bytes do not
+// add up marks the end of the trustworthy log: everything before it is
+// intact, everything from it on is discarded.
+const (
+	frameHeaderSize = 8
+	// MaxRecordBytes bounds one record's payload (kind + data). The cap
+	// exists so a corrupted length field cannot ask recovery to allocate
+	// gigabytes before the checksum gets a chance to reject the frame.
+	MaxRecordBytes = 16 << 20
+)
+
+// ErrTooLarge reports an append whose payload exceeds MaxRecordBytes.
+var ErrTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends the framed record to dst and returns the extended
+// slice.
+func appendFrame(dst []byte, kind byte, data []byte) []byte {
+	n := 1 + len(data)
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
+	crc := crc32.Update(0, castagnoli, []byte{kind})
+	crc = crc32.Update(crc, castagnoli, data)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, kind)
+	return append(dst, data...)
+}
+
+// frameSize returns the on-disk size of a record with len(data) data bytes.
+func frameSize(dataLen int) int64 {
+	return int64(frameHeaderSize + 1 + dataLen)
+}
+
+// walkFrames decodes consecutive frames from buf, calling fn with each
+// record's index, kind, and data. It returns the offset just past the last
+// valid frame and the number of valid frames. Framing damage (truncated
+// header, oversized or zero length, checksum mismatch, short payload) is not
+// an error: the walk stops at the damaged frame and valid < len(buf) tells
+// the caller the tail is not trustworthy. A non-nil error is fn's own,
+// propagated immediately.
+func walkFrames(buf []byte, fn func(i int, kind byte, data []byte) error) (valid int64, n int, err error) {
+	off := 0
+	for off+frameHeaderSize <= len(buf) {
+		length := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		if length < 1 || length > MaxRecordBytes || off+frameHeaderSize+length > len(buf) {
+			break
+		}
+		payload := buf[off+frameHeaderSize : off+frameHeaderSize+length]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[off+4:off+8]) {
+			break
+		}
+		if fn != nil {
+			if err := fn(n, payload[0], payload[1:]); err != nil {
+				return int64(off), n, err
+			}
+		}
+		off += frameHeaderSize + length
+		n++
+	}
+	return int64(off), n, nil
+}
+
+// corruptionError describes framing damage found where it cannot be healed
+// by tail truncation.
+func corruptionError(path string, off int64) error {
+	return fmt.Errorf("wal: segment %s corrupt at offset %d", path, off)
+}

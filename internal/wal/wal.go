@@ -1,0 +1,450 @@
+// Package wal is the crowd-server's durability layer: an append-only,
+// segmented write-ahead log of length+CRC32C-framed typed records, plus
+// atomically-renamed snapshot files that let old segments be compacted away.
+//
+// The log is crash-tolerant by construction. Appends go to the newest
+// segment; a configurable fsync policy (per-record, interval, or off) trades
+// durability for throughput. Recovery scans the final segment and truncates
+// at the first damaged frame — a torn write from a crash loses at most the
+// records after the tear, never the ability to boot. Damage in an earlier,
+// sealed segment cannot be healed by truncation and fails recovery loudly.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appends are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record is
+	// durable. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (Options.SyncEvery): a
+	// crash loses at most the last interval's acknowledged records.
+	SyncInterval
+	// SyncOff never fsyncs; the OS flushes at its leisure. A process crash
+	// loses nothing (the kernel has the writes); a machine crash may lose
+	// the unflushed tail.
+	SyncOff
+)
+
+// ParseSyncPolicy maps the -fsync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off", "none":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultSegmentBytes = 8 << 20
+	DefaultSyncEvery    = 200 * time.Millisecond
+	segmentSuffix       = ".seg"
+	segmentPrefix       = "wal-"
+)
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes rotates to a fresh segment once the active one exceeds
+	// this size (≤ 0 selects DefaultSegmentBytes).
+	SegmentBytes int64
+	// Sync is the fsync policy; the zero value is SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (≤ 0 selects DefaultSyncEvery).
+	SyncEvery time.Duration
+	// NextSeq numbers the first record when the directory holds no
+	// segments — pass snapshotSeq+1 so replay offsets stay aligned after
+	// compaction. Ignored when segments exist; 0 means start at 1.
+	NextSeq uint64
+	// Metrics, when non-nil, receives append/fsync/rotation/recovery
+	// observations.
+	Metrics *Metrics
+}
+
+// Record is one replayed log entry.
+type Record struct {
+	Seq  uint64
+	Kind byte
+	Data []byte
+}
+
+// OpenInfo reports what Open found on disk.
+type OpenInfo struct {
+	// Segments is the number of live segment files.
+	Segments int
+	// TruncatedBytes is how much torn tail Open cut from the final segment.
+	TruncatedBytes int64
+	// NextSeq is the sequence number the next append will receive.
+	NextSeq uint64
+}
+
+type segment struct {
+	path  string
+	first uint64
+}
+
+// Log is a segmented append-only record log. All methods are safe for
+// concurrent use; Replay must run before concurrent appends begin.
+type Log struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	m      *Metrics
+	segs   []segment // sorted by first; the last one is active
+	f      *os.File  // active segment
+	size   int64     // bytes in the active segment
+	next   uint64    // sequence number of the next append
+	dirty  bool      // unsynced writes pending
+	closed bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+func segmentName(first uint64) string {
+	return fmt.Sprintf("%s%020d%s", segmentPrefix, first, segmentSuffix)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix), 10, 64)
+	return seq, err == nil
+}
+
+// Open creates or reopens the log in dir. Reopening scans the final segment
+// and truncates it at the first damaged frame, so a crash mid-append (a torn
+// write) costs the torn record, not the boot.
+func Open(dir string, opts Options) (*Log, OpenInfo, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, OpenInfo{}, err
+	}
+	removeStaleTemps(dir)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, OpenInfo{}, err
+	}
+	l := &Log{dir: dir, opts: opts, m: opts.Metrics}
+	for _, e := range entries {
+		if first, ok := parseSegmentName(e.Name()); ok {
+			l.segs = append(l.segs, segment{path: filepath.Join(dir, e.Name()), first: first})
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].first < l.segs[j].first })
+
+	var info OpenInfo
+	if len(l.segs) == 0 {
+		l.next = opts.NextSeq
+		if l.next == 0 {
+			l.next = 1
+		}
+		if err := l.createSegmentLocked(); err != nil {
+			return nil, OpenInfo{}, err
+		}
+	} else {
+		// Recover the active (final) segment: count its records and cut any
+		// torn tail.
+		active := l.segs[len(l.segs)-1]
+		buf, err := os.ReadFile(active.path)
+		if err != nil {
+			return nil, OpenInfo{}, err
+		}
+		valid, n, _ := walkFrames(buf, nil)
+		if valid < int64(len(buf)) {
+			info.TruncatedBytes = int64(len(buf)) - valid
+			if err := os.Truncate(active.path, valid); err != nil {
+				return nil, OpenInfo{}, err
+			}
+			l.m.recoveryTruncated(info.TruncatedBytes)
+		}
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, OpenInfo{}, err
+		}
+		if info.TruncatedBytes > 0 {
+			// Make the truncation itself durable before trusting the tail.
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, OpenInfo{}, err
+			}
+		}
+		l.f = f
+		l.size = valid
+		l.next = active.first + uint64(n)
+	}
+	info.Segments = len(l.segs)
+	info.NextSeq = l.next
+	l.m.setLastSeq(l.next - 1)
+
+	if opts.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop(l.stopSync)
+	}
+	return l, info, nil
+}
+
+// removeStaleTemps clears half-written snapshot temp files left by a crash
+// mid-snapshot; the rename never happened, so they are garbage.
+func removeStaleTemps(dir string) {
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	for _, m := range matches {
+		_ = os.Remove(m)
+	}
+}
+
+// syncLoop receives the stop channel as an argument: Close nils the field
+// (so a second Close is a no-op) before closing the channel itself, and the
+// loop must not re-read it.
+func (l *Log) syncLoop(stop <-chan struct{}) {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// createSegmentLocked starts a fresh segment whose first record will be
+// l.next. Requires l.mu held (or exclusive access during Open).
+func (l *Log) createSegmentLocked() error {
+	path := filepath.Join(l.dir, segmentName(l.next))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.size = 0
+	l.segs = append(l.segs, segment{path: path, first: l.next})
+	return nil
+}
+
+// rotateLocked seals the active segment (synced so its contents are fixed)
+// and opens a new one.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	if err := l.createSegmentLocked(); err != nil {
+		return err
+	}
+	l.m.incRotations()
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.m.incFsyncs()
+	return nil
+}
+
+// Append writes one typed record and returns its sequence number. Under
+// SyncAlways the record is on stable storage when Append returns.
+func (l *Log) Append(kind byte, data []byte) (uint64, error) {
+	if 1+len(data) > MaxRecordBytes {
+		return 0, ErrTooLarge
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log is closed")
+	}
+	size := frameSize(len(data))
+	if l.size > 0 && l.size+size > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	frame := appendFrame(make([]byte, 0, size), kind, data)
+	if _, err := l.f.Write(frame); err != nil {
+		return 0, err
+	}
+	seq := l.next
+	l.next++
+	l.size += size
+	l.dirty = true
+	l.m.observeAppend(size, seq)
+	if l.opts.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// Sync flushes pending appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// LastSeq returns the sequence number of the newest record (0 if none were
+// ever appended and no snapshot advanced the numbering).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// Replay streams every record with seq > after, oldest first. Call it after
+// Open and before concurrent appends begin. Damage inside a sealed segment
+// (a mid-log CRC mismatch) is unrecoverable and returns an error; the final
+// segment was already healed by Open.
+func (l *Log) Replay(after uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	next := l.next
+	l.mu.Unlock()
+
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		end := next - 1
+		if !last {
+			end = segs[i+1].first - 1
+		}
+		if end <= after {
+			continue
+		}
+		buf, err := os.ReadFile(seg.path)
+		if err != nil {
+			return err
+		}
+		valid, n, err := walkFrames(buf, func(idx int, kind byte, data []byte) error {
+			seq := seg.first + uint64(idx)
+			if seq <= after {
+				return nil
+			}
+			l.m.incReplayed()
+			return fn(Record{Seq: seq, Kind: kind, Data: append([]byte(nil), data...)})
+		})
+		if err != nil {
+			return err
+		}
+		if valid < int64(len(buf)) || seg.first+uint64(n) != end+1 {
+			return corruptionError(seg.path, valid)
+		}
+	}
+	return nil
+}
+
+// CompactThrough removes segments whose records are all ≤ seq — typically
+// the sequence captured by a snapshot. If the active segment is fully
+// covered it is sealed first so it too can go; the log always keeps one
+// active segment.
+func (l *Log) CompactThrough(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	if l.size > 0 && l.next-1 <= seq {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	removed := 0
+	for len(l.segs) > 1 && l.segs[1].first-1 <= seq {
+		if err := os.Remove(l.segs[0].path); err != nil && !os.IsNotExist(err) {
+			break
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		l.m.addCompacted(removed)
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// Close flushes and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	stop := l.stopSync
+	l.stopSync = nil
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// syncDir fsyncs a directory so entry creations/removals survive a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
