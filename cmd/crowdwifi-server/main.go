@@ -19,6 +19,7 @@
 //	                 [-data-dir /var/lib/crowdwifi] [-fsync always]
 //	                 [-snapshot-every 5m]
 //	                 [-metrics-addr :8701] [-log-level info]
+//	                 [-trace-sample 1] [-trace-buffer 256]
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 
 	"crowdwifi/internal/cs"
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/trace"
 	"crowdwifi/internal/server"
 	"crowdwifi/internal/wal"
 )
@@ -48,6 +50,8 @@ type config struct {
 	dataDir        string
 	fsync          wal.SyncPolicy
 	snapshotEvery  time.Duration
+	traceSample    float64
+	traceBuffer    int
 }
 
 func main() {
@@ -64,6 +68,10 @@ func main() {
 		"WAL fsync policy: always (ack ⇒ durable), interval, or off")
 	flag.DurationVar(&cfg.snapshotEvery, "snapshot-every", 5*time.Minute,
 		"how often to snapshot the store and compact the WAL (0 disables; a snapshot is always cut on shutdown)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 1,
+		"fraction of new traces to record, 0..1 (error and slow traces are retained regardless once sampled)")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", trace.DefaultCapacity,
+		"number of recent traces kept in memory for /debug/traces")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -92,6 +100,16 @@ func run(cfg config, logger *obs.Logger) error {
 	// /metrics (at zero) for dashboards built against one scrape target.
 	cs.NewMetrics(reg)
 
+	tracer := trace.NewTracer(trace.Config{
+		SampleRate: cfg.traceSample,
+		Capacity:   cfg.traceBuffer,
+	})
+	// Not ready until recovery has replayed the WAL and the listener is up;
+	// readiness drops again when the shutdown snapshot starts so load
+	// balancers stop routing before the final fsync.
+	health := obs.NewHealth()
+	health.SetNotReady("recovering")
+
 	store, recovery, err := server.OpenStore(cfg.mergeRadius, server.StorageOptions{
 		Dir:     cfg.dataDir,
 		Fsync:   cfg.fsync,
@@ -119,21 +137,29 @@ func run(cfg config, logger *obs.Logger) error {
 	}
 
 	srv := &http.Server{
-		Handler:           server.New(store, server.WithMetrics(metrics), server.WithLogger(logger)),
+		Handler: server.New(store,
+			server.WithMetrics(metrics),
+			server.WithLogger(logger),
+			server.WithTracer(tracer),
+			server.WithHealth(health)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ctx = trace.WithTracer(ctx, tracer)
 
 	aggLog := logger.With("component", "aggregate")
 	runCycle := func() {
-		stats, err := store.AggregateCycle()
+		cctx, span := trace.Start(ctx, "server.aggregate_tick")
+		defer span.End()
+		stats, err := store.AggregateCycleContext(cctx)
 		if err != nil {
-			aggLog.Error("cycle failed", "err", err)
+			span.SetError(err)
+			aggLog.Ctx(cctx).Error("cycle failed", "err", err)
 			return
 		}
-		aggLog.Info("cycle complete",
+		aggLog.Ctx(cctx).Info("cycle complete",
 			"duration", stats.Duration,
 			"vehicles_scored", stats.VehiclesScored,
 			"spammers_flagged", stats.SpammersFlagged,
@@ -181,12 +207,17 @@ func run(cfg config, logger *obs.Logger) error {
 		}
 	}()
 
-	// Optional dedicated observability listener.
+	// Optional dedicated observability listener. It carries the same trace
+	// and health endpoints as the API mux so deployments that firewall the
+	// public port still get probes and trace retrieval.
 	var metricsSrv *http.Server
 	if cfg.metricsAddr != "" {
+		debugMux := obs.NewDebugMux(reg)
+		trace.Mount(debugMux, tracer.Store())
+		obs.MountHealth(debugMux, health)
 		metricsSrv = &http.Server{
 			Addr:              cfg.metricsAddr,
-			Handler:           obs.NewDebugMux(reg),
+			Handler:           debugMux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {
@@ -203,6 +234,7 @@ func run(cfg config, logger *obs.Logger) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
+	health.SetReady()
 	// Log the bound address (not the flag value) so :0 deployments and the
 	// crash-recovery harness can discover the real port.
 	logger.Info("crowd-server listening", "addr", ln.Addr().String(),
@@ -224,6 +256,7 @@ func run(cfg config, logger *obs.Logger) error {
 		return err
 	case <-ctx.Done():
 		logger.Info("shutting down")
+		health.SetNotReady("shutdown snapshot")
 		<-bgDone
 		if cfg.aggregateEvery > 0 {
 			// Flush a final aggregation so reports that arrived since the

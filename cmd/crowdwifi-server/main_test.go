@@ -216,3 +216,102 @@ func TestKillDashNineRecovery(t *testing.T) {
 		t.Fatal("idempotency cache lost across snapshot boot")
 	}
 }
+
+// TestHealthAndTraceEndpoints drives the real binary: liveness is always up,
+// readiness follows the serving lifecycle, and an ingested upload is
+// retrievable as an assembled trace over /debug/traces/{id}.
+func TestHealthAndTraceEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	bin := buildServer(t)
+	p := startServer(t, bin, filepath.Join(t.TempDir(), "data"))
+
+	getJSON := func(path string, out any) int {
+		t.Helper()
+		resp, err := http.Get(p.url() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("GET %s: decode: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var live, ready map[string]string
+	if status := getJSON("/healthz", &live); status != http.StatusOK || live["status"] != "ok" {
+		t.Fatalf("/healthz = %d %v, want 200 ok", status, live)
+	}
+	if status := getJSON("/readyz", &ready); status != http.StatusOK || ready["status"] != "ready" {
+		t.Fatalf("/readyz = %d %v, want 200 ready", status, ready)
+	}
+
+	// One upload, then its trace must be assembled server-side: the remote
+	// continuation span plus dedupe and WAL-append children.
+	if status, body, _ := postReport(t, p.url(), "trace-op-00", makeReport(0)); status != http.StatusCreated {
+		t.Fatalf("upload: status=%d body=%s", status, body)
+	}
+	var idx struct {
+		Recent []struct {
+			ID   string `json:"id"`
+			Root string `json:"root"`
+		} `json:"recent"`
+	}
+	if status := getJSON("/debug/traces", &idx); status != http.StatusOK {
+		t.Fatalf("/debug/traces = %d, want 200", status)
+	}
+	if len(idx.Recent) == 0 {
+		t.Fatal("/debug/traces lists no traces after an upload")
+	}
+	var tr struct {
+		ID    string `json:"id"`
+		Spans []struct {
+			Name       string `json:"name"`
+			DurationNS int64  `json:"durationNs"`
+		} `json:"spans"`
+	}
+	if status := getJSON("/debug/traces/"+idx.Recent[0].ID, &tr); status != http.StatusOK {
+		t.Fatalf("/debug/traces/{id} = %d, want 200", status)
+	}
+	want := map[string]bool{"server POST /v1/reports": false, "server.dedupe": false, "wal.append": false}
+	for _, s := range tr.Spans {
+		if _, ok := want[s.Name]; ok && s.DurationNS > 0 {
+			want[s.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("trace %s is missing span %q with positive duration", tr.ID, name)
+		}
+	}
+
+	// SIGTERM: readiness must drop (shutdown snapshot) while the process
+	// drains. The listener may close at any moment after the signal, so a
+	// refused connection also counts as "not ready".
+	if err := p.cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(p.url() + "/readyz")
+		if err != nil {
+			break // listener closed: no longer serving, which is the end state
+		}
+		status := resp.StatusCode
+		resp.Body.Close()
+		if status == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz still %d after SIGTERM", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := p.cmd.Process.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,7 +9,7 @@
 //	crowdwifi-vehicle [-id veh-1] [-server http://127.0.0.1:8700]
 //	                  [-samples 180] [-seed 7] [-segment uci-campus]
 //	                  [-spammer] [-outbox-cap 256] [-drain-timeout 5s]
-//	                  [-retry-attempts 4]
+//	                  [-retry-attempts 4] [-trace-sample 1] [-trace-buffer 256]
 //
 // With -spammer the vehicle answers mapping tasks randomly instead of
 // honestly — useful for demonstrating the server's reliability inference.
@@ -37,6 +37,7 @@ import (
 	"crowdwifi/internal/eval"
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/trace"
 	"crowdwifi/internal/radio"
 	"crowdwifi/internal/retry"
 	"crowdwifi/internal/rng"
@@ -59,6 +60,8 @@ type runConfig struct {
 	OutboxCap     int
 	DrainTimeout  time.Duration
 	RetryAttempts int
+	TraceSample   float64
+	TraceBuffer   int
 }
 
 func main() {
@@ -79,6 +82,10 @@ func main() {
 		"deadline for flushing queued uploads on exit")
 	flag.IntVar(&cfg.RetryAttempts, "retry-attempts", 4,
 		"max delivery attempts per request (exponential backoff with jitter)")
+	flag.Float64Var(&cfg.TraceSample, "trace-sample", 1,
+		"fraction of new traces to record, 0..1")
+	flag.IntVar(&cfg.TraceBuffer, "trace-buffer", trace.DefaultCapacity,
+		"number of recent traces kept in memory for /debug/traces")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 
@@ -103,11 +110,18 @@ func main() {
 func run(ctx context.Context, cfg runConfig, logger *obs.Logger) error {
 	reg := obs.NewRegistry()
 	reg.RegisterGoRuntime()
+	tracer := trace.NewTracer(trace.Config{
+		SampleRate: cfg.TraceSample,
+		Capacity:   cfg.TraceBuffer,
+	})
+	ctx = trace.WithTracer(ctx, tracer)
 	if cfg.MetricsAddr != "" {
 		go func() {
+			debugMux := obs.NewDebugMux(reg)
+			trace.Mount(debugMux, tracer.Store())
 			srv := &http.Server{
 				Addr:              cfg.MetricsAddr,
-				Handler:           obs.NewDebugMux(reg),
+				Handler:           debugMux,
 				ReadHeaderTimeout: 5 * time.Second,
 			}
 			if err := srv.ListenAndServe(); err != nil {
@@ -170,11 +184,11 @@ func run(ctx context.Context, cfg runConfig, logger *obs.Logger) error {
 		retry.WithBreaker(breaker),
 		retry.WithMetrics(retryMetrics))
 	vehicle.Outbox = client.NewOutbox(cfg.OutboxCap)
-	defer flushOutbox(vehicle, cfg.DrainTimeout, logger)
+	defer flushOutbox(tracer, vehicle, cfg.DrainTimeout, logger)
 
 	logger.Info("driving", "scenario", "uci-campus", "samples", len(ms))
 	fmt.Printf("%s: driving the UCI campus, %d RSS samples...\n", cfg.ID, len(ms))
-	if err := vehicle.Sense(ms); err != nil {
+	if err := vehicle.SenseContext(ctx, ms); err != nil {
 		return err
 	}
 	ests := vehicle.Estimates()
@@ -279,13 +293,20 @@ func interrupted(ctx context.Context, logger *obs.Logger) bool {
 // flushOutbox delivers any queued uploads before exit, bounded by timeout. It
 // runs on a fresh context: the run context is already cancelled when the
 // vehicle was interrupted, but the parked uploads still deserve one bounded
-// drain attempt.
-func flushOutbox(v *client.CrowdVehicle, timeout time.Duration, logger *obs.Logger) {
+// drain attempt. The tracer rides along so drained entries resume the trace
+// of the upload that queued them, and the flush logs carry its trace id.
+func flushOutbox(tracer *trace.Tracer, v *client.CrowdVehicle, timeout time.Duration, logger *obs.Logger) {
 	if v.Outbox == nil || v.Outbox.Len() == 0 {
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	ctx = trace.WithTracer(ctx, tracer)
+	fctx, span := trace.Start(ctx, "client.flush_outbox")
+	defer span.End()
+	span.SetAttr("depth", v.Outbox.Len())
+	ctx = fctx
+	logger = logger.Ctx(ctx)
 	logger.Info("flushing outbox before exit", "depth", v.Outbox.Len(), "timeout", timeout)
 	for v.Outbox.Len() > 0 {
 		n, err := v.DrainOutbox(ctx)

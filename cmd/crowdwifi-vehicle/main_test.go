@@ -108,7 +108,7 @@ func TestFlushOutboxDeliversQueuedUploads(t *testing.T) {
 		t.Fatalf("reports before flush = %d", reports)
 	}
 
-	flushOutbox(vehicle, 5*time.Second, nil)
+	flushOutbox(nil, vehicle, 5*time.Second, nil)
 
 	if vehicle.Outbox.Len() != 0 {
 		t.Fatalf("outbox depth after flush = %d, want 0", vehicle.Outbox.Len())
@@ -138,7 +138,7 @@ func TestFlushOutboxRespectsDeadline(t *testing.T) {
 		t.Fatalf("report err = %v, want ErrQueued", err)
 	}
 	start := time.Now()
-	flushOutbox(vehicle, 300*time.Millisecond, nil)
+	flushOutbox(nil, vehicle, 300*time.Millisecond, nil)
 	if elapsed := time.Since(start); elapsed > 3*time.Second {
 		t.Fatalf("flush took %v, want bounded by ~300ms deadline", elapsed)
 	}

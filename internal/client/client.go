@@ -30,6 +30,7 @@ import (
 
 	"crowdwifi/internal/cs"
 	"crowdwifi/internal/geo"
+	"crowdwifi/internal/obs/trace"
 	"crowdwifi/internal/radio"
 	"crowdwifi/internal/server"
 )
@@ -124,9 +125,22 @@ func NewCrowdVehicle(id, baseURL string, engineCfg cs.EngineConfig) (*CrowdVehic
 // Engine exposes the vehicle's online CS engine.
 func (v *CrowdVehicle) Engine() *cs.Engine { return v.engine }
 
-// Sense ingests drive-by measurements into the online CS engine.
+// Sense ingests drive-by measurements into the online CS engine. Equivalent
+// to SenseContext with context.Background().
 func (v *CrowdVehicle) Sense(ms []radio.Measurement) error {
-	_, err := v.engine.AddBatch(ms)
+	return v.SenseContext(context.Background(), ms)
+}
+
+// SenseContext ingests drive-by measurements under ctx: with a tracer
+// attached, each sensing window becomes a client.sense root span with the
+// triggered cs.round spans as children.
+func (v *CrowdVehicle) SenseContext(ctx context.Context, ms []radio.Measurement) error {
+	ctx, span := trace.Start(ctx, "client.sense")
+	defer span.End()
+	span.SetAttr("measurements", len(ms))
+	rounds, err := v.engine.AddBatchContext(ctx, ms)
+	span.SetAttr("rounds", len(rounds))
+	span.SetError(err)
 	return err
 }
 
@@ -301,7 +315,14 @@ func (v *CrowdVehicle) DrainOutbox(ctx context.Context) (int, error) {
 		if !ok {
 			return drained, nil
 		}
-		err := sendJSON(ctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+e.Path, e.Body, e.Key, nil)
+		// Rejoin the originating upload's trace: the drain attempt appears
+		// as a late fragment of the same trace, not a disconnected one.
+		dctx, span := trace.Resume(ctx, "client.drain "+e.Path, e.Traceparent)
+		span.SetAttr("idempotency_key", e.Key)
+		span.SetAttr("queued_for", v.Outbox.OldestAge().String())
+		err := sendJSON(dctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+e.Path, e.Body, e.Key, nil)
+		span.SetError(err)
+		span.End()
 		if err != nil && transientError(err) {
 			v.syncOutboxGauges()
 			return drained, err
@@ -413,13 +434,24 @@ func (v *CrowdVehicle) postJSON(ctx context.Context, path string, body, out any,
 		return err
 	}
 	key := v.nextIdempotencyKey()
+
+	// One logical upload = one trace. The root span covers every retry
+	// attempt, and its traceparent rides along into the outbox so a later
+	// drain joins the same trace instead of starting a fresh one.
+	ctx, span := trace.Start(ctx, "client.upload "+path)
+	defer span.End()
+	span.SetAttr("idempotency_key", key)
+	span.SetAttr("bytes", len(buf))
+
 	err = sendJSON(ctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+path, buf, key, out)
 	if err != nil && queueable && v.Outbox != nil && transientError(err) {
-		v.Outbox.enqueue(Entry{Path: path, Body: buf, Key: key})
+		v.Outbox.enqueue(Entry{Path: path, Body: buf, Key: key, Traceparent: span.Traceparent()})
 		v.Metrics.incOutboxEnqueued()
 		v.syncOutboxGauges()
+		span.AddEvent("queued to outbox")
 		return fmt.Errorf("%w: %s (cause: %v)", ErrQueued, path, err)
 	}
+	span.SetError(err)
 	return err
 }
 
@@ -439,8 +471,14 @@ func sendJSON(ctx context.Context, m *Metrics, h HTTPDoer, method, url string, b
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
+	// Child-only: a plain GET outside any traced operation stays silent
+	// instead of minting a root trace per poll.
+	ctx, span := trace.StartChild(ctx, "client."+method+" "+pathOf(url))
+	defer span.End()
+
 	req, err := http.NewRequestWithContext(ctx, method, url, reader)
 	if err != nil {
+		span.SetError(err)
 		return err
 	}
 	if body != nil {
@@ -449,7 +487,18 @@ func sendJSON(ctx context.Context, m *Metrics, h HTTPDoer, method, url string, b
 	if key != "" {
 		req.Header.Set(IdempotencyKeyHeader, key)
 	}
-	return doJSONMetered(m, h, req, out)
+	err = doJSONMetered(m, h, req, out)
+	span.SetError(err)
+	return err
+}
+
+// pathOf trims scheme/host/query from a request URL for span names.
+func pathOf(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return rawURL
+	}
+	return u.Path
 }
 
 func getJSONCtx(ctx context.Context, m *Metrics, h HTTPDoer, url string, out any) error {

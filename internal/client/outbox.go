@@ -17,6 +17,10 @@ type Entry struct {
 	Body       []byte
 	Key        string
 	EnqueuedAt time.Time
+	// Traceparent preserves the originating upload's trace context so the
+	// eventual drain attempt joins the same trace (one logical request, one
+	// trace, even across a queue-and-drain gap).
+	Traceparent string
 }
 
 // Outbox is a bounded FIFO store-and-forward queue for uploads that could

@@ -7,11 +7,13 @@
 package crowd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"crowdwifi/internal/geo"
+	"crowdwifi/internal/obs/trace"
 	"crowdwifi/internal/rng"
 )
 
@@ -220,6 +222,24 @@ type InferenceResult struct {
 //
 // and estimates ẑᵢ = sign(Σ_j L_{ij}·y_{j→i}).
 func Infer(l *Labels, opts InferenceOptions) *InferenceResult {
+	return InferContext(context.Background(), l, opts)
+}
+
+// InferContext is Infer under a caller context: with a trace span active, the
+// inference run appears as a crowd.infer child span carrying the instance
+// size and convergence outcome.
+func InferContext(ctx context.Context, l *Labels, opts InferenceOptions) *InferenceResult {
+	_, span := trace.StartChild(ctx, "crowd.infer")
+	defer span.End()
+	span.SetAttr("tasks", l.Assignment.NumTasks)
+	span.SetAttr("workers", l.Assignment.NumWorkers)
+	res := infer(l, opts)
+	span.SetAttr("iterations", res.Iterations)
+	span.SetAttr("converged", res.Converged)
+	return res
+}
+
+func infer(l *Labels, opts InferenceOptions) *InferenceResult {
 	a := l.Assignment
 	maxIter := opts.MaxIter
 	if maxIter <= 0 {

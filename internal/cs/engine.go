@@ -1,6 +1,7 @@
 package cs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/grid"
+	"crowdwifi/internal/obs/trace"
 	"crowdwifi/internal/radio"
 )
 
@@ -139,7 +141,14 @@ func (e *Engine) Round() int { return e.round }
 
 // Add ingests one measurement. When StepSize new samples have accumulated it
 // runs a round and returns its result; otherwise it returns (nil, nil).
+// Equivalent to AddContext with context.Background().
 func (e *Engine) Add(m radio.Measurement) (*RoundResult, error) {
+	return e.AddContext(context.Background(), m)
+}
+
+// AddContext ingests one measurement; a traced context puts any triggered
+// round under a cs.round span.
+func (e *Engine) AddContext(ctx context.Context, m radio.Measurement) (*RoundResult, error) {
 	e.buf = append(e.buf, m)
 	e.expire(m.Time)
 	e.sinceLast++
@@ -147,15 +156,21 @@ func (e *Engine) Add(m radio.Measurement) (*RoundResult, error) {
 		return nil, nil
 	}
 	e.sinceLast = 0
-	return e.runRound()
+	return e.runRound(ctx)
 }
 
 // AddBatch ingests a series of measurements, returning the results of all
-// rounds triggered along the way.
+// rounds triggered along the way. Equivalent to AddBatchContext with
+// context.Background().
 func (e *Engine) AddBatch(ms []radio.Measurement) ([]*RoundResult, error) {
+	return e.AddBatchContext(context.Background(), ms)
+}
+
+// AddBatchContext ingests a series of measurements under ctx.
+func (e *Engine) AddBatchContext(ctx context.Context, ms []radio.Measurement) ([]*RoundResult, error) {
 	var out []*RoundResult
 	for _, m := range ms {
-		r, err := e.Add(m)
+		r, err := e.AddContext(ctx, m)
 		if err != nil {
 			return out, err
 		}
@@ -167,10 +182,16 @@ func (e *Engine) AddBatch(ms []radio.Measurement) ([]*RoundResult, error) {
 }
 
 // Flush forces a round on the current window regardless of the step counter;
-// use it when RSS collection is complete (Section 4.3.6).
+// use it when RSS collection is complete (Section 4.3.6). Equivalent to
+// FlushContext with context.Background().
 func (e *Engine) Flush() (*RoundResult, error) {
+	return e.FlushContext(context.Background())
+}
+
+// FlushContext forces a round on the current window under ctx.
+func (e *Engine) FlushContext(ctx context.Context) (*RoundResult, error) {
 	e.sinceLast = 0
-	return e.runRound()
+	return e.runRound(ctx)
 }
 
 // expire drops samples whose TTL elapsed relative to now.
@@ -187,7 +208,7 @@ func (e *Engine) expire(now float64) {
 	}
 }
 
-func (e *Engine) runRound() (*RoundResult, error) {
+func (e *Engine) runRound(ctx context.Context) (*RoundResult, error) {
 	if len(e.buf) == 0 {
 		return nil, ErrNoMeasurements
 	}
@@ -196,6 +217,9 @@ func (e *Engine) runRound() (*RoundResult, error) {
 	if len(window) > e.cfg.WindowSize {
 		window = window[len(window)-e.cfg.WindowSize:]
 	}
+	_, span := trace.Start(ctx, "cs.round")
+	defer span.End()
+	span.SetAttr("window_len", len(window))
 	g := e.fixedGrid
 	if g == nil {
 		rps := make([]geo.Point, len(window))
@@ -205,20 +229,27 @@ func (e *Engine) runRound() (*RoundResult, error) {
 		var err error
 		g, err = grid.FromMeasurements(rps, e.cfg.Radius, e.cfg.Lattice)
 		if err != nil {
+			span.SetError(err)
 			return nil, err
 		}
 	}
 	e.round++
+	span.SetAttr("round", e.round)
 	h, err := SelectModel(g, e.cfg.Channel, window, e.cfg.Select)
 	if err != nil {
 		// An unproductive window (too little data, degenerate geometry) is
 		// not an engine failure: report an empty round and keep driving.
 		e.cfg.Metrics.observeRound(start, len(window), nil)
+		span.AddEvent("unproductive window: " + err.Error())
 		return &RoundResult{Round: e.round, WindowLen: len(window)}, nil
 	}
 	merges := e.consolidate(h.APs)
 	e.cfg.Metrics.observeRound(start, len(window), h)
 	e.cfg.Metrics.observeConsolidation(merges, len(e.estimates))
+	span.SetAttr("k", h.K)
+	span.SetAttr("bic", h.BIC)
+	span.SetAttr("loglik", h.LogLik)
+	span.SetAttr("merges", merges)
 	return &RoundResult{Round: e.round, WindowLen: len(window), Hypothesis: h}, nil
 }
 

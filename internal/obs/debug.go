@@ -1,24 +1,55 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 )
 
 // Mount attaches the observability endpoints to mux: the registry's
-// /metrics, expvar's /debug/vars, and the full net/http/pprof suite under
-// /debug/pprof/. It is safe to call with a nil registry (the /metrics
-// endpoint then serves an empty exposition).
+// /metrics, an expvar-compatible /debug/vars extended with histogram
+// quantile estimates, and the full net/http/pprof suite under /debug/pprof/.
+// It is safe to call with a nil registry (the /metrics endpoint then serves
+// an empty exposition and /debug/vars omits the quantile block).
 func Mount(mux *http.ServeMux, reg *Registry) {
 	mux.Handle("/metrics", reg.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/debug/vars", varsHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// varsHandler serves the expvar document with one extra key,
+// "crowdwifi_histogram_quantiles", holding p50/p95/p99 estimates for the
+// registry's histograms. Emitted per-registry rather than via
+// expvar.Publish, which is process-global and panics on re-registration
+// (multiple registries, tests).
+func varsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+		})
+		if q := reg.Quantiles(); len(q) > 0 {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			b, _ := json.Marshal(q)
+			fmt.Fprintf(w, "%q: %s", "crowdwifi_histogram_quantiles", b)
+		}
+		fmt.Fprintf(w, "\n}\n")
+	})
 }
 
 // NewDebugMux returns a mux with the Mount endpoints, for serving metrics

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Health tracks process liveness and readiness for /healthz and /readyz.
+// Liveness is unconditional (the process answering at all is the signal);
+// readiness flips off while the server cannot usefully take traffic — WAL
+// recovery/replay at startup, or the final snapshot during SIGTERM shutdown.
+// A nil *Health accepts every method as a no-op and reports not ready.
+type Health struct {
+	mu     sync.Mutex
+	ready  bool
+	reason string
+}
+
+// NewHealth returns a Health that starts not ready ("starting").
+func NewHealth() *Health {
+	return &Health{reason: "starting"}
+}
+
+// SetReady marks the process ready to serve traffic.
+func (h *Health) SetReady() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready, h.reason = true, ""
+	h.mu.Unlock()
+}
+
+// SetNotReady marks the process unable to serve traffic, with a reason
+// surfaced on /readyz (e.g. "wal replay", "shutdown snapshot").
+func (h *Health) SetNotReady(reason string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ready, h.reason = false, reason
+	h.mu.Unlock()
+}
+
+// Ready reports the current readiness state and its reason when not ready.
+func (h *Health) Ready() (bool, string) {
+	if h == nil {
+		return false, "no health tracker"
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.reason
+}
+
+// LiveHandler serves /healthz: always 200 while the process can answer.
+func (h *Health) LiveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+}
+
+// ReadyHandler serves /readyz: 200 when ready, 503 with the reason when not.
+func (h *Health) ReadyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		ready, reason := h.Ready()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"status": "not ready", "reason": reason})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+	})
+}
+
+// MountHealth attaches /healthz and /readyz to mux.
+func MountHealth(mux *http.ServeMux, h *Health) {
+	mux.Handle("/healthz", h.LiveHandler())
+	mux.Handle("/readyz", h.ReadyHandler())
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -8,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crowdwifi/internal/obs/trace"
 )
 
 // Level orders log severities.
@@ -95,6 +98,21 @@ func (l *Logger) With(kvs ...any) *Logger {
 	appendKVs(&sb, kvs)
 	child.bound = sb.String()
 	return &child
+}
+
+// Ctx returns a logger whose records carry the context's trace_id and
+// span_id, correlating log lines with /debug/traces. A context without an
+// active span returns the logger unchanged, so call sites can thread ctx
+// unconditionally: `l.Ctx(ctx).Info(...)`.
+func (l *Logger) Ctx(ctx context.Context) *Logger {
+	if l == nil || ctx == nil {
+		return l
+	}
+	tid, sid, ok := trace.IDs(ctx)
+	if !ok {
+		return l
+	}
+	return l.With("trace_id", tid, "span_id", sid)
 }
 
 // Debug logs at LevelDebug.

@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
+
+	"crowdwifi/internal/obs/trace"
 )
 
 func fixedLogger(sb *strings.Builder, level Level) *Logger {
@@ -96,4 +99,37 @@ func TestParseLevel(t *testing.T) {
 	if _, err := ParseLevel("loud"); err == nil {
 		t.Fatal("ParseLevel(loud) must error")
 	}
+}
+
+func TestLoggerCtx(t *testing.T) {
+	var sb strings.Builder
+	l := fixedLogger(&sb, LevelInfo)
+
+	// No span in ctx: logger unchanged, no correlation keys.
+	l.Ctx(context.Background()).Info("plain")
+	if strings.Contains(sb.String(), "trace_id") {
+		t.Fatalf("uncorrelated line gained trace_id: %q", sb.String())
+	}
+	sb.Reset()
+
+	tr := trace.NewTracer(trace.Config{SampleRate: 1})
+	ctx := trace.WithTracer(context.Background(), tr)
+	ctx, span := trace.Start(ctx, "op")
+	defer span.End()
+
+	l.Ctx(ctx).Info("correlated", "k", "v")
+	out := sb.String()
+	if !strings.Contains(out, "trace_id="+span.TraceID()) {
+		t.Fatalf("trace_id missing: %q", out)
+	}
+	if !strings.Contains(out, "span_id="+span.SpanID()) {
+		t.Fatalf("span_id missing: %q", out)
+	}
+	if !strings.Contains(out, " k=v") {
+		t.Fatalf("caller kvs lost: %q", out)
+	}
+
+	// Nil logger stays a no-op.
+	var nilL *Logger
+	nilL.Ctx(ctx).Info("dropped")
 }

@@ -297,6 +297,94 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.load()
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation within the bucket the target rank
+// falls in — the same estimate Prometheus' histogram_quantile computes.
+// Values landing in the +Inf bucket clamp to the last finite bound. NaN is
+// returned when the histogram is empty or q is out of range.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	total := h.n.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, ub := range h.upper {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			if c == 0 {
+				return ub
+			}
+			return lo + (ub-lo)*(rank-cum)/c
+		}
+		cum += c
+	}
+	// Target rank is in the +Inf bucket: the upper bound is unknowable, so
+	// report the largest finite bound (what histogram_quantile does too).
+	if len(h.upper) == 0 {
+		return math.NaN()
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// Quantiles returns p50/p95/p99 estimates for every registered histogram
+// series, keyed "name{labels}" → quantile label → estimate. Empty series are
+// skipped. This feeds /debug/vars so quick latency checks don't require a
+// Prometheus stack.
+func (r *Registry) Quantiles() map[string]map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	qs := []struct {
+		label string
+		q     float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}}
+
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		if f.typ == histogramType {
+			fams = append(fams, f)
+		}
+	}
+	r.mu.RUnlock()
+
+	out := map[string]map[string]float64{}
+	for _, f := range fams {
+		f.mu.Lock()
+		children := make(map[string]any, len(f.children))
+		for k, c := range f.children {
+			children[k] = c
+		}
+		f.mu.Unlock()
+		for k, c := range children {
+			h, ok := c.(*Histogram)
+			if !ok || h.Count() == 0 {
+				continue
+			}
+			series := f.name
+			if k != "" {
+				series += "{" + k + "}"
+			}
+			est := make(map[string]float64, len(qs))
+			for _, spec := range qs {
+				if v := h.Quantile(spec.q); !math.IsNaN(v) {
+					est[spec.label] = v
+				}
+			}
+			out[series] = est
+		}
+	}
+	return out
+}
+
 type atomicFloat struct {
 	bits atomic.Uint64
 }

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Header is the W3C Trace Context request header carrying trace continuity:
+// "00-{32 hex trace-id}-{16 hex parent-id}-{2 hex flags}".
+const Header = "traceparent"
+
+// ErrNoTraceparent marks a request without a traceparent header.
+var ErrNoTraceparent = errors.New("trace: no traceparent header")
+
+// Traceparent renders the span as an outgoing traceparent value (sampled
+// flag set — an existing span is by definition recorded). "" on nil.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return "00-" + s.traceID.String() + "-" + s.spanID.String() + "-01"
+}
+
+// Inject stamps the context's current span onto an outgoing header set. A
+// context without a span leaves the headers untouched.
+func Inject(ctx context.Context, h http.Header) {
+	if s := FromContext(ctx); s != nil {
+		h.Set(Header, s.Traceparent())
+	}
+}
+
+// ParseTraceparent validates and decodes a traceparent value. Malformed
+// input returns an error; callers fall back to starting a fresh root.
+func ParseTraceparent(v string) (tid TraceID, parent SpanID, sampled bool, err error) {
+	parts := strings.Split(v, "-")
+	if len(parts) < 4 {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: want 4 dash-separated fields", v)
+	}
+	version, traceHex, parentHex, flagsHex := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: bad version", v)
+	}
+	if version == "ff" {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: forbidden version ff", v)
+	}
+	if version == "00" && len(parts) != 4 {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: version 00 has exactly 4 fields", v)
+	}
+	if len(traceHex) != 32 || !isHex(traceHex) {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: trace-id must be 32 lowercase hex chars", v)
+	}
+	if _, err := hex.Decode(tid[:], []byte(traceHex)); err != nil {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: trace-id not hex", v)
+	}
+	if tid.IsZero() {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: all-zero trace-id", v)
+	}
+	if len(parentHex) != 16 || !isHex(parentHex) {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: parent-id must be 16 lowercase hex chars", v)
+	}
+	if _, err := hex.Decode(parent[:], []byte(parentHex)); err != nil {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: parent-id not hex", v)
+	}
+	if parent.IsZero() {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: all-zero parent-id", v)
+	}
+	if len(flagsHex) != 2 || !isHex(flagsHex) {
+		return tid, parent, false, fmt.Errorf("trace: traceparent %q: bad flags", v)
+	}
+	var flags byte
+	if b, err := hex.DecodeString(flagsHex); err == nil {
+		flags = b[0]
+	}
+	return tid, parent, flags&0x01 == 0x01, nil
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Extract decodes trace continuity from an incoming header set.
+func Extract(h http.Header) (TraceID, SpanID, bool, error) {
+	v := h.Get(Header)
+	if v == "" {
+		return TraceID{}, SpanID{}, false, ErrNoTraceparent
+	}
+	return ParseTraceparent(v)
+}
+
+// StartServer begins the server-side span for an incoming request: a valid
+// traceparent continues the client's trace (honoring its sampling bit), and
+// an absent or malformed header falls back to a fresh head-sampled root.
+func (t *Tracer) StartServer(ctx context.Context, name string, h http.Header) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if tid, parent, sampled, err := Extract(h); err == nil {
+		return t.StartRemote(ctx, name, tid, parent, sampled)
+	}
+	return t.startRoot(ctx, name)
+}
+
+// Resume continues a trace from a stored traceparent value (e.g. an outbox
+// entry whose original upload span is long closed). A malformed or empty
+// value degrades to Start.
+func Resume(ctx context.Context, name, traceparent string) (context.Context, *Span) {
+	t := TracerFromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	if tid, parent, sampled, err := ParseTraceparent(traceparent); err == nil {
+		return t.StartRemote(ctx, name, tid, parent, sampled)
+	}
+	return Start(ctx, name)
+}

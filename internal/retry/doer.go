@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"crowdwifi/internal/obs/trace"
 )
 
 // HTTPDoer abstracts *http.Client so the Doer can wrap any transport,
@@ -190,9 +192,21 @@ func (d *Doer) Do(req *http.Request) (*http.Response, error) {
 	b.deposit()
 
 	for attempt := 0; ; attempt++ {
+		// Each attempt is its own child span under the caller's trace, and
+		// each stamps its own traceparent — so the server-side spans of every
+		// retry hang off the attempt that caused them, not the logical
+		// request as a whole.
+		actx, span := trace.StartChild(ctx, "retry.attempt")
+		span.SetAttr("attempt", attempt)
+		span.SetAttr("http.method", req.Method)
+		span.SetAttr("http.path", req.URL.Path)
+
 		if err := d.breaker.Allow(); err != nil {
 			d.metrics.incBreakerDenied()
-			return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, err)
+			err = fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, err)
+			span.SetError(err)
+			span.End()
+			return nil, err
 		}
 		attemptReq := req
 		if attempt > 0 {
@@ -200,16 +214,29 @@ func (d *Doer) Do(req *http.Request) (*http.Response, error) {
 			if req.GetBody != nil {
 				body, err := req.GetBody()
 				if err != nil {
-					return nil, fmt.Errorf("retry: rewind request body: %w", err)
+					err = fmt.Errorf("retry: rewind request body: %w", err)
+					span.SetError(err)
+					span.End()
+					return nil, err
 				}
 				attemptReq.Body = body
 			}
 		}
+		trace.Inject(actx, attemptReq.Header)
 		resp, err := d.next.Do(attemptReq)
 
 		failure := err != nil || RetryableStatus(resp.StatusCode)
 		d.breaker.Record(!failure)
+		if err != nil {
+			span.SetError(err)
+		} else {
+			span.SetAttr("http.status", resp.StatusCode)
+			if failure {
+				span.SetError(fmt.Errorf("retryable status %d", resp.StatusCode))
+			}
+		}
 		if !failure {
+			span.End()
 			return resp, nil
 		}
 		if ctx.Err() != nil {
@@ -218,22 +245,29 @@ func (d *Doer) Do(req *http.Request) (*http.Response, error) {
 			if err == nil {
 				err = ctx.Err()
 			}
+			span.SetError(err)
+			span.End()
 			return nil, err
 		}
 		last := attempt+1 >= d.policy.MaxAttempts ||
 			(req.GetBody == nil && req.Body != nil)
 		if last {
 			d.metrics.incExhausted()
+			span.AddEvent("attempts exhausted")
+			span.End()
 			return resp, err
 		}
 		if !b.withdraw() {
 			d.metrics.incBudgetDenied()
+			span.AddEvent("retry budget exhausted")
+			span.End()
 			return resp, err
 		}
 		hint := retryAfter(resp)
 		drainClose(resp)
 		delay := d.policy.Delay(attempt, hint)
 		d.metrics.incRetry(delay.Seconds())
+		span.End()
 		if werr := Sleep(ctx, delay); werr != nil {
 			return nil, werr
 		}

@@ -9,6 +9,7 @@ package server
 // crash, not just the retry.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -309,7 +310,7 @@ func (s *Store) attachIdem(c *idemCache) {
 // which serializes appends with the mutations they precede — a no-op without
 // an attached log. A failed append poisons nothing: the caller returns
 // before mutating.
-func (s *Store) appendRecordLocked(kind byte, v any) error {
+func (s *Store) appendRecordLocked(ctx context.Context, kind byte, v any) error {
 	if s.log == nil {
 		return nil
 	}
@@ -317,7 +318,7 @@ func (s *Store) appendRecordLocked(kind byte, v any) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrDurability, err)
 	}
-	if _, err := s.log.Append(kind, data); err != nil {
+	if _, err := s.log.AppendContext(ctx, kind, data); err != nil {
 		return fmt.Errorf("%w: %v", ErrDurability, err)
 	}
 	return nil

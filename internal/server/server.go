@@ -21,6 +21,7 @@ import (
 	"crowdwifi/internal/crowd"
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/trace"
 	"crowdwifi/internal/wal"
 )
 
@@ -132,7 +133,7 @@ func (s *Store) vehicleIndex(id string) int {
 
 // AddPattern registers a mapping task and returns its id.
 func (s *Store) AddPattern(segment string, aps []APReport) int {
-	id, _ := s.AddPatternKeyed("", segment, aps)
+	id, _ := s.AddPatternKeyed(context.Background(), "", segment, aps)
 	return id
 }
 
@@ -140,17 +141,22 @@ func (s *Store) AddPattern(segment string, aps []APReport) int {
 // typed record (carrying the request's idempotency key, if any) is appended
 // and synced per policy before the state mutates, and the canonical response
 // is installed in the idempotency cache atomically with the mutation. The
-// only possible error is ErrDurability.
-func (s *Store) AddPatternKeyed(idemKey, segment string, aps []APReport) (int, error) {
+// only possible error is ErrDurability. A traced ctx nests the mutation (and
+// its WAL append/fsync) under the request's span.
+func (s *Store) AddPatternKeyed(ctx context.Context, idemKey, segment string, aps []APReport) (int, error) {
+	ctx, span := trace.StartChild(ctx, "store.add_pattern")
+	defer span.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := len(s.patterns)
-	if err := s.appendRecordLocked(recPattern, patternRecord{ID: id, Segment: segment, APs: aps, IdemKey: idemKey}); err != nil {
+	if err := s.appendRecordLocked(ctx, recPattern, patternRecord{ID: id, Segment: segment, APs: aps, IdemKey: idemKey}); err != nil {
+		span.SetError(err)
 		return 0, err
 	}
 	s.patterns = append(s.patterns, Pattern{ID: id, Segment: segment, APs: aps})
 	s.metrics.incPatterns()
 	s.completeIdemLocked(idemKey, patternResponse(id))
+	span.SetAttr("pattern_id", id)
 	return id, nil
 }
 
@@ -170,32 +176,38 @@ func (s *Store) Patterns(segment string) []Pattern {
 
 // AddLabel records an answer. The task must exist and the value must be ±1.
 func (s *Store) AddLabel(l Label) error {
-	return s.AddLabelsKeyed("", []Label{l})
+	return s.AddLabelsKeyed(context.Background(), "", []Label{l})
 }
 
 // AddLabels records a batch of answers atomically: the whole batch is
 // validated first, so a rejected batch leaves no partial state behind and a
 // client retry of the fixed batch cannot double-apply a prefix.
 func (s *Store) AddLabels(ls []Label) error {
-	return s.AddLabelsKeyed("", ls)
+	return s.AddLabelsKeyed(context.Background(), "", ls)
 }
 
 // AddLabelsKeyed is AddLabels with write-ahead durability semantics (see
 // AddPatternKeyed). Validation errors never touch the log.
-func (s *Store) AddLabelsKeyed(idemKey string, ls []Label) error {
+func (s *Store) AddLabelsKeyed(ctx context.Context, idemKey string, ls []Label) error {
 	for _, l := range ls {
 		if l.Value != 1 && l.Value != -1 {
 			return errors.New("server: label value must be ±1")
 		}
 	}
+	ctx, span := trace.StartChild(ctx, "store.add_labels")
+	defer span.End()
+	span.SetAttr("labels", len(ls))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, l := range ls {
 		if l.TaskID < 0 || l.TaskID >= len(s.patterns) {
-			return fmt.Errorf("server: unknown task %d", l.TaskID)
+			err := fmt.Errorf("server: unknown task %d", l.TaskID)
+			span.SetError(err)
+			return err
 		}
 	}
-	if err := s.appendRecordLocked(recLabels, labelsRecord{Labels: ls, IdemKey: idemKey}); err != nil {
+	if err := s.appendRecordLocked(ctx, recLabels, labelsRecord{Labels: ls, IdemKey: idemKey}); err != nil {
+		span.SetError(err)
 		return err
 	}
 	for _, l := range ls {
@@ -209,18 +221,23 @@ func (s *Store) AddLabelsKeyed(idemKey string, ls []Label) error {
 
 // AddReport stores a vehicle's AP report.
 func (s *Store) AddReport(r Report) error {
-	return s.AddReportKeyed("", r)
+	return s.AddReportKeyed(context.Background(), "", r)
 }
 
 // AddReportKeyed is AddReport with write-ahead durability semantics (see
 // AddPatternKeyed).
-func (s *Store) AddReportKeyed(idemKey string, r Report) error {
+func (s *Store) AddReportKeyed(ctx context.Context, idemKey string, r Report) error {
 	if r.Vehicle == "" || r.Segment == "" {
 		return errors.New("server: report needs vehicle and segment")
 	}
+	ctx, span := trace.StartChild(ctx, "store.add_report")
+	defer span.End()
+	span.SetAttr("vehicle", r.Vehicle)
+	span.SetAttr("segment", r.Segment)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.appendRecordLocked(recReport, reportRecord{Report: r, IdemKey: idemKey}); err != nil {
+	if err := s.appendRecordLocked(ctx, recReport, reportRecord{Report: r, IdemKey: idemKey}); err != nil {
+		span.SetError(err)
 		return err
 	}
 	s.vehicleIndex(r.Vehicle)
@@ -273,33 +290,56 @@ type CycleStats struct {
 // Aggregate runs the offline crowdsourcing pipeline: labels feed the
 // iterative inference, whose per-vehicle reliabilities weight the centroid
 // fusion of all AP reports (Sections 5.3–5.4). It returns the number of
-// fused APs across segments.
+// fused APs across segments. Equivalent to AggregateContext with
+// context.Background().
 func (s *Store) Aggregate() (int, error) {
-	stats, err := s.AggregateCycle()
+	return s.AggregateContext(context.Background())
+}
+
+// AggregateContext is Aggregate under a caller context (trace propagation).
+func (s *Store) AggregateContext(ctx context.Context) (int, error) {
+	stats, err := s.AggregateCycleContext(ctx)
 	return stats.FusedAPs, err
 }
 
 // AggregateCycle runs one aggregation pass like Aggregate and additionally
 // reports cycle statistics; metrics, when attached, are updated as a side
-// effect.
+// effect. Equivalent to AggregateCycleContext with context.Background().
 func (s *Store) AggregateCycle() (CycleStats, error) {
+	return s.AggregateCycleContext(context.Background())
+}
+
+// AggregateCycleContext runs one aggregation pass under ctx: with a tracer
+// (or an active span) in ctx, the cycle becomes a server.aggregate_cycle
+// span with the inference and the cycle's WAL append as children.
+func (s *Store) AggregateCycleContext(ctx context.Context) (CycleStats, error) {
 	start := time.Now()
-	stats, err := s.aggregate()
+	// Root-or-child: a background cycle with just a tracer in ctx becomes
+	// its own trace; an operator-triggered /v1/aggregate nests under the
+	// request span.
+	ctx, span := trace.Start(ctx, "server.aggregate_cycle")
+	defer span.End()
+	stats, err := s.aggregate(ctx)
 	stats.Duration = time.Since(start)
+	span.SetError(err)
+	span.SetAttr("fused_aps", stats.FusedAPs)
+	span.SetAttr("segments", stats.Segments)
+	span.SetAttr("vehicles_scored", stats.VehiclesScored)
+	span.SetAttr("spammers_flagged", stats.SpammersFlagged)
 	if s.metrics != nil {
 		s.metrics.observeAggregate(stats, s.Reliability(), err)
 	}
 	return stats, err
 }
 
-func (s *Store) aggregate() (CycleStats, error) {
+func (s *Store) aggregate(ctx context.Context) (CycleStats, error) {
 	s.aggregating.Store(true)
 	defer s.aggregating.Store(false)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	var stats CycleStats
-	rel := s.inferReliabilityLocked()
+	rel := s.inferReliabilityLocked(ctx)
 	for id, r := range rel {
 		s.reliability[id] = r
 	}
@@ -326,6 +366,7 @@ func (s *Store) aggregate() (CycleStats, error) {
 		}
 		weights[rep.Segment] = append(weights[rep.Segment], w)
 	}
+	_, fspan := trace.StartChild(ctx, "server.fusion")
 	for seg, reps := range bySeg {
 		// MinWeight 0.5 drops clusters supported only by vehicles the
 		// inference marked unreliable: a lone spammer (weight ≈ 0.05) cannot
@@ -335,6 +376,8 @@ func (s *Store) aggregate() (CycleStats, error) {
 			MinWeight:   0.5,
 		})
 		if err != nil {
+			fspan.SetError(err)
+			fspan.End()
 			return stats, err
 		}
 		out := make([]LookupResult, len(fusedPts))
@@ -345,9 +388,11 @@ func (s *Store) aggregate() (CycleStats, error) {
 		stats.Segments++
 		stats.FusedAPs += len(out)
 	}
+	fspan.SetAttr("segments", stats.Segments)
+	fspan.End()
 	// Log the cycle's outputs so a recovered server serves the same fused
 	// map without waiting for its first aggregation.
-	if err := s.appendRecordLocked(recAggregate, aggregateRecord{Fused: s.fused, Reliability: s.reliability}); err != nil {
+	if err := s.appendRecordLocked(ctx, recAggregate, aggregateRecord{Fused: s.fused, Reliability: s.reliability}); err != nil {
 		return stats, err
 	}
 	return stats, nil
@@ -357,7 +402,7 @@ func (s *Store) aggregate() (CycleStats, error) {
 // and maps the raw worker messages to [0,1] weights per vehicle id. Vehicles
 // without labels default to weight 1 (no evidence against them). Requires
 // s.mu held.
-func (s *Store) inferReliabilityLocked() map[string]float64 {
+func (s *Store) inferReliabilityLocked(ctx context.Context) map[string]float64 {
 	out := map[string]float64{}
 	if len(s.labels) == 0 {
 		return out
@@ -400,7 +445,7 @@ func (s *Store) inferReliabilityLocked() map[string]float64 {
 		a.WorkerTasks[w] = ts
 	}
 	labels := &crowd.Labels{Assignment: a, Values: taskValues}
-	res := crowd.Infer(labels, crowd.InferenceOptions{Metrics: s.metrics.crowdMetrics()})
+	res := crowd.InferContext(ctx, labels, crowd.InferenceOptions{Metrics: s.metrics.crowdMetrics()})
 	norm := crowd.NormalizeReliability(res.WorkerReliability)
 	for w, id := range workerIDs {
 		out[id] = norm[w]
@@ -442,6 +487,8 @@ type Server struct {
 	mux        *http.ServeMux
 	metrics    *Metrics
 	log        *obs.Logger
+	tracer     *trace.Tracer
+	health     *obs.Health
 	maxBody    int64
 	reqTimeout time.Duration
 	idemCap    int
@@ -480,6 +527,21 @@ func WithLogger(l *obs.Logger) Option {
 	return func(s *Server) { s.log = l }
 }
 
+// WithTracer attaches a tracer: every route continues (or starts) a trace
+// from the incoming traceparent header, ingestion's dedupe/store/WAL steps
+// become child spans, and /debug/traces (+ /debug/traces/{id}) is mounted on
+// the server's own mux.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
+// WithHealth attaches a health tracker and mounts /healthz and /readyz on
+// the server's own mux. The caller owns the readiness lifecycle (recovery,
+// shutdown snapshot).
+func WithHealth(h *obs.Health) Option {
+	return func(s *Server) { s.health = h }
+}
+
 // New returns a server around the given store.
 func New(store *Store, opts ...Option) *Server {
 	s := &Server{
@@ -513,11 +575,18 @@ func New(store *Store, opts ...Option) *Server {
 	if s.metrics != nil {
 		obs.Mount(s.mux, s.metrics.Registry())
 	}
+	if s.tracer != nil {
+		trace.Mount(s.mux, s.tracer.Store())
+	}
+	if s.health != nil {
+		obs.MountHealth(s.mux, s.health)
+	}
 	return s
 }
 
 // handle registers a route through the instrumenting middleware (a no-op
-// when no metrics are attached) and the per-request deadline.
+// when no metrics are attached), the tracing middleware, and the per-request
+// deadline.
 func (s *Server) handle(route string, h http.HandlerFunc) {
 	if d := s.reqTimeout; d > 0 {
 		inner := h
@@ -527,7 +596,34 @@ func (s *Server) handle(route string, h http.HandlerFunc) {
 			inner(w, r.WithContext(ctx))
 		}
 	}
+	h = s.traced(route, h)
 	s.mux.HandleFunc(route, s.metrics.instrument(route, h))
+}
+
+// traced wraps a route with the server-side tracing middleware: a valid
+// traceparent header continues the caller's trace (so the handler, dedupe,
+// store, and WAL spans land in the same trace as the client's retry
+// attempts); anything else starts a fresh head-sampled server trace.
+func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.tracer == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := s.tracer.StartServer(r.Context(), "server "+r.Method+" "+route, r.Header)
+		if span == nil {
+			h(w, r)
+			return
+		}
+		defer span.End()
+		span.SetAttr("http.method", r.Method)
+		span.SetAttr("http.route", route)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		span.SetAttr("http.status", sw.code)
+		if sw.code >= http.StatusInternalServerError {
+			span.SetError(fmt.Errorf("status %d", sw.code))
+		}
+	}
 }
 
 // shed writes a 503 with Retry-After, steering well-behaved clients (whose
@@ -559,21 +655,30 @@ func (s *Server) ingest(h http.HandlerFunc) http.HandlerFunc {
 			h(w, r)
 			return
 		}
+		// The dedupe decision is its own span: replayed deliveries show up
+		// in the trace as a short server.dedupe instead of a full handler.
+		_, dspan := trace.StartChild(r.Context(), "server.dedupe")
+		dspan.SetAttr("idempotency_key", key)
 		seen, rec := s.idem.begin(key)
+		dspan.SetAttr("duplicate", seen)
 		if seen {
+			defer dspan.End()
 			if rec == nil {
 				// A first delivery of this key is still executing; the
 				// duplicate cannot be answered yet, so push it to retry.
+				dspan.AddEvent("first delivery still in flight")
 				s.shed(w, errors.New("duplicate request still in flight"))
 				return
 			}
 			s.metrics.incDeduped()
+			dspan.AddEvent("replayed canonical response")
 			w.Header().Set("Idempotent-Replay", "true")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(rec.status)
 			_, _ = w.Write(rec.body)
 			return
 		}
+		dspan.End()
 		rw := &recordingWriter{ResponseWriter: w, status: http.StatusOK}
 		h(rw, r)
 		s.idem.finish(key, rw.status, rw.body)
@@ -648,7 +753,7 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, errors.New("segment required"))
 			return
 		}
-		id, err := s.store.AddPatternKeyed(r.Header.Get(IdempotencyKeyHeader), p.Segment, p.APs)
+		id, err := s.store.AddPatternKeyed(r.Context(), r.Header.Get(IdempotencyKeyHeader), p.Segment, p.APs)
 		if err != nil {
 			s.mutationError(w, err)
 			return
@@ -735,7 +840,7 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &ls) {
 		return
 	}
-	if err := s.store.AddLabelsKeyed(r.Header.Get(IdempotencyKeyHeader), ls); err != nil {
+	if err := s.store.AddLabelsKeyed(r.Context(), r.Header.Get(IdempotencyKeyHeader), ls); err != nil {
 		s.mutationError(w, err)
 		return
 	}
@@ -751,7 +856,7 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &rep) {
 		return
 	}
-	if err := s.store.AddReportKeyed(r.Header.Get(IdempotencyKeyHeader), rep); err != nil {
+	if err := s.store.AddReportKeyed(r.Context(), r.Header.Get(IdempotencyKeyHeader), rep); err != nil {
 		s.mutationError(w, err)
 		return
 	}
@@ -763,7 +868,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusMethodNotAllowed)
 		return
 	}
-	n, err := s.store.Aggregate()
+	n, err := s.store.AggregateContext(r.Context())
 	if err != nil {
 		s.log.Warn("aggregate request failed", "err", err)
 		writeError(w, http.StatusInternalServerError, err)

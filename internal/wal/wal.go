@@ -11,6 +11,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -20,6 +21,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"crowdwifi/internal/obs/trace"
 )
 
 // SyncPolicy selects when appends are fsynced to stable storage.
@@ -293,24 +296,41 @@ func (l *Log) syncLocked() error {
 }
 
 // Append writes one typed record and returns its sequence number. Under
-// SyncAlways the record is on stable storage when Append returns.
+// SyncAlways the record is on stable storage when Append returns. Equivalent
+// to AppendContext with context.Background().
 func (l *Log) Append(kind byte, data []byte) (uint64, error) {
+	return l.AppendContext(context.Background(), kind, data)
+}
+
+// AppendContext is Append under a caller context: when ctx carries a trace
+// span, the append (and, under SyncAlways, its fsync) appear as child spans —
+// the fsync is the dominant cost of durable ingestion, so it gets its own.
+func (l *Log) AppendContext(ctx context.Context, kind byte, data []byte) (uint64, error) {
 	if 1+len(data) > MaxRecordBytes {
 		return 0, ErrTooLarge
 	}
+	actx, span := trace.StartChild(ctx, "wal.append")
+	defer span.End()
+	span.SetAttr("bytes", len(data))
+
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, errors.New("wal: log is closed")
+		err := errors.New("wal: log is closed")
+		span.SetError(err)
+		return 0, err
 	}
 	size := frameSize(len(data))
 	if l.size > 0 && l.size+size > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
+			span.SetError(err)
 			return 0, err
 		}
+		span.AddEvent("segment rotated")
 	}
 	frame := appendFrame(make([]byte, 0, size), kind, data)
 	if _, err := l.f.Write(frame); err != nil {
+		span.SetError(err)
 		return 0, err
 	}
 	seq := l.next
@@ -318,8 +338,14 @@ func (l *Log) Append(kind byte, data []byte) (uint64, error) {
 	l.size += size
 	l.dirty = true
 	l.m.observeAppend(size, seq)
+	span.SetAttr("seq", seq)
 	if l.opts.Sync == SyncAlways {
-		if err := l.syncLocked(); err != nil {
+		_, fspan := trace.StartChild(actx, "wal.fsync")
+		err := l.syncLocked()
+		fspan.SetError(err)
+		fspan.End()
+		if err != nil {
+			span.SetError(err)
 			return 0, err
 		}
 	}
