@@ -16,6 +16,7 @@
 // Usage:
 //
 //	crowdwifi-server [-addr :8700] [-merge-radius 10] [-aggregate-every 30s]
+//	                 [-workers 0]
 //	                 [-data-dir /var/lib/crowdwifi] [-fsync always]
 //	                 [-snapshot-every 5m]
 //	                 [-metrics-addr :8701] [-log-level info]
@@ -37,6 +38,7 @@ import (
 	"crowdwifi/internal/cs"
 	"crowdwifi/internal/obs"
 	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/par"
 	"crowdwifi/internal/server"
 	"crowdwifi/internal/wal"
 )
@@ -45,6 +47,7 @@ import (
 type config struct {
 	addr           string
 	mergeRadius    float64
+	workers        int
 	aggregateEvery time.Duration
 	metricsAddr    string
 	dataDir        string
@@ -58,6 +61,8 @@ func main() {
 	cfg := config{}
 	flag.StringVar(&cfg.addr, "addr", ":8700", "listen address")
 	flag.Float64Var(&cfg.mergeRadius, "merge-radius", 10, "fusion merge radius in metres")
+	flag.IntVar(&cfg.workers, "workers", 0,
+		"worker-pool size for parallel aggregation (0 uses GOMAXPROCS; results are identical at any setting)")
 	flag.DurationVar(&cfg.aggregateEvery, "aggregate-every", 30*time.Second,
 		"how often to re-run reliability inference and fusion (0 disables)")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "",
@@ -92,8 +97,11 @@ func main() {
 }
 
 func run(cfg config, logger *obs.Logger) error {
+	par.SetDefaultWorkers(cfg.workers)
 	reg := obs.NewRegistry()
 	reg.RegisterGoRuntime()
+	par.Instrument(reg.Gauge("par_inflight_tasks",
+		"tasks currently executing inside the internal worker pool"))
 	metrics := server.NewMetrics(reg)
 	// The crowd-server does not run CS engines itself, but registering the
 	// solver and CS series keeps the full metric catalogue visible on
@@ -150,8 +158,8 @@ func run(cfg config, logger *obs.Logger) error {
 	ctx = trace.WithTracer(ctx, tracer)
 
 	aggLog := logger.With("component", "aggregate")
-	runCycle := func() {
-		cctx, span := trace.Start(ctx, "server.aggregate_tick")
+	runCycle := func(base context.Context) {
+		cctx, span := trace.Start(base, "server.aggregate_tick")
 		defer span.End()
 		stats, err := store.AggregateCycleContext(cctx)
 		if err != nil {
@@ -198,7 +206,7 @@ func run(cfg config, logger *obs.Logger) error {
 		for {
 			select {
 			case <-aggC:
-				runCycle()
+				runCycle(ctx)
 			case <-snapC:
 				runSnapshot()
 			case <-ctx.Done():
@@ -260,8 +268,13 @@ func run(cfg config, logger *obs.Logger) error {
 		<-bgDone
 		if cfg.aggregateEvery > 0 {
 			// Flush a final aggregation so reports that arrived since the
-			// last tick make it into the fused database before exit.
-			runCycle()
+			// last tick make it into the fused database before exit. The run
+			// context is already canceled here, and aggregation now honors
+			// cancellation, so the flush gets its own bounded context.
+			fctx, fcancel := context.WithTimeout(
+				trace.WithTracer(context.Background(), tracer), 30*time.Second)
+			runCycle(fctx)
+			fcancel()
 		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -8,6 +8,7 @@
 //
 //	crowdwifi-vehicle [-id veh-1] [-server http://127.0.0.1:8700]
 //	                  [-samples 180] [-seed 7] [-segment uci-campus]
+//	                  [-workers 0]
 //	                  [-spammer] [-outbox-cap 256] [-drain-timeout 5s]
 //	                  [-retry-attempts 4] [-trace-sample 1] [-trace-buffer 256]
 //
@@ -38,6 +39,7 @@ import (
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs"
 	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/par"
 	"crowdwifi/internal/radio"
 	"crowdwifi/internal/retry"
 	"crowdwifi/internal/rng"
@@ -55,6 +57,7 @@ type runConfig struct {
 	OutPath       string
 	Samples       int
 	Seed          uint64
+	Workers       int
 	Spammer       bool
 	MetricsAddr   string
 	OutboxCap     int
@@ -70,6 +73,8 @@ func main() {
 	flag.StringVar(&cfg.ServerURL, "server", "", "crowd-server base URL (empty: offline)")
 	flag.IntVar(&cfg.Samples, "samples", 180, "RSS samples to collect on the drive")
 	flag.Uint64Var(&cfg.Seed, "seed", 7, "simulation seed")
+	flag.IntVar(&cfg.Workers, "workers", 0,
+		"worker-pool size for the parallel CS core (0 uses GOMAXPROCS; estimates are identical at any setting)")
 	flag.StringVar(&cfg.Segment, "segment", "uci-campus", "road segment id for uploads")
 	flag.BoolVar(&cfg.Spammer, "spammer", false, "answer mapping tasks randomly")
 	flag.StringVar(&cfg.TracePath, "trace", "", "replay a measurement CSV instead of simulating a drive")
@@ -108,8 +113,11 @@ func main() {
 }
 
 func run(ctx context.Context, cfg runConfig, logger *obs.Logger) error {
+	par.SetDefaultWorkers(cfg.Workers)
 	reg := obs.NewRegistry()
 	reg.RegisterGoRuntime()
+	par.Instrument(reg.Gauge("par_inflight_tasks",
+		"tasks currently executing inside the internal worker pool"))
 	tracer := trace.NewTracer(trace.Config{
 		SampleRate: cfg.TraceSample,
 		Capacity:   cfg.TraceBuffer,

@@ -14,6 +14,7 @@ import (
 
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/par"
 	"crowdwifi/internal/rng"
 )
 
@@ -196,6 +197,12 @@ type InferenceOptions struct {
 	RandomInit bool
 	// Seed seeds the random initialization.
 	Seed uint64
+	// Workers bounds the goroutines used for the message-passing sweeps on
+	// large bipartite instances. 0 selects par.DefaultWorkers(); 1 forces
+	// serial sweeps. Tasks (resp. workers) own disjoint edge slots and the
+	// convergence reduction runs serially in edge order either way, so the
+	// result is bit-identical at any setting.
+	Workers int
 	// Metrics, when non-nil, records sweep counts and run outcomes.
 	Metrics *Metrics
 }
@@ -238,6 +245,10 @@ func InferContext(ctx context.Context, l *Labels, opts InferenceOptions) *Infere
 	span.SetAttr("converged", res.Converged)
 	return res
 }
+
+// parMinEdges gates the parallel message-passing sweeps: below this many
+// edges, goroutine dispatch costs more than the sweep arithmetic.
+const parMinEdges = 1 << 10
 
 func infer(l *Labels, opts InferenceOptions) *InferenceResult {
 	a := l.Assignment
@@ -283,31 +294,54 @@ func infer(l *Labels, opts InferenceOptions) *InferenceResult {
 		}
 	}
 
+	// Each task (resp. worker) owns a disjoint set of edge slots, so the two
+	// sweeps parallelize by partitioning tasks/workers across the pool with
+	// no shared writes and the exact serial per-edge arithmetic. The
+	// convergence reduction stays serial, in the same j-then-e order as the
+	// fused serial loop, so delta/norm — and hence the stopping decision and
+	// final messages — are bit-identical at any worker count.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if len(edges) < parMinEdges {
+		workers = 1
+	}
+	dy := make([]float64, len(edges))
 	iter := 0
 	converged := false
 	for ; iter < maxIter; iter++ {
 		// Task → worker messages: x_e = Σ over sibling edges of L·y.
-		for i := range edgeIdx {
-			var sum float64
-			for _, e := range edgeIdx[i] {
-				sum += edges[e].label * y[e]
+		par.ForBlocks(len(edgeIdx), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var sum float64
+				for _, e := range edgeIdx[i] {
+					sum += edges[e].label * y[e]
+				}
+				for _, e := range edgeIdx[i] {
+					x[e] = sum - edges[e].label*y[e]
+				}
 			}
-			for _, e := range edgeIdx[i] {
-				x[e] = sum - edges[e].label*y[e]
-			}
-		}
+		})
 		// Worker → task messages.
+		par.ForBlocks(len(workerEdges), workers, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				var sum float64
+				for _, e := range workerEdges[j] {
+					sum += edges[e].label * x[e]
+				}
+				for _, e := range workerEdges[j] {
+					ny := sum - edges[e].label*x[e]
+					dy[e] = ny - y[e]
+					y[e] = ny
+				}
+			}
+		})
 		var delta, norm float64
 		for j := range workerEdges {
-			var sum float64
 			for _, e := range workerEdges[j] {
-				sum += edges[e].label * x[e]
-			}
-			for _, e := range workerEdges[j] {
-				ny := sum - edges[e].label*x[e]
-				delta += (ny - y[e]) * (ny - y[e])
-				norm += ny * ny
-				y[e] = ny
+				delta += dy[e] * dy[e]
+				norm += y[e] * y[e]
 			}
 		}
 		if norm > 0 && math.Sqrt(delta/norm) < tol {

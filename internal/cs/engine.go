@@ -149,7 +149,7 @@ func (e *Engine) Add(m radio.Measurement) (*RoundResult, error) {
 // AddContext ingests one measurement; a traced context puts any triggered
 // round under a cs.round span.
 func (e *Engine) AddContext(ctx context.Context, m radio.Measurement) (*RoundResult, error) {
-	e.buf = append(e.buf, m)
+	e.insert(m)
 	e.expire(m.Time)
 	e.sinceLast++
 	if e.sinceLast < e.cfg.StepSize {
@@ -157,6 +157,18 @@ func (e *Engine) AddContext(ctx context.Context, m radio.Measurement) (*RoundRes
 	}
 	e.sinceLast = 0
 	return e.runRound(ctx)
+}
+
+// insert appends m, keeping the buffer ordered by timestamp. Measurements
+// usually arrive in time order, so the backward scan is O(1) amortized; a
+// late, older-timestamped delivery sinks to its slot instead of landing at
+// the tail, which keeps expire's front-of-buffer scan sound (a single stale
+// straggler at the tail must not shield newer-but-expired samples behind it).
+func (e *Engine) insert(m radio.Measurement) {
+	e.buf = append(e.buf, m)
+	for i := len(e.buf) - 1; i > 0 && e.buf[i].Time < e.buf[i-1].Time; i-- {
+		e.buf[i], e.buf[i-1] = e.buf[i-1], e.buf[i]
+	}
 }
 
 // AddBatch ingests a series of measurements, returning the results of all
@@ -194,7 +206,9 @@ func (e *Engine) FlushContext(ctx context.Context) (*RoundResult, error) {
 	return e.runRound(ctx)
 }
 
-// expire drops samples whose TTL elapsed relative to now.
+// expire drops samples whose TTL elapsed relative to now. The buffer is kept
+// time-ordered by insert, so stopping at the first non-expired measurement
+// is exact: nothing behind it can be older.
 func (e *Engine) expire(now float64) {
 	if e.cfg.TTL <= 0 {
 		return
@@ -235,8 +249,15 @@ func (e *Engine) runRound(ctx context.Context) (*RoundResult, error) {
 	}
 	e.round++
 	span.SetAttr("round", e.round)
-	h, err := SelectModel(g, e.cfg.Channel, window, e.cfg.Select)
+	h, err := SelectModelContext(ctx, g, e.cfg.Channel, window, e.cfg.Select)
 	if err != nil {
+		// A canceled or deadline-expired round is a real abort: the caller's
+		// budget ran out mid-search, so surface it instead of reporting an
+		// empty round.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			span.SetError(err)
+			return nil, err
+		}
 		// An unproductive window (too little data, degenerate geometry) is
 		// not an engine failure: report an empty round and keep driving.
 		e.cfg.Metrics.observeRound(start, len(window), nil)
@@ -292,19 +313,16 @@ func (e *Engine) consolidate(aps []geo.Point) int {
 // coalesce repeatedly merges the closest estimate pair within MergeRadius,
 // returning the number of merges. Greedy insert-time merging can leave
 // chains of near-duplicates (a drifts toward b while c lands between them);
-// this pass closes them.
+// this pass closes them. Candidate pairs come from a spatial hash with cell
+// size MergeRadius — any pair within the radius lies in the same or an
+// adjacent cell — so one pass costs O(n · neighbors) instead of the former
+// O(n²) full-pair scan per merge, which degraded long drives cubically as
+// the estimate set grew.
 func (e *Engine) coalesce() int {
 	merges := 0
 	for {
-		bi, bj, bd := -1, -1, math.Inf(1)
-		for i := 0; i < len(e.estimates); i++ {
-			for j := i + 1; j < len(e.estimates); j++ {
-				if d := e.estimates[i].Pos.Dist(e.estimates[j].Pos); d < bd {
-					bi, bj, bd = i, j, d
-				}
-			}
-		}
-		if bi < 0 || bd > e.cfg.MergeRadius {
+		bi, bj := e.closestPairWithin(e.cfg.MergeRadius)
+		if bi < 0 {
 			return merges
 		}
 		a, b := e.estimates[bi], e.estimates[bj]
@@ -322,6 +340,64 @@ func (e *Engine) coalesce() int {
 		e.estimates = append(e.estimates[:bj], e.estimates[bj+1:]...)
 		merges++
 	}
+}
+
+// closestPairWithin returns the estimate pair with the smallest separation
+// not exceeding r, ties broken by lowest (i, j) — the pair the former
+// lexicographic full scan would have selected — or (-1, -1) when no pair
+// qualifies. Small sets brute-force (the hash isn't worth building); larger
+// sets bucket into an r-sized spatial hash and compare each estimate only
+// against the 3×3 cell neighborhood that can hold a qualifying partner.
+func (e *Engine) closestPairWithin(r float64) (int, int) {
+	n := len(e.estimates)
+	if n < 2 || r <= 0 {
+		return -1, -1
+	}
+	bi, bj, bd := -1, -1, math.Inf(1)
+	better := func(i, j int, d float64) bool {
+		if d > r || d > bd {
+			return false
+		}
+		if d < bd {
+			return true
+		}
+		return i < bi || (i == bi && j < bj)
+	}
+	if n <= 24 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d := e.estimates[i].Pos.Dist(e.estimates[j].Pos); better(i, j, d) {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		return bi, bj
+	}
+	type cell struct{ x, y int }
+	buckets := make(map[cell][]int, n)
+	key := func(p geo.Point) cell {
+		return cell{int(math.Floor(p.X / r)), int(math.Floor(p.Y / r))}
+	}
+	for i, est := range e.estimates {
+		k := key(est.Pos)
+		buckets[k] = append(buckets[k], i)
+	}
+	for i, est := range e.estimates {
+		k := key(est.Pos)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[cell{k.x + dx, k.y + dy}] {
+					if j <= i {
+						continue
+					}
+					if d := est.Pos.Dist(e.estimates[j].Pos); better(i, j, d) {
+						bi, bj, bd = i, j, d
+					}
+				}
+			}
+		}
+	}
+	return bi, bj
 }
 
 // Estimates returns the consolidated AP set with spurious entries (credit ≤

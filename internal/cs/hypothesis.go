@@ -1,6 +1,7 @@
 package cs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,7 @@ import (
 
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/grid"
+	"crowdwifi/internal/par"
 	"crowdwifi/internal/radio"
 )
 
@@ -67,6 +69,11 @@ type HypothesisOptions struct {
 	// (bent) windows discards the phantom. 0 selects the default of 1.5;
 	// negative disables splitting.
 	LobeSeparation float64
+	// Workers bounds the goroutines used to recover the K groups
+	// concurrently. 0 selects par.DefaultWorkers(); 1 forces the serial
+	// path. The parallel path is bit-identical to the serial one: each group
+	// is recovered independently and results are spliced in group order.
+	Workers int
 }
 
 func (o HypothesisOptions) fill() HypothesisOptions {
@@ -99,8 +106,16 @@ var ErrTooManyGroups = errors.New("cs: hypothesized K exceeds the number of meas
 // centroids become AP estimates, and measurements are re-assigned to the AP
 // that explains them best; a few refinement rounds approximate the paper's
 // combination search. The hypothesis is scored with the GMM likelihood and
-// BIC.
+// BIC. Equivalent to EvaluateKContext with context.Background().
 func EvaluateK(g *grid.Grid, ch radio.Channel, window []radio.Measurement, k int, opts HypothesisOptions) (*Hypothesis, error) {
+	return EvaluateKContext(context.Background(), g, ch, window, k, opts)
+}
+
+// EvaluateKContext is EvaluateK under a caller context. The context is
+// checked between refinement rounds and threaded into every per-group ℓ1
+// solve, so a per-round deadline (or a losing speculative branch of
+// SelectModel) aborts promptly with a wrapped ctx.Err().
+func EvaluateKContext(ctx context.Context, g *grid.Grid, ch radio.Channel, window []radio.Measurement, k int, opts HypothesisOptions) (*Hypothesis, error) {
 	if len(window) == 0 {
 		return nil, ErrNoMeasurements
 	}
@@ -113,14 +128,17 @@ func EvaluateK(g *grid.Grid, ch radio.Channel, window []radio.Measurement, k int
 	}
 
 	if o.Exhaustive {
-		return evaluateKExhaustive(g, ch, window, k, o)
+		return evaluateKExhaustive(ctx, g, ch, window, k, o)
 	}
 
 	assign := seedAssignment(window, k, o.Seeds)
 	var aps []geo.Point
 	for round := 0; round < o.Refinements; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("cs: hypothesis K=%d canceled: %w", k, err)
+		}
 		var err error
-		aps, err = recoverGroups(g, ch, window, assign, k, o)
+		aps, err = recoverGroups(ctx, g, ch, window, assign, k, o)
 		if err != nil {
 			return nil, err
 		}
@@ -274,62 +292,79 @@ func mergeClose(aps []geo.Point, minSep float64) []geo.Point {
 
 // recoverGroups runs one CS recovery per non-empty group and returns the
 // resulting AP location estimates (group order preserved, empty groups
-// skipped).
-func recoverGroups(g *grid.Grid, ch radio.Channel, window []radio.Measurement, assign []int, k int, o HypothesisOptions) ([]geo.Point, error) {
+// skipped). Groups are independent, so with Workers > 1 they are recovered
+// concurrently; per-group results are spliced back in group order, making
+// the output bit-identical to the serial loop. Errors surface as a serial
+// ascending loop would: the lowest-indexed failing group wins.
+func recoverGroups(ctx context.Context, g *grid.Grid, ch radio.Channel, window []radio.Measurement, assign []int, k int, o HypothesisOptions) ([]geo.Point, error) {
+	perGroup, err := par.Map(ctx, k, o.Workers, func(j int) ([]geo.Point, error) {
+		return recoverGroup(ctx, g, ch, window, assign, j, o)
+	})
+	if err != nil {
+		return nil, err
+	}
 	aps := make([]geo.Point, 0, k)
-	for j := 0; j < k; j++ {
-		var group []radio.Measurement
-		for i, a := range assign {
-			if a == j {
-				group = append(group, window[i])
-			}
-		}
-		if len(group) == 0 {
-			continue
-		}
-		if len(group) > o.MaxGroupRows {
-			// Keep the strongest readings; they pin the AP location.
-			sort.Slice(group, func(a, b int) bool { return group[a].RSS > group[b].RSS })
-			group = group[:o.MaxGroupRows]
-		}
-		a := BuildSensingMatrix(g, ch, group)
-		y := make([]float64, len(group))
-		for i, m := range group {
-			y[i] = m.RSS
-		}
-		theta, err := RecoverTheta(a, y, o.Recovery)
-		if err != nil {
-			return nil, err
-		}
-		p, ok := g.Centroid(theta, o.Centroid)
-		if !ok {
-			continue
-		}
-		if o.LobeSeparation > 0 {
-			if lobes := g.SplitSupport(theta, 2, o.Centroid); len(lobes) == 2 &&
-				lobes[0].Dist(lobes[1]) > o.LobeSeparation*g.Lattice {
-				// Bimodal support: mirror-ambiguous recovery. Polish both lobe
-				// centroids against the group likelihood; keep both only when
-				// the data genuinely cannot tell them apart, otherwise the
-				// better one.
-				l0, ll0 := refineLocal(lobes[0], group, g.Lattice, o.GMM)
-				l1, ll1 := refineLocal(lobes[1], group, g.Lattice, o.GMM)
-				const ambiguityLL = 1.0
-				switch {
-				case ll0-ll1 > ambiguityLL:
-					aps = append(aps, l0)
-				case ll1-ll0 > ambiguityLL:
-					aps = append(aps, l1)
-				default:
-					aps = append(aps, l0, l1)
-				}
-				continue
-			}
-		}
-		refined, _ := refineLocal(p, group, g.Lattice, o.GMM)
-		aps = append(aps, refined)
+	for _, pts := range perGroup {
+		aps = append(aps, pts...)
 	}
 	return aps, nil
+}
+
+// recoverGroup recovers the AP estimate(s) for group j: the strongest
+// readings assigned to j feed one ℓ1 recovery over the grid, and the support
+// centroid is polished by local likelihood maximization (with lobe splitting
+// for mirror-ambiguous straight segments). It returns zero, one, or two
+// points.
+func recoverGroup(ctx context.Context, g *grid.Grid, ch radio.Channel, window []radio.Measurement, assign []int, j int, o HypothesisOptions) ([]geo.Point, error) {
+	var group []radio.Measurement
+	for i, a := range assign {
+		if a == j {
+			group = append(group, window[i])
+		}
+	}
+	if len(group) == 0 {
+		return nil, nil
+	}
+	if len(group) > o.MaxGroupRows {
+		// Keep the strongest readings; they pin the AP location.
+		sort.Slice(group, func(a, b int) bool { return group[a].RSS > group[b].RSS })
+		group = group[:o.MaxGroupRows]
+	}
+	a := BuildSensingMatrix(g, ch, group)
+	y := make([]float64, len(group))
+	for i, m := range group {
+		y[i] = m.RSS
+	}
+	theta, err := RecoverThetaContext(ctx, a, y, o.Recovery)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := g.Centroid(theta, o.Centroid)
+	if !ok {
+		return nil, nil
+	}
+	if o.LobeSeparation > 0 {
+		if lobes := g.SplitSupport(theta, 2, o.Centroid); len(lobes) == 2 &&
+			lobes[0].Dist(lobes[1]) > o.LobeSeparation*g.Lattice {
+			// Bimodal support: mirror-ambiguous recovery. Polish both lobe
+			// centroids against the group likelihood; keep both only when
+			// the data genuinely cannot tell them apart, otherwise the
+			// better one.
+			l0, ll0 := refineLocal(lobes[0], group, g.Lattice, o.GMM)
+			l1, ll1 := refineLocal(lobes[1], group, g.Lattice, o.GMM)
+			const ambiguityLL = 1.0
+			switch {
+			case ll0-ll1 > ambiguityLL:
+				return []geo.Point{l0}, nil
+			case ll1-ll0 > ambiguityLL:
+				return []geo.Point{l1}, nil
+			default:
+				return []geo.Point{l0, l1}, nil
+			}
+		}
+	}
+	refined, _ := refineLocal(p, group, g.Lattice, o.GMM)
+	return []geo.Point{refined}, nil
 }
 
 // refineLocal polishes a coarse AP estimate by maximizing the group's
@@ -418,7 +453,7 @@ func reassign(window []radio.Measurement, assign []int, aps []geo.Point, gmm rad
 // evaluateKExhaustive enumerates set partitions of the window into exactly k
 // blocks (restricted growth strings) and keeps the best BIC. This realizes
 // the literal combination search of Proposition 2 for small windows.
-func evaluateKExhaustive(g *grid.Grid, ch radio.Channel, window []radio.Measurement, k int, o HypothesisOptions) (*Hypothesis, error) {
+func evaluateKExhaustive(ctx context.Context, g *grid.Grid, ch radio.Channel, window []radio.Measurement, k int, o HypothesisOptions) (*Hypothesis, error) {
 	var best *Hypothesis
 	count := 0
 	err := ForEachPartition(len(window), k, func(assign []int) bool {
@@ -426,7 +461,10 @@ func evaluateKExhaustive(g *grid.Grid, ch radio.Channel, window []radio.Measurem
 		if count > o.MaxPartitions {
 			return false
 		}
-		aps, err := recoverGroups(g, ch, window, assign, k, o)
+		if ctx.Err() != nil {
+			return false
+		}
+		aps, err := recoverGroups(ctx, g, ch, window, assign, k, o)
 		if err != nil || len(aps) == 0 {
 			return true
 		}
@@ -441,6 +479,9 @@ func evaluateKExhaustive(g *grid.Grid, ch radio.Channel, window []radio.Measurem
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("cs: exhaustive search over K=%d canceled: %w", k, cerr)
 	}
 	if best == nil {
 		return nil, fmt.Errorf("cs: exhaustive search over K=%d found no valid hypothesis", k)
@@ -570,6 +611,14 @@ type SelectOptions struct {
 	SeedSlack int
 	// SeedMinSep is the seed separation in metres (default 2 grid lattices).
 	SeedMinSep float64
+	// Workers bounds the goroutines used to evaluate candidate K values
+	// speculatively in parallel. 0 selects par.DefaultWorkers(); 1 forces
+	// the serial climb. The parallel search replays the serial climb's exact
+	// stopping rule over the speculative results (in ascending K order), so
+	// the selected hypothesis is bit-identical to the serial path: best BIC
+	// wins, lowest K wins ties, and the patience window cuts off the same K
+	// values. Branches past the serial stopping point are canceled.
+	Workers int
 }
 
 // StrongReadingSeeds estimates AP seed positions from readings strong enough
@@ -610,8 +659,52 @@ func StrongReadingSeeds(window []radio.Measurement, ch radio.Channel, minSep flo
 
 // SelectModel searches K = 1, 2, ... for the hypothesis maximizing BIC
 // (Section 4.3.5), climbing until Patience consecutive K values fail to
-// improve. It returns the best hypothesis found.
+// improve. It returns the best hypothesis found. Equivalent to
+// SelectModelContext with context.Background().
 func SelectModel(g *grid.Grid, ch radio.Channel, window []radio.Measurement, opts SelectOptions) (*Hypothesis, error) {
+	return SelectModelContext(context.Background(), g, ch, window, opts)
+}
+
+// climbState replays the serial K-climb's stopping rule over per-K outcomes
+// fed in ascending order. Both the serial loop and the speculative parallel
+// search drive this one state machine, so their selected hypotheses are
+// identical by construction.
+type climbState struct {
+	best     *Hypothesis
+	bad      int
+	patience int
+	stopped  bool
+}
+
+// consume feeds the outcome for the next K in ascending order and reports
+// whether the climb goes on.
+func (c *climbState) consume(h *Hypothesis, err error) bool {
+	switch {
+	case err != nil:
+		// A failed hypothesis (e.g. collapsed groups) counts against
+		// patience but does not abort the search.
+		c.bad++
+		if c.best != nil && c.bad >= c.patience {
+			c.stopped = true
+		}
+	case c.best == nil || h.BIC > c.best.BIC:
+		c.best = h
+		c.bad = 0
+	default:
+		c.bad++
+		if c.bad >= c.patience {
+			c.stopped = true
+		}
+	}
+	return !c.stopped
+}
+
+// SelectModelContext is SelectModel under a caller context: a canceled
+// context aborts the search (and its solver iterations) promptly with a
+// wrapped ctx.Err(). With opts.Workers != 1 the candidate K values are
+// evaluated speculatively in parallel; the result is bit-identical to the
+// serial climb (see SelectOptions.Workers).
+func SelectModelContext(ctx context.Context, g *grid.Grid, ch radio.Channel, window []radio.Measurement, opts SelectOptions) (*Hypothesis, error) {
 	if len(window) == 0 {
 		return nil, ErrNoMeasurements
 	}
@@ -654,31 +747,73 @@ func SelectModel(g *grid.Grid, ch radio.Channel, window []radio.Measurement, opt
 			}
 		}
 	}
-	var best *Hypothesis
-	bad := 0
-	for k := kLo; k <= maxK; k++ {
-		h, err := EvaluateK(g, ch, window, k, opts.Hypothesis)
-		if err != nil {
-			// A failed hypothesis (e.g. collapsed groups) counts against
-			// patience but does not abort the search.
-			bad++
-			if best != nil && bad >= patience {
-				break
-			}
-			continue
-		}
-		if best == nil || h.BIC > best.BIC {
-			best = h
-			bad = 0
-		} else {
-			bad++
-			if bad >= patience {
-				break
-			}
-		}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
 	}
-	if best == nil {
+	climb := climbState{patience: patience}
+	if workers <= 1 || maxK-kLo == 0 {
+		for k := kLo; k <= maxK && !climb.stopped; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("cs: model selection canceled: %w", err)
+			}
+			climb.consume(EvaluateKContext(ctx, g, ch, window, k, opts.Hypothesis))
+		}
+	} else {
+		selectParallel(ctx, &climb, g, ch, window, kLo, maxK, workers, opts.Hypothesis)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cs: model selection canceled: %w", err)
+	}
+	if climb.best == nil {
 		return nil, errors.New("cs: no hypothesis could be evaluated")
 	}
-	return best, nil
+	return climb.best, nil
+}
+
+// selectParallel evaluates the K candidates [kLo, maxK] speculatively on a
+// bounded pool. Results are consumed strictly in ascending K through the
+// same climbState the serial loop uses; once the climb stops (the point the
+// serial search would have reached), the speculative context is canceled so
+// losing branches abort their solver iterations instead of running to
+// completion. K values past the stopping point are computed at most
+// wastefully, never observed — determinism does not depend on scheduling.
+func selectParallel(ctx context.Context, climb *climbState, g *grid.Grid, ch radio.Channel, window []radio.Measurement, kLo, maxK, workers int, hopts HypothesisOptions) {
+	nK := maxK - kLo + 1
+	type outcome struct {
+		h   *Hypothesis
+		err error
+	}
+	results := make([]outcome, nK)
+	completed := make(chan int, nK)
+	spec, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		defer close(completed)
+		_ = par.Do(spec, nK, workers, func(i int) error {
+			h, err := EvaluateKContext(spec, g, ch, window, kLo+i, hopts)
+			results[i] = outcome{h, err}
+			completed <- i
+			return nil
+		})
+	}()
+	ready := make([]bool, nK)
+	next := 0
+	for idx := range completed {
+		ready[idx] = true
+		if climb.stopped {
+			continue // draining after cancel
+		}
+		for next < nK && ready[next] {
+			r := results[next]
+			next++
+			if !climb.consume(r.h, r.err) || ctx.Err() != nil {
+				// The serial climb would stop here; losing speculative
+				// branches are canceled and their results discarded.
+				cancel()
+				break
+			}
+		}
+	}
 }

@@ -7,6 +7,7 @@
 package cs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -185,14 +186,25 @@ func Orthogonalize(a *mat.Mat, y []float64, rankTol float64) (*mat.Mat, []float6
 // sensing matrix A over the grid and the RSS measurements y, it returns the
 // sparse coefficient vector θ over grid points. Negative coefficients are
 // clipped when NonNegative is unset so that downstream centroid weights stay
-// meaningful.
+// meaningful. Equivalent to RecoverThetaContext with context.Background().
 func RecoverTheta(a *mat.Mat, y []float64, opts RecoveryOptions) ([]float64, error) {
+	return RecoverThetaContext(context.Background(), a, y, opts)
+}
+
+// RecoverThetaContext is RecoverTheta under a caller context: the context is
+// checked before the solve starts and polled inside the solver iteration
+// loops, so a per-round deadline interrupts even a large-window ℓ1 program
+// promptly.
+func RecoverThetaContext(ctx context.Context, a *mat.Mat, y []float64, opts RecoveryOptions) ([]float64, error) {
 	m, n := a.Dims()
 	if m == 0 || len(y) == 0 {
 		return nil, ErrNoMeasurements
 	}
 	if len(y) != m {
 		return nil, fmt.Errorf("cs: y length %d does not match %d rows", len(y), m)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cs: recovery canceled: %w", err)
 	}
 	if opts.Solver == 0 {
 		opts.Solver = SolverADMM
@@ -239,7 +251,7 @@ func RecoverTheta(a *mat.Mat, y []float64, opts RecoveryOptions) ([]float64, err
 			lambda = 1e-6
 		}
 	}
-	sopts := solve.Options{MaxIter: opts.MaxIter, Tol: opts.Tol, NonNegative: opts.NonNegative, Metrics: opts.Metrics}
+	sopts := solve.Options{MaxIter: opts.MaxIter, Tol: opts.Tol, NonNegative: opts.NonNegative, Ctx: ctx, Metrics: opts.Metrics}
 
 	var res *solve.Result
 	var err error

@@ -3,10 +3,12 @@
 // Householder QR, one-sided Jacobi SVD, Moore-Penrose pseudo-inverse, and
 // orthonormal range bases.
 //
-// The package is deliberately small and stdlib-only. Matrices are dense,
-// row-major, and sized for the paper's workloads (grids of at most a few
-// thousand points), so the implementations favour clarity and numerical
-// robustness over blocking or cache tricks.
+// The package is deliberately small and dependency-light (stdlib plus the
+// internal/par worker pool). Matrices are dense, row-major, and sized for the
+// paper's workloads (grids of at most a few thousand points); the
+// implementations favour clarity and numerical robustness, with row-blocked
+// parallel kernels for the three multiply-shaped hot spots (Mul, AtA, AAt)
+// above a size cutoff.
 package mat
 
 import (
@@ -14,7 +16,45 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
+
+	"crowdwifi/internal/par"
 )
+
+// kernelWorkers overrides the worker count for the parallel kernels;
+// 0 defers to par.DefaultWorkers().
+var kernelWorkers atomic.Int64
+
+// SetWorkers overrides the worker count used by the parallel Mul/AtA/AAt
+// kernels. n <= 0 restores the par.DefaultWorkers() default; n == 1 forces
+// the serial path. Parallel and serial paths are bit-identical: every output
+// element is accumulated by exactly one goroutine in the same order as the
+// serial loop.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	kernelWorkers.Store(int64(n))
+}
+
+// Workers returns the effective worker count for the parallel kernels.
+func Workers() int {
+	if n := kernelWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return par.DefaultWorkers()
+}
+
+// parMinFlops is the multiply-accumulate count below which the kernels stay
+// serial: small windows (M ≲ 60 rows) must not pay goroutine spawn overhead.
+const parMinFlops = 1 << 16
+
+// useParallel reports whether a kernel of the given flop count should fan
+// out, and the worker count to use.
+func useParallel(flops int) (int, bool) {
+	w := Workers()
+	return w, w > 1 && flops >= parMinFlops
+}
 
 // Mat is a dense, row-major matrix.
 type Mat struct {
@@ -163,13 +203,25 @@ func (m *Mat) T() *Mat {
 	return out
 }
 
-// Mul returns a×b.
+// Mul returns a×b. Above the size cutoff the output rows are computed on a
+// worker pool; each row's accumulation order matches the serial loop, so the
+// result is bit-identical regardless of worker count.
 func Mul(a, b *Mat) *Mat {
 	if a.cols != b.rows {
 		panic(ErrShape)
 	}
 	out := New(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
+	if w, ok := useParallel(a.rows * a.cols * b.cols); ok {
+		par.ForBlocks(a.rows, w, func(lo, hi int) { mulRows(out, a, b, lo, hi) })
+	} else {
+		mulRows(out, a, b, 0, a.rows)
+	}
+	return out
+}
+
+// mulRows computes output rows [lo, hi) of a×b.
+func mulRows(out, a, b *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		orow := out.data[i*out.cols : (i+1)*out.cols]
 		for k, av := range arow {
@@ -182,7 +234,6 @@ func Mul(a, b *Mat) *Mat {
 			}
 		}
 	}
-	return out
 }
 
 // MulVec returns a×x for a column vector x.
@@ -254,12 +305,27 @@ func Scale(s float64, a *Mat) *Mat {
 	return out
 }
 
-// AtA returns aᵀa (cols×cols Gram matrix).
+// AtA returns aᵀa (cols×cols Gram matrix). Above the size cutoff the output
+// rows are computed on a worker pool; each output element accumulates over
+// the data rows in the same ascending order as the serial loop, so the
+// result is bit-identical regardless of worker count.
 func AtA(a *Mat) *Mat {
 	out := New(a.cols, a.cols)
+	if w, ok := useParallel(a.rows * a.cols * a.cols); ok {
+		par.ForBlocks(a.cols, w, func(lo, hi int) { ataRows(out, a, lo, hi) })
+	} else {
+		ataRows(out, a, 0, a.cols)
+	}
+	return out
+}
+
+// ataRows computes output rows [lo, hi) of aᵀa. The i-ascending accumulation
+// per element mirrors the row-streaming serial kernel exactly.
+func ataRows(out, a *Mat, lo, hi int) {
 	for i := 0; i < a.rows; i++ {
 		row := a.data[i*a.cols : (i+1)*a.cols]
-		for p, vp := range row {
+		for p := lo; p < hi; p++ {
+			vp := row[p]
 			if vp == 0 {
 				continue
 			}
@@ -269,13 +335,27 @@ func AtA(a *Mat) *Mat {
 			}
 		}
 	}
+}
+
+// AAt returns a·aᵀ (rows×rows Gram matrix). Above the size cutoff the upper
+// triangle is computed row-blocked on a worker pool; each dot product is
+// evaluated exactly as in the serial loop, so the result is bit-identical
+// regardless of worker count.
+func AAt(a *Mat) *Mat {
+	out := New(a.rows, a.rows)
+	if w, ok := useParallel(a.rows * a.rows * a.cols / 2); ok {
+		par.ForBlocks(a.rows, w, func(lo, hi int) { aatRows(out, a, lo, hi) })
+	} else {
+		aatRows(out, a, 0, a.rows)
+	}
 	return out
 }
 
-// AAt returns a·aᵀ (rows×rows Gram matrix).
-func AAt(a *Mat) *Mat {
-	out := New(a.rows, a.rows)
-	for i := 0; i < a.rows; i++ {
+// aatRows computes upper-triangle rows [lo, hi) of a·aᵀ and mirrors them.
+// The mirrored element (j, i) is owned by row i's task, and j ≥ i ≥ hi-1
+// lands in column range [lo, rows), so no two tasks write the same cell.
+func aatRows(out, a *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ri := a.data[i*a.cols : (i+1)*a.cols]
 		for j := i; j < a.rows; j++ {
 			rj := a.data[j*a.cols : (j+1)*a.cols]
@@ -287,7 +367,6 @@ func AAt(a *Mat) *Mat {
 			out.data[j*a.rows+i] = s
 		}
 	}
-	return out
 }
 
 // FrobeniusNorm returns the Frobenius norm of m.

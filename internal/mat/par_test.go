@@ -1,0 +1,125 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// forceParallel drops the flop cutoff's effect by fixing the worker count
+// above 1; restore resets package state for other tests.
+func forceWorkers(t testing.TB, n int) {
+	t.Helper()
+	SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(0) })
+}
+
+// TestMulParallelBitIdentical checks the determinism contract: the parallel
+// kernels partition output rows, and each row is accumulated in exactly the
+// serial order, so results must be bit-identical (==, not approximately
+// equal) at any worker count.
+func TestMulParallelBitIdentical(t *testing.T) {
+	t.Cleanup(func() { SetWorkers(0) })
+	rng := rand.New(rand.NewSource(41))
+	for _, dims := range [][3]int{{64, 48, 64}, {33, 129, 47}, {128, 16, 128}} {
+		a := randMat(rng, dims[0], dims[1])
+		b := randMat(rng, dims[1], dims[2])
+
+		SetWorkers(1)
+		serial := Mul(a, b)
+		SetWorkers(4)
+		parallel := Mul(a, b)
+		SetWorkers(0)
+
+		if serial.rows != parallel.rows || serial.cols != parallel.cols {
+			t.Fatalf("dims %v: shape mismatch", dims)
+		}
+		for i := range serial.data {
+			if serial.data[i] != parallel.data[i] {
+				t.Fatalf("dims %v: element %d differs: serial %v parallel %v",
+					dims, i, serial.data[i], parallel.data[i])
+			}
+		}
+	}
+}
+
+func TestAtAParallelBitIdentical(t *testing.T) {
+	t.Cleanup(func() { SetWorkers(0) })
+	rng := rand.New(rand.NewSource(42))
+	for _, dims := range [][2]int{{80, 64}, {31, 97}, {200, 40}} {
+		a := randMat(rng, dims[0], dims[1])
+
+		SetWorkers(1)
+		serial := AtA(a)
+		SetWorkers(4)
+		parallel := AtA(a)
+		SetWorkers(0)
+
+		for i := range serial.data {
+			if serial.data[i] != parallel.data[i] {
+				t.Fatalf("dims %v: element %d differs: serial %v parallel %v",
+					dims, i, serial.data[i], parallel.data[i])
+			}
+		}
+	}
+}
+
+func TestAAtParallelBitIdentical(t *testing.T) {
+	t.Cleanup(func() { SetWorkers(0) })
+	rng := rand.New(rand.NewSource(43))
+	for _, dims := range [][2]int{{64, 80}, {97, 31}, {50, 200}} {
+		a := randMat(rng, dims[0], dims[1])
+
+		SetWorkers(1)
+		serial := AAt(a)
+		SetWorkers(4)
+		parallel := AAt(a)
+		SetWorkers(0)
+
+		for i := range serial.data {
+			if serial.data[i] != parallel.data[i] {
+				t.Fatalf("dims %v: element %d differs: serial %v parallel %v",
+					dims, i, serial.data[i], parallel.data[i])
+			}
+		}
+	}
+}
+
+// TestSmallProductsStaySerial pins the size cutoff: tiny products must not
+// pay pool dispatch overhead even when workers are available.
+func TestSmallProductsStaySerial(t *testing.T) {
+	forceWorkers(t, 8)
+	if w, ok := useParallel(4 * 4 * 4); ok {
+		t.Fatalf("useParallel(64 flops) = (%d, true), want serial", w)
+	}
+	if _, ok := useParallel(parMinFlops); !ok {
+		t.Fatalf("useParallel(%d flops) chose serial with 8 workers", parMinFlops)
+	}
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	SetWorkers(-3)
+	t.Cleanup(func() { SetWorkers(0) })
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(-3), want >= 1", Workers())
+	}
+	SetWorkers(1)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(1), want 1", Workers())
+	}
+}
+
+func benchmarkMatMul(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 192
+	x := randMat(rng, n, n)
+	y := randMat(rng, n, n)
+	SetWorkers(workers)
+	b.Cleanup(func() { SetWorkers(0) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMatMulSerial(b *testing.B)    { benchmarkMatMul(b, 1) }
+func BenchmarkMatMulParallel4(b *testing.B) { benchmarkMatMul(b, 4) }

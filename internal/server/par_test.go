@@ -1,0 +1,99 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// fusionFixture loads a store with nSeg segments of clustered vehicle
+// reports plus labels so reliability inference produces non-trivial weights.
+func fusionFixture(tb testing.TB, nSeg, nVeh int) *Store {
+	tb.Helper()
+	store := NewStore(10)
+	rng := rand.New(rand.NewSource(17))
+	for s := 0; s < nSeg; s++ {
+		seg := fmt.Sprintf("seg-%03d", s)
+		baseX, baseY := float64(100*s), 50.0
+		for v := 0; v < nVeh; v++ {
+			veh := fmt.Sprintf("veh-%d", v)
+			aps := []APReport{
+				{X: baseX + rng.Float64()*4, Y: baseY + rng.Float64()*4, Credit: 3},
+				{X: baseX + 40 + rng.Float64()*4, Y: baseY + 20 + rng.Float64()*4, Credit: 2},
+			}
+			if err := store.AddReport(Report{Vehicle: veh, Segment: seg, APs: aps}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	store.AddPattern("seg-000", []APReport{{X: 0, Y: 50, Credit: 3}})
+	for v := 0; v < nVeh; v++ {
+		val := 1
+		if v == nVeh-1 {
+			val = -1 // one dissenter keeps inference off the trivial fixed point
+		}
+		if err := store.AddLabel(Label{Vehicle: fmt.Sprintf("veh-%d", v), TaskID: 0, Value: val}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return store
+}
+
+// TestAggregateParallelBitIdentical is the determinism property test for
+// parallel per-segment fusion: segments are fused by independent workers and
+// applied in sorted-key order, so the fused map and reliability scores must
+// match a serial aggregation bit-for-bit at any worker count.
+func TestAggregateParallelBitIdentical(t *testing.T) {
+	serial := fusionFixture(t, 12, 6)
+	serial.SetWorkers(1)
+	if _, err := serial.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+
+	parallel := fusionFixture(t, 12, 6)
+	parallel.SetWorkers(4)
+	if _, err := parallel.Aggregate(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial.fused) != len(parallel.fused) {
+		t.Fatalf("segment count %d != %d", len(serial.fused), len(parallel.fused))
+	}
+	for seg, want := range serial.fused {
+		got, ok := parallel.fused[seg]
+		if !ok {
+			t.Fatalf("segment %s missing from parallel result", seg)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("segment %s: %d fused APs != %d", seg, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("segment %s AP %d: %+v != %+v", seg, i, got[i], want[i])
+			}
+		}
+	}
+	sr, pr := serial.Reliability(), parallel.Reliability()
+	if len(sr) != len(pr) {
+		t.Fatalf("reliability count %d != %d", len(sr), len(pr))
+	}
+	for v, want := range sr {
+		if pr[v] != want {
+			t.Fatalf("vehicle %s reliability %v != %v", v, pr[v], want)
+		}
+	}
+}
+
+func benchmarkAggregate(b *testing.B, workers int) {
+	store := fusionFixture(b, 32, 8)
+	store.SetWorkers(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Aggregate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateSerial(b *testing.B)    { benchmarkAggregate(b, 1) }
+func BenchmarkAggregateParallel4(b *testing.B) { benchmarkAggregate(b, 4) }

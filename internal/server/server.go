@@ -22,6 +22,7 @@ import (
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs"
 	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/par"
 	"crowdwifi/internal/wal"
 )
 
@@ -90,6 +91,7 @@ type Store struct {
 	reliability map[string]float64
 	vehicles    map[string]int // vehicle id → dense index
 	mergeRadius float64
+	workers     atomic.Int64 // fusion parallelism; 0 → par.DefaultWorkers()
 	metrics     *Metrics
 	aggregating atomic.Bool
 
@@ -120,6 +122,24 @@ func NewStore(mergeRadius float64) *Store {
 // the store's hot paths read the pointer without synchronization.
 func (s *Store) Instrument(m *Metrics) {
 	s.metrics = m
+}
+
+// SetWorkers bounds the number of goroutines used for per-segment fusion
+// during aggregation. n ≤ 0 restores the default (par.DefaultWorkers());
+// n == 1 forces serial fusion. Segments are independent, so the fused map
+// is identical at any worker count.
+func (s *Store) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.workers.Store(int64(n))
+}
+
+func (s *Store) fusionWorkers() int {
+	if n := int(s.workers.Load()); n > 0 {
+		return n
+	}
+	return par.DefaultWorkers()
 }
 
 func (s *Store) vehicleIndex(id string) int {
@@ -366,23 +386,35 @@ func (s *Store) aggregate(ctx context.Context) (CycleStats, error) {
 		}
 		weights[rep.Segment] = append(weights[rep.Segment], w)
 	}
-	_, fspan := trace.StartChild(ctx, "server.fusion")
-	for seg, reps := range bySeg {
+	// Fuse segments concurrently: each segment's reports are independent, so
+	// workers own disjoint segments and write disjoint result slots. Keys are
+	// sorted first so results apply in a fixed order and an error from the
+	// lowest-sorted failing segment wins regardless of scheduling — the
+	// outcome is bit-identical at any worker count.
+	segs := make([]string, 0, len(bySeg))
+	for seg := range bySeg {
+		segs = append(segs, seg)
+	}
+	sort.Strings(segs)
+	fctx, fspan := trace.StartChild(ctx, "server.fusion")
+	fused, err := par.Map(fctx, len(segs), s.fusionWorkers(), func(i int) ([]geo.Point, error) {
 		// MinWeight 0.5 drops clusters supported only by vehicles the
 		// inference marked unreliable: a lone spammer (weight ≈ 0.05) cannot
 		// plant APs, while a single honest vehicle (weight ≈ 1) still can.
-		fusedPts, err := crowd.WeightedFusion(reps, weights[seg], crowd.FusionOptions{
+		return crowd.WeightedFusion(bySeg[segs[i]], weights[segs[i]], crowd.FusionOptions{
 			MergeRadius: s.mergeRadius,
 			MinWeight:   0.5,
 		})
-		if err != nil {
-			fspan.SetError(err)
-			fspan.End()
-			return stats, err
-		}
-		out := make([]LookupResult, len(fusedPts))
-		for i, p := range fusedPts {
-			out[i] = LookupResult{X: p.X, Y: p.Y, Weight: 1}
+	})
+	if err != nil {
+		fspan.SetError(err)
+		fspan.End()
+		return stats, err
+	}
+	for i, seg := range segs {
+		out := make([]LookupResult, len(fused[i]))
+		for j, p := range fused[i] {
+			out[j] = LookupResult{X: p.X, Y: p.Y, Weight: 1}
 		}
 		s.fused[seg] = out
 		stats.Segments++
@@ -445,7 +477,10 @@ func (s *Store) inferReliabilityLocked(ctx context.Context) map[string]float64 {
 		a.WorkerTasks[w] = ts
 	}
 	labels := &crowd.Labels{Assignment: a, Values: taskValues}
-	res := crowd.InferContext(ctx, labels, crowd.InferenceOptions{Metrics: s.metrics.crowdMetrics()})
+	res := crowd.InferContext(ctx, labels, crowd.InferenceOptions{
+		Workers: int(s.workers.Load()),
+		Metrics: s.metrics.crowdMetrics(),
+	})
 	norm := crowd.NormalizeReliability(res.WorkerReliability)
 	for w, id := range workerIDs {
 		out[id] = norm[w]
