@@ -25,8 +25,13 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "",
 		"optional listen address serving /metrics and /debug/pprof while experiments run")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		obs.PrintVersion(os.Stdout, "crowdwifi-exp")
+		return
+	}
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -45,6 +50,7 @@ func run(seed uint64, trials int, quick bool, metricsAddr string, logger *obs.Lo
 		// runtime series and /debug/pprof for the duration of the run.
 		reg := obs.NewRegistry()
 		reg.RegisterGoRuntime()
+		obs.RegisterBuildInfo(reg)
 		go func() {
 			srv := &http.Server{
 				Addr:              metricsAddr,

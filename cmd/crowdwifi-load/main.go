@@ -1,0 +1,134 @@
+// Command crowdwifi-load drives a synthetic crowd-vehicle fleet against a
+// running crowdwifi-server and writes a machine-readable run report.
+//
+// The fleet is closed-loop: each simulated vehicle uploads a precomputed
+// drive-by report, occasionally issues a user-vehicle lookup, thinks, and
+// repeats. A run passes through warmup, measure, and drain phases; only the
+// measure phase feeds the report's latency quantiles and sustained rates,
+// and the drain phase flushes every vehicle outbox so the report can state
+// exactly how many uploads (if any) were lost.
+//
+// While running, -addr serves the generator's own observability surface:
+// /debug/load (live progress), /metrics, /debug/vars, and /debug/pprof/.
+//
+// Usage:
+//
+//	crowdwifi-load -server http://127.0.0.1:8700 \
+//	               [-vehicles 1000] [-warmup 5s] [-measure 30s] [-drain 15s] \
+//	               [-think 100ms] [-lookup-every 10] [-archetypes 16] \
+//	               [-retries 4] [-outbox 256] [-seed 1] \
+//	               [-out BENCH.json] [-addr :8710] [-log-every 5s] \
+//	               [-fail-on-lost] [-log-level info] [-version]
+//
+// The process exits 0 on a clean run, 1 when reports were lost (unless
+// -fail-on-lost=false), and 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdwifi/internal/load"
+	"crowdwifi/internal/obs"
+)
+
+func main() {
+	var cfg load.Config
+	server := flag.String("server", "", "crowd-server base URL (required), e.g. http://127.0.0.1:8700")
+	flag.IntVar(&cfg.Vehicles, "vehicles", 1000, "fleet size: concurrent simulated vehicles")
+	flag.DurationVar(&cfg.Warmup, "warmup", 5*time.Second, "warmup phase length (traffic flows, nothing is recorded)")
+	flag.DurationVar(&cfg.Measure, "measure", 30*time.Second, "measurement window length")
+	flag.DurationVar(&cfg.Drain, "drain", 15*time.Second, "drain budget for flushing vehicle outboxes")
+	flag.DurationVar(&cfg.Think, "think", 100*time.Millisecond, "mean pause between a vehicle's iterations (0 = none)")
+	flag.IntVar(&cfg.LookupEvery, "lookup-every", 10, "issue one lookup after every N uploads (negative disables)")
+	flag.IntVar(&cfg.Archetypes, "archetypes", 16, "distinct simulated report payloads to precompute")
+	flag.IntVar(&cfg.RetryAttempts, "retries", 4, "HTTP attempts per request including the first")
+	flag.IntVar(&cfg.OutboxCap, "outbox", 256, "per-vehicle store-and-forward outbox capacity")
+	seed := flag.Uint64("seed", 1, "RNG seed for payloads, jitter, and lookup areas")
+	out := flag.String("out", "-", "run report path (\"-\" writes to stdout)")
+	addr := flag.String("addr", "", "optional listen address for /debug/load, /metrics, and /debug/pprof")
+	flag.DurationVar(&cfg.LogEvery, "log-every", 5*time.Second, "period of the one-line progress log (negative disables)")
+	failOnLost := flag.Bool("fail-on-lost", true, "exit non-zero when the run lost any reports")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		obs.PrintVersion(os.Stdout, "crowdwifi-load")
+		return
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *server == "" {
+		fmt.Fprintln(os.Stderr, "crowdwifi-load: -server is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg.ServerURL = *server
+	cfg.Seed = *seed
+	cfg.Logger = obs.NewLogger(os.Stderr, level)
+	if err := run(cfg, *addr, *out, *failOnLost); err != nil {
+		cfg.Logger.Error("load run failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg load.Config, addr, out string, failOnLost bool) error {
+	reg := obs.NewRegistry()
+	reg.RegisterGoRuntime()
+	obs.RegisterBuildInfo(reg)
+	cfg.Registry = reg
+
+	runner, err := load.NewRunner(cfg)
+	if err != nil {
+		return err
+	}
+
+	if addr != "" {
+		mux := obs.NewDebugMux(reg)
+		runner.MountDebug(mux)
+		srv := &http.Server{Addr: addr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				cfg.Logger.Warn("debug listener failed", "addr", addr, "err", err)
+			}
+		}()
+		defer srv.Close()
+		cfg.Logger.Info("debug endpoints up", "addr", addr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg.Logger.Info("load run starting",
+		"server", cfg.ServerURL, "vehicles", cfg.Vehicles,
+		"warmup", cfg.Warmup, "measure", cfg.Measure, "drain", cfg.Drain)
+	rep, err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+	upl := rep.Endpoints[load.EndpointUpload]
+	cfg.Logger.Info("load run complete",
+		"uploads_s", fmt.Sprintf("%.1f", rep.Sustained.UploadsPerSec),
+		"p50_ms", fmt.Sprintf("%.1f", upl.LatencySeconds.P50*1000),
+		"p99_ms", fmt.Sprintf("%.1f", upl.LatencySeconds.P99*1000),
+		"acked", rep.Verification.AckedUploads,
+		"lost", rep.Resilience.Lost,
+		"consistent", rep.Verification.Consistent)
+	if failOnLost && rep.Resilience.Lost > 0 {
+		return fmt.Errorf("run lost %d reports", rep.Resilience.Lost)
+	}
+	return nil
+}

@@ -78,8 +78,13 @@ func main() {
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", trace.DefaultCapacity,
 		"number of recent traces kept in memory for /debug/traces")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		obs.PrintVersion(os.Stdout, "crowdwifi-server")
+		return
+	}
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -100,6 +105,7 @@ func run(cfg config, logger *obs.Logger) error {
 	par.SetDefaultWorkers(cfg.workers)
 	reg := obs.NewRegistry()
 	reg.RegisterGoRuntime()
+	obs.RegisterBuildInfo(reg)
 	par.Instrument(reg.Gauge("par_inflight_tasks",
 		"tasks currently executing inside the internal worker pool"))
 	metrics := server.NewMetrics(reg)

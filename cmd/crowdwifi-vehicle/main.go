@@ -92,8 +92,13 @@ func main() {
 	flag.IntVar(&cfg.TraceBuffer, "trace-buffer", trace.DefaultCapacity,
 		"number of recent traces kept in memory for /debug/traces")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		obs.PrintVersion(os.Stdout, "crowdwifi-vehicle")
+		return
+	}
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -116,6 +121,7 @@ func run(ctx context.Context, cfg runConfig, logger *obs.Logger) error {
 	par.SetDefaultWorkers(cfg.Workers)
 	reg := obs.NewRegistry()
 	reg.RegisterGoRuntime()
+	obs.RegisterBuildInfo(reg)
 	par.Instrument(reg.Gauge("par_inflight_tasks",
 		"tasks currently executing inside the internal worker pool"))
 	tracer := trace.NewTracer(trace.Config{

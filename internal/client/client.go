@@ -180,6 +180,14 @@ func (v *CrowdVehicle) ReportContext(ctx context.Context, segment string) error 
 	for i, e := range ests {
 		rep.APs[i] = server.APReport{X: e.Pos.X, Y: e.Pos.Y, Credit: e.Credit}
 	}
+	return v.UploadReport(ctx, rep)
+}
+
+// UploadReport uploads a prebuilt report through the full resilience path
+// (idempotency key, retrying transport, outbox park on transient failure).
+// It never touches the CS engine, so load generators and replay tools can
+// drive fleets of CrowdVehicles constructed without one.
+func (v *CrowdVehicle) UploadReport(ctx context.Context, rep server.Report) error {
 	return v.postJSON(ctx, "/v1/reports", rep, nil, true)
 }
 
@@ -505,11 +513,13 @@ func getJSONCtx(ctx context.Context, m *Metrics, h HTTPDoer, url string, out any
 	return sendJSON(ctx, m, h, http.MethodGet, url, nil, "", out)
 }
 
-// doJSONMetered wraps doJSON with latency/outcome recording.
+// doJSONMetered wraps doJSON with per-endpoint latency/outcome recording —
+// the client-observed capture point: the measured span covers the whole
+// round trip including every retry attempt inside a retrying transport.
 func doJSONMetered(m *Metrics, h HTTPDoer, req *http.Request, out any) error {
 	start := time.Now()
 	err := doJSON(h, req, out)
-	m.observe(start, err)
+	m.observe(req.URL.Path, start, err)
 	return err
 }
 

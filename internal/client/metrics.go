@@ -1,18 +1,24 @@
 package client
 
 import (
+	"sync"
 	"time"
 
 	"crowdwifi/internal/obs"
 )
 
 // Metrics instruments vehicle-side HTTP traffic to the crowd-server and the
-// store-and-forward outbox. A nil *Metrics is a no-op, so unit tests and
-// simulations pay nothing.
+// store-and-forward outbox. Latency is captured per endpoint path — the
+// client-observed numbers the load generator's run report is built from — in
+// rolling-window histograms, so quantile reads describe recent round trips.
+// A nil *Metrics is a no-op, so unit tests and simulations pay nothing.
 type Metrics struct {
+	registry    *obs.Registry
 	requestsOK  *obs.Counter
 	requestsErr *obs.Counter
-	reqDuration *obs.Histogram
+
+	mu          sync.Mutex
+	reqDuration map[string]*obs.WindowedHistogram // endpoint path → latency
 
 	outboxEnqueued  *obs.Counter
 	outboxDrained   *obs.Counter
@@ -29,9 +35,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	}
 	help := "Requests issued to the crowd-server, by outcome."
 	return &Metrics{
+		registry:        reg,
 		requestsOK:      reg.Counter("crowdwifi_client_requests_total", help, obs.L("outcome", "ok")),
 		requestsErr:     reg.Counter("crowdwifi_client_requests_total", help, obs.L("outcome", "error")),
-		reqDuration:     reg.Histogram("crowdwifi_client_request_duration_seconds", "End-to-end latency of crowd-server requests.", nil),
+		reqDuration:     map[string]*obs.WindowedHistogram{},
 		outboxEnqueued:  reg.Counter("crowdwifi_client_outbox_enqueued_total", "Uploads parked in the store-and-forward outbox after delivery failure."),
 		outboxDrained:   reg.Counter("crowdwifi_client_outbox_drained_total", "Outbox entries delivered on a later contact window."),
 		outboxDropped:   reg.Counter("crowdwifi_client_outbox_dropped_total", "Outbox entries abandoned after a permanent server rejection."),
@@ -40,12 +47,28 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	}
 }
 
-// observe records one completed request round trip.
-func (m *Metrics) observe(start time.Time, err error) {
+// pathHistogram returns (registering on first use) the latency histogram for
+// one endpoint path. Paths are a small fixed set (/v1/...), so cardinality
+// stays bounded.
+func (m *Metrics) pathHistogram(path string) *obs.WindowedHistogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.reqDuration[path]
+	if !ok {
+		h = m.registry.WindowedHistogram("crowdwifi_client_request_duration_seconds",
+			"End-to-end client-observed latency of crowd-server requests, by endpoint path.",
+			nil, obs.DefaultWindow, obs.DefaultWindowSlots, obs.L("path", path))
+		m.reqDuration[path] = h
+	}
+	return h
+}
+
+// observe records one completed request round trip against its endpoint.
+func (m *Metrics) observe(path string, start time.Time, err error) {
 	if m == nil {
 		return
 	}
-	m.reqDuration.Observe(time.Since(start).Seconds())
+	m.pathHistogram(path).Observe(time.Since(start).Seconds())
 	if err != nil {
 		m.requestsErr.Inc()
 	} else {

@@ -1,0 +1,527 @@
+// Package load drives a synthetic crowd-vehicle fleet against a running
+// crowd-server and measures what the fleet observes: per-endpoint latency
+// quantiles, sustained throughput, and the resilience machinery's behaviour
+// (retries, sheds, outbox parking) under load.
+//
+// The generator is closed-loop: each simulated vehicle is one goroutine that
+// issues a request, waits for the response, optionally thinks, and repeats —
+// so offered load adapts to server latency instead of piling up unbounded
+// in-flight requests the way an open-loop generator would. A run has three
+// phases:
+//
+//	warmup  — traffic flows but nothing is recorded, so connection setup,
+//	          server JIT-ish warmup, and cold caches stay out of the numbers
+//	measure — the measurement window; latency histograms and rate deltas
+//	          for the run report come exclusively from this phase
+//	drain   — vehicles stop issuing new work and every outbox is flushed,
+//	          so the zero-lost-reports accounting can close the books
+//
+// Vehicles upload realistic payloads: report archetypes are precomputed from
+// internal/sim drive-by RSS collection over the paper's UCI scenario, so the
+// server's aggregation pipeline sees plausible AP geometry rather than
+// random bytes.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdwifi/internal/client"
+	"crowdwifi/internal/geo"
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/retry"
+	"crowdwifi/internal/rng"
+	"crowdwifi/internal/server"
+	"crowdwifi/internal/sim"
+)
+
+// Endpoint labels used in metrics and the run report.
+const (
+	EndpointUpload = "upload"
+	EndpointLookup = "lookup"
+)
+
+// Phase is the generator's lifecycle position.
+type Phase int32
+
+// Run phases, in order.
+const (
+	PhaseIdle Phase = iota
+	PhaseWarmup
+	PhaseMeasure
+	PhaseDrain
+	PhaseDone
+)
+
+// String names the phase for logs and /debug/load.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseWarmup:
+		return "warmup"
+	case PhaseMeasure:
+		return "measure"
+	case PhaseDrain:
+		return "drain"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("phase(%d)", int32(p))
+	}
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// ServerURL is the crowd-server base URL, e.g. "http://127.0.0.1:8700".
+	ServerURL string
+	// Vehicles is the fleet size: one goroutine per simulated vehicle
+	// (default 100).
+	Vehicles int
+	// Warmup, Measure, Drain are the phase durations (defaults 3s, 15s,
+	// 10s). Drain bounds how long outbox flushing may take.
+	Warmup  time.Duration
+	Measure time.Duration
+	Drain   time.Duration
+	// Think is the mean pause between a vehicle's iterations; the actual
+	// pause is uniform in [0.5·Think, 1.5·Think). Zero means no pause
+	// (pure closed loop).
+	Think time.Duration
+	// LookupEvery issues one user-vehicle lookup after every N uploads
+	// (default 10; negative disables lookups).
+	LookupEvery int
+	// Archetypes is how many distinct report payloads to precompute from
+	// simulated drives (default 16, capped at Vehicles).
+	Archetypes int
+	// Seed feeds the deterministic RNG for payload synthesis, think-time
+	// jitter, and lookup areas (default 1).
+	Seed uint64
+	// RetryAttempts is the per-request attempt budget including the first
+	// try (default 4).
+	RetryAttempts int
+	// OutboxCap bounds each vehicle's store-and-forward outbox (default
+	// 256 entries).
+	OutboxCap int
+	// Registry receives the generator's own metrics; nil creates a private
+	// one.
+	Registry *obs.Registry
+	// Logger receives progress lines; nil discards them.
+	Logger *obs.Logger
+	// LogEvery is the period of the one-line progress log (default 5s;
+	// negative disables it).
+	LogEvery time.Duration
+	// HTTP overrides the transport; nil builds a retrying doer around
+	// http.DefaultClient. Tests inject chaos or in-process handlers here.
+	HTTP client.HTTPDoer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vehicles <= 0 {
+		c.Vehicles = 100
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 3 * time.Second
+	}
+	if c.Measure <= 0 {
+		c.Measure = 15 * time.Second
+	}
+	if c.Drain <= 0 {
+		c.Drain = 10 * time.Second
+	}
+	if c.LookupEvery == 0 {
+		c.LookupEvery = 10
+	}
+	if c.Archetypes <= 0 {
+		c.Archetypes = 16
+	}
+	if c.Archetypes > c.Vehicles {
+		c.Archetypes = c.Vehicles
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 4
+	}
+	if c.OutboxCap <= 0 {
+		c.OutboxCap = 256
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NewLogger(io.Discard, obs.LevelInfo)
+	}
+	if c.LogEvery == 0 {
+		c.LogEvery = 5 * time.Second
+	}
+	return c
+}
+
+// track holds one endpoint's instruments. The window feeds live progress
+// (/debug/load and the periodic log line); the measured histogram is only
+// observed during the measure phase, so its lifetime quantiles ARE the
+// measurement-window quantiles the run report publishes.
+type track struct {
+	window   *obs.WindowedHistogram
+	measured *obs.Histogram
+	ok       *obs.Counter
+	queued   *obs.Counter
+	errs     *obs.Counter
+}
+
+// vehicle is one simulated fleet member: a crowd-vehicle for uploads, a
+// user-vehicle for lookups, and a private RNG so the drive loop never
+// contends on shared random state.
+type vehicle struct {
+	cv   *client.CrowdVehicle
+	user *client.UserVehicle
+	rep  server.Report
+	rnd  *rng.RNG
+	area geo.Rect
+}
+
+// Runner executes one load run. Build it with NewRunner, then call Run once.
+type Runner struct {
+	cfg Config
+	reg *obs.Registry
+	log *obs.Logger
+
+	clientMetrics *client.Metrics
+	doer          client.HTTPDoer
+
+	phase      atomic.Int32
+	phaseStart atomic.Int64 // unix nanos
+	runStart   time.Time
+	measuring  atomic.Bool
+
+	vehicles []*vehicle
+	tracks   map[string]*track
+
+	drainDelivered atomic.Uint64
+
+	phaseGauge *obs.Gauge
+}
+
+// NewRunner precomputes payload archetypes and builds the fleet. It does not
+// issue any traffic; the returned runner is inert until Run.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ServerURL == "" {
+		return nil, errors.New("load: Config.ServerURL is required")
+	}
+	r := &Runner{
+		cfg:           cfg,
+		reg:           cfg.Registry,
+		log:           cfg.Logger,
+		clientMetrics: client.NewMetrics(cfg.Registry),
+		tracks:        map[string]*track{},
+	}
+	r.doer = cfg.HTTP
+	if r.doer == nil {
+		// No circuit breaker on purpose: the generator must keep offering
+		// load while the server sheds, or the run would measure the
+		// breaker instead of the server.
+		r.doer = retry.NewDoer(nil, retry.Policy{MaxAttempts: cfg.RetryAttempts},
+			retry.WithMetrics(retry.NewMetrics(cfg.Registry)))
+	}
+	for _, ep := range []string{EndpointUpload, EndpointLookup} {
+		r.tracks[ep] = &track{
+			window: r.reg.WindowedHistogram("crowdwifi_load_request_duration_seconds",
+				"Client-observed request latency by endpoint (rolling window feeds /debug/load).",
+				nil, obs.DefaultWindow, obs.DefaultWindowSlots, obs.L("endpoint", ep)),
+			measured: r.reg.Histogram("crowdwifi_load_measured_duration_seconds",
+				"Client-observed request latency by endpoint, measure phase only (source of the run report's quantiles).",
+				nil, obs.L("endpoint", ep)),
+			ok:     r.outcomeCounter(ep, "ok"),
+			queued: r.outcomeCounter(ep, "queued"),
+			errs:   r.outcomeCounter(ep, "error"),
+		}
+	}
+	r.phaseGauge = r.reg.Gauge("crowdwifi_load_phase",
+		"Generator phase: 0 idle, 1 warmup, 2 measure, 3 drain, 4 done.")
+	r.reg.Gauge("crowdwifi_load_vehicles", "Simulated fleet size.").Set(float64(cfg.Vehicles))
+
+	payloads, err := buildArchetypes(cfg.Seed, cfg.Archetypes)
+	if err != nil {
+		return nil, err
+	}
+	area := sim.UCI().Area
+	r.vehicles = make([]*vehicle, cfg.Vehicles)
+	for i := range r.vehicles {
+		rep := payloads[i%len(payloads)]
+		rep.Vehicle = fmt.Sprintf("load-%05d", i)
+		r.vehicles[i] = &vehicle{
+			cv: &client.CrowdVehicle{
+				ID:      rep.Vehicle,
+				BaseURL: cfg.ServerURL,
+				HTTP:    r.doer,
+				Metrics: r.clientMetrics,
+				Outbox:  client.NewOutbox(cfg.OutboxCap),
+			},
+			user: &client.UserVehicle{BaseURL: cfg.ServerURL, HTTP: r.doer, Metrics: r.clientMetrics},
+			rep:  rep,
+			rnd:  rng.New(cfg.Seed).Split(0xdead0000 + uint64(i)),
+			area: area,
+		}
+	}
+	return r, nil
+}
+
+func (r *Runner) outcomeCounter(ep, outcome string) *obs.Counter {
+	return r.reg.Counter("crowdwifi_load_requests_total",
+		"Fleet requests issued, by endpoint and outcome (ok, queued to outbox, error).",
+		obs.L("endpoint", ep), obs.L("outcome", outcome))
+}
+
+// buildArchetypes synthesizes n distinct report payloads by replaying the
+// paper's UCI collection drive with different noise seeds and summarizing
+// each drive's source-labelled RSS readings into per-AP centroids. Each
+// archetype lands on its own road segment so the server's per-segment fusion
+// has real work to do.
+func buildArchetypes(seed uint64, n int) ([]server.Report, error) {
+	scen := sim.UCI()
+	out := make([]server.Report, 0, n)
+	for i := 0; i < n; i++ {
+		ms, err := scen.Drive(sim.DriveConfig{
+			Trajectory:  sim.UCIDrive(),
+			NumSamples:  64,
+			SNR:         30,
+			MyopicScale: 10,
+		}, rng.New(seed).Split(uint64(i)))
+		if err != nil {
+			return nil, fmt.Errorf("load: drive synthesis: %w", err)
+		}
+		type acc struct {
+			x, y float64
+			n    int
+		}
+		bySource := map[int]*acc{}
+		for _, m := range ms {
+			a, ok := bySource[m.Source]
+			if !ok {
+				a = &acc{}
+				bySource[m.Source] = a
+			}
+			a.x += m.Pos.X
+			a.y += m.Pos.Y
+			a.n++
+		}
+		srcs := make([]int, 0, len(bySource))
+		for s := range bySource {
+			srcs = append(srcs, s)
+		}
+		sort.Ints(srcs)
+		aps := make([]server.APReport, 0, len(srcs))
+		for _, s := range srcs {
+			a := bySource[s]
+			aps = append(aps, server.APReport{
+				X:      a.x / float64(a.n),
+				Y:      a.y / float64(a.n),
+				Credit: float64(a.n),
+			})
+		}
+		out = append(out, server.Report{
+			Segment: fmt.Sprintf("load-seg-%02d", i),
+			APs:     aps,
+		})
+	}
+	return out, nil
+}
+
+func (r *Runner) setPhase(p Phase) {
+	r.phase.Store(int32(p))
+	r.phaseStart.Store(time.Now().UnixNano())
+	r.phaseGauge.Set(float64(p))
+}
+
+// CurrentPhase reports the generator's phase; safe from any goroutine.
+func (r *Runner) CurrentPhase() Phase { return Phase(r.phase.Load()) }
+
+// record classifies one completed request and feeds both latency views.
+func (r *Runner) record(ep string, d time.Duration, err error) {
+	t := r.tracks[ep]
+	sec := d.Seconds()
+	t.window.Observe(sec)
+	if r.measuring.Load() {
+		t.measured.Observe(sec)
+	}
+	switch {
+	case err == nil:
+		t.ok.Inc()
+	case errors.Is(err, client.ErrQueued):
+		t.queued.Inc()
+	default:
+		t.errs.Inc()
+	}
+}
+
+// drive is one vehicle's closed loop: upload, occasionally look up, think,
+// repeat until the context ends.
+func (r *Runner) drive(ctx context.Context, v *vehicle) {
+	for i := 1; ; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		start := time.Now()
+		err := v.cv.UploadReport(ctx, v.rep)
+		if ctx.Err() != nil && err != nil {
+			// Cancelled mid-flight at a phase boundary: the upload parked
+			// itself in the outbox and the drain phase will settle it —
+			// recording it here would count shutdown noise as traffic.
+			return
+		}
+		r.record(EndpointUpload, time.Since(start), err)
+		if r.cfg.LookupEvery > 0 && i%r.cfg.LookupEvery == 0 {
+			area := v.lookupArea()
+			start = time.Now()
+			_, lerr := v.user.LookupContext(ctx, area)
+			if ctx.Err() != nil && lerr != nil {
+				return
+			}
+			r.record(EndpointLookup, time.Since(start), lerr)
+		}
+		if r.cfg.Think > 0 {
+			pause := time.Duration((0.5 + v.rnd.Float64()) * float64(r.cfg.Think))
+			if sleepCtx(ctx, pause) != nil {
+				return
+			}
+		}
+	}
+}
+
+// lookupArea picks a random query window inside the scenario map, the way a
+// user-vehicle asks "what APs are near me".
+func (v *vehicle) lookupArea() geo.Rect {
+	cx := v.area.Min.X + v.rnd.Float64()*v.area.Width()
+	cy := v.area.Min.Y + v.rnd.Float64()*v.area.Height()
+	half := 30 + v.rnd.Float64()*50
+	return geo.NewRect(geo.Point{X: cx - half, Y: cy - half}, geo.Point{X: cx + half, Y: cy + half})
+}
+
+// Run executes warmup → measure → drain and returns the run report. The
+// context cancels the whole run; phase durations come from the config.
+func (r *Runner) Run(ctx context.Context) (*RunReport, error) {
+	r.runStart = time.Now()
+	serverStart := r.scrapeServer(ctx)
+
+	driveCtx, stopDrive := context.WithCancel(ctx)
+	defer stopDrive()
+	var wg sync.WaitGroup
+	for _, v := range r.vehicles {
+		wg.Add(1)
+		go func(v *vehicle) {
+			defer wg.Done()
+			r.drive(driveCtx, v)
+		}(v)
+	}
+	stopLog := r.startProgressLog()
+	defer stopLog()
+
+	r.setPhase(PhaseWarmup)
+	if err := sleepCtx(ctx, r.cfg.Warmup); err != nil {
+		stopDrive()
+		wg.Wait()
+		return nil, err
+	}
+
+	serverBefore := r.scrapeServer(ctx)
+	before := r.snapshot()
+	r.setPhase(PhaseMeasure)
+	r.measuring.Store(true)
+	measureStart := time.Now()
+	err := sleepCtx(ctx, r.cfg.Measure)
+	r.measuring.Store(false)
+	measured := time.Since(measureStart)
+	after := r.snapshot()
+	serverAfter := r.scrapeServer(ctx)
+	if err != nil {
+		stopDrive()
+		wg.Wait()
+		return nil, err
+	}
+
+	r.setPhase(PhaseDrain)
+	stopDrive()
+	wg.Wait()
+	r.drainOutboxes(ctx)
+	serverFinal := r.scrapeServer(ctx)
+	r.setPhase(PhaseDone)
+
+	return r.buildReport(reportInputs{
+		before: before, after: after,
+		serverStart: serverStart, serverBefore: serverBefore,
+		serverAfter: serverAfter, serverFinal: serverFinal,
+		measured: measured,
+	}), nil
+}
+
+// drainOutboxes flushes every vehicle's parked uploads, bounded by the drain
+// budget. DrainOutbox stops on the first transient failure, so each vehicle
+// loops with a short backoff until its outbox empties or time runs out.
+func (r *Runner) drainOutboxes(ctx context.Context) {
+	dctx, cancel := context.WithTimeout(ctx, r.cfg.Drain)
+	defer cancel()
+	sem := make(chan struct{}, 64)
+	var wg sync.WaitGroup
+	for _, v := range r.vehicles {
+		if v.cv.Outbox.Len() == 0 {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(v *vehicle) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			for dctx.Err() == nil && v.cv.Outbox.Len() > 0 {
+				n, err := v.cv.DrainOutbox(dctx)
+				r.drainDelivered.Add(uint64(n))
+				if err == nil {
+					return
+				}
+				if sleepCtx(dctx, 200*time.Millisecond) != nil {
+					return
+				}
+			}
+		}(v)
+	}
+	wg.Wait()
+}
+
+// outboxTotals sums fleet outbox state: entries still parked, and entries
+// evicted by capacity pressure (each one a lost report).
+func (r *Runner) outboxTotals() (remaining int, evicted uint64) {
+	for _, v := range r.vehicles {
+		remaining += v.cv.Outbox.Len()
+		evicted += v.cv.Outbox.Evicted()
+	}
+	return remaining, evicted
+}
+
+// sleepCtx sleeps d or returns the context's error if it ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// counterValue reads a counter registered elsewhere on the same registry
+// (e.g. by retry.NewMetrics or client.NewMetrics) without duplicating its
+// help text — the family's first registration fixed that.
+func (r *Runner) counterValue(name string, labels ...obs.Label) uint64 {
+	return r.reg.Counter(name, "", labels...).Value()
+}

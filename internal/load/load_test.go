@@ -1,0 +1,227 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/server"
+)
+
+// newLoadTarget stands up a real crowd-server (metrics + tracing mounted on
+// its own mux, exactly like the production binary) for the fleet to hit.
+func newLoadTarget(t *testing.T) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tracer := trace.NewTracer(trace.Config{
+		SampleRate: 1,
+		// Big enough that nothing from a short run is evicted, so every
+		// exemplar recorded by the RED middleware stays resolvable.
+		Capacity:        100000,
+		SlowPerEndpoint: 64,
+	})
+	srv := server.New(server.NewStore(8),
+		server.WithMetrics(server.NewMetrics(reg)),
+		server.WithTracer(tracer))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func runSmallFleet(t *testing.T, ts *httptest.Server) *RunReport {
+	t.Helper()
+	r, err := NewRunner(Config{
+		ServerURL:   ts.URL,
+		Vehicles:    12,
+		Warmup:      150 * time.Millisecond,
+		Measure:     600 * time.Millisecond,
+		Drain:       5 * time.Second,
+		Think:       2 * time.Millisecond,
+		LookupEvery: 4,
+		Archetypes:  3,
+		LogEvery:    -1,
+	})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+// TestRunReportEndToEnd drives a small fleet against a real server and
+// checks the run report's books: traffic flowed, quantiles are populated,
+// nothing was lost, and the fleet's acknowledged-upload count matches the
+// server's accepted-report count exactly.
+func TestRunReportEndToEnd(t *testing.T) {
+	ts, _ := newLoadTarget(t)
+	rep := runSmallFleet(t, ts)
+
+	if rep.Schema != ReportSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, ReportSchema)
+	}
+	upl := rep.Endpoints[EndpointUpload]
+	if upl.OK == 0 {
+		t.Fatalf("no successful uploads in measure phase: %+v", upl)
+	}
+	if upl.LatencySeconds.P50 <= 0 || upl.LatencySeconds.P99 < upl.LatencySeconds.P50 {
+		t.Fatalf("implausible upload latency stats: %+v", upl.LatencySeconds)
+	}
+	if look := rep.Endpoints[EndpointLookup]; look.OK == 0 {
+		t.Fatalf("no successful lookups in measure phase: %+v", look)
+	}
+	if rep.Sustained.UploadsPerSec <= 0 {
+		t.Fatalf("sustained uploads/s = %v, want > 0", rep.Sustained.UploadsPerSec)
+	}
+	if rep.Resilience.Lost != 0 {
+		t.Fatalf("lost %d reports: %+v", rep.Resilience.Lost, rep.Resilience)
+	}
+	if !rep.Server.Available {
+		t.Fatal("server-side scrape unavailable; /debug/vars or /metrics broke")
+	}
+	if !rep.Verification.ServerSideAvailable || !rep.Verification.Consistent {
+		t.Fatalf("verification failed: %+v", rep.Verification)
+	}
+	if rep.Verification.AckedUploads == 0 {
+		t.Fatal("no uploads acknowledged over the whole run")
+	}
+
+	// The generator's own registry should render cleanly too.
+	var sb strings.Builder
+	if err := obs.NewRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+}
+
+// TestSlowestExemplarResolvesToTrace is the observability loop closure: a
+// load run leaves trace exemplars on the server's per-route latency
+// histograms, and the slowest bucket's exemplar names a trace the server can
+// still serve at /debug/traces/{id}.
+func TestSlowestExemplarResolvesToTrace(t *testing.T) {
+	ts, reg := newLoadTarget(t)
+	runSmallFleet(t, ts)
+
+	h := reg.WindowedHistogram("crowdwifi_http_request_duration_seconds", "", nil,
+		obs.DefaultWindow, obs.DefaultWindowSlots, obs.L("route", "/v1/reports")).Hist()
+	ex := h.SlowestExemplar()
+	if ex == nil {
+		t.Fatal("no exemplar recorded on the /v1/reports latency histogram")
+	}
+	if ex.TraceID == "" || ex.Value <= 0 {
+		t.Fatalf("malformed exemplar: %+v", ex)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/traces/" + ex.TraceID)
+	if err != nil {
+		t.Fatalf("GET /debug/traces/%s: %v", ex.TraceID, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s = %d, want 200 (body: %s)", ex.TraceID, resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), ex.TraceID) {
+		t.Fatalf("trace document does not mention its own id %s: %s", ex.TraceID, body)
+	}
+
+	// The same exemplar must surface in the server's /debug/vars document,
+	// which is how an operator finds it without reading Go.
+	var vars struct {
+		Exemplars map[string]map[string]obs.Exemplar `json:"crowdwifi_histogram_exemplars"`
+	}
+	vresp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer vresp.Body.Close()
+	if err := json.NewDecoder(vresp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decode /debug/vars: %v", err)
+	}
+	found := false
+	for series, buckets := range vars.Exemplars {
+		if !strings.Contains(series, "crowdwifi_http_request_duration_seconds") {
+			continue
+		}
+		for _, e := range buckets {
+			if e.TraceID == ex.TraceID {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("slowest exemplar %s not present in /debug/vars exemplars", ex.TraceID)
+	}
+}
+
+// TestProgressSnapshot exercises the /debug/load document after a run: phase
+// settles at done and the totals agree with the run report's whole-run view.
+func TestProgressSnapshot(t *testing.T) {
+	ts, _ := newLoadTarget(t)
+	r, err := NewRunner(Config{
+		ServerURL:  ts.URL,
+		Vehicles:   4,
+		Warmup:     50 * time.Millisecond,
+		Measure:    200 * time.Millisecond,
+		Drain:      2 * time.Second,
+		Archetypes: 2,
+		LogEvery:   -1,
+	})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	r.MountDebug(mux)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/load", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/load = %d", rec.Code)
+	}
+	var p Progress
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("decode /debug/load: %v", err)
+	}
+	if p.Phase != "done" {
+		t.Fatalf("phase = %q, want done", p.Phase)
+	}
+	if p.Endpoints[EndpointUpload].OK == 0 {
+		t.Fatal("progress shows zero successful uploads")
+	}
+	if p.OutboxDepth != 0 {
+		t.Fatalf("outbox depth = %d after drain, want 0", p.OutboxDepth)
+	}
+}
+
+// TestReportWriteFile round-trips the JSON to disk.
+func TestReportWriteFile(t *testing.T) {
+	ts, _ := newLoadTarget(t)
+	rep := runSmallFleet(t, ts)
+	path := t.TempDir() + "/report.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	var back RunReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal round trip: %v", err)
+	}
+	if back.Schema != ReportSchema || back.Endpoints[EndpointUpload].OK != rep.Endpoints[EndpointUpload].OK {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, rep)
+	}
+}

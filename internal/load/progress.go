@@ -1,0 +1,140 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// OutcomeCounts is one endpoint's running request tally.
+type OutcomeCounts struct {
+	Total  uint64 `json:"total"`
+	OK     uint64 `json:"ok"`
+	Queued uint64 `json:"queued"`
+	Errors uint64 `json:"errors"`
+}
+
+// WindowStats is one endpoint's rolling-window latency view (seconds).
+type WindowStats struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Progress is a point-in-time view of the run, served at /debug/load and
+// summarized by the periodic log line.
+type Progress struct {
+	Phase          string                   `json:"phase"`
+	PhaseElapsed   float64                  `json:"phaseElapsedSeconds"`
+	RunElapsed     float64                  `json:"runElapsedSeconds"`
+	Vehicles       int                      `json:"vehicles"`
+	Endpoints      map[string]OutcomeCounts `json:"endpoints"`
+	Window         map[string]WindowStats   `json:"windowLatencySeconds"`
+	Retries        uint64                   `json:"retries"`
+	OutboxDepth    int                      `json:"outboxDepth"`
+	OutboxEvicted  uint64                   `json:"outboxEvicted"`
+	DrainDelivered uint64                   `json:"drainDelivered"`
+}
+
+// Progress assembles the current view; safe to call from any goroutine while
+// the run is in flight.
+func (r *Runner) Progress() Progress {
+	now := time.Now()
+	p := Progress{
+		Phase:     r.CurrentPhase().String(),
+		Vehicles:  r.cfg.Vehicles,
+		Endpoints: map[string]OutcomeCounts{},
+		Window:    map[string]WindowStats{},
+		Retries:   r.counterValue("crowdwifi_retry_retries_total"),
+	}
+	if start := r.phaseStart.Load(); start > 0 {
+		p.PhaseElapsed = now.Sub(time.Unix(0, start)).Seconds()
+	}
+	if !r.runStart.IsZero() {
+		p.RunElapsed = now.Sub(r.runStart).Seconds()
+	}
+	for ep, t := range r.tracks {
+		oc := OutcomeCounts{
+			OK:     t.ok.Value(),
+			Queued: t.queued.Value(),
+			Errors: t.errs.Value(),
+		}
+		oc.Total = oc.OK + oc.Queued + oc.Errors
+		p.Endpoints[ep] = oc
+		if n := t.window.Count(); n > 0 {
+			p.Window[ep] = WindowStats{
+				Count: n,
+				P50:   t.window.Quantile(0.50),
+				P95:   t.window.Quantile(0.95),
+				P99:   t.window.Quantile(0.99),
+				P999:  t.window.Quantile(0.999),
+			}
+		}
+	}
+	depth, evicted := r.outboxTotals()
+	p.OutboxDepth = depth
+	p.OutboxEvicted = evicted
+	p.DrainDelivered = r.drainDelivered.Load()
+	return p
+}
+
+// MountDebug serves the live progress document at /debug/load.
+func (r *Runner) MountDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/load", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Progress())
+	})
+}
+
+// startProgressLog emits the one-line load report every LogEvery until the
+// returned stop function runs. Rates are per-interval, so the line answers
+// "what is the fleet doing right now".
+func (r *Runner) startProgressLog() (stop func()) {
+	if r.cfg.LogEvery <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(r.cfg.LogEvery)
+		defer tick.Stop()
+		var last Progress
+		lastAt := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			p := r.Progress()
+			dt := time.Since(lastAt).Seconds()
+			rate := func(ep string) float64 {
+				return float64(p.Endpoints[ep].Total-last.Endpoints[ep].Total) / dt
+			}
+			w := p.Window[EndpointUpload]
+			r.log.Info("load progress",
+				"phase", p.Phase,
+				"elapsed", fmt.Sprintf("%.0fs", p.RunElapsed),
+				"upl_s", fmt.Sprintf("%.1f", rate(EndpointUpload)),
+				"look_s", fmt.Sprintf("%.1f", rate(EndpointLookup)),
+				"p50_ms", fmt.Sprintf("%.1f", w.P50*1000),
+				"p99_ms", fmt.Sprintf("%.1f", w.P99*1000),
+				"queued", p.Endpoints[EndpointUpload].Queued,
+				"errors", p.Endpoints[EndpointUpload].Errors,
+				"outbox", p.OutboxDepth,
+				"retries", p.Retries,
+			)
+			last, lastAt = p, time.Now()
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

@@ -1,0 +1,375 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"crowdwifi/internal/obs"
+)
+
+// ReportSchema versions the run-report JSON layout; bump it when a field
+// changes meaning, not when fields are added.
+const ReportSchema = "crowdwifi-load-report/v1"
+
+// snapshot freezes the fleet counters at a phase boundary so measure-phase
+// rates are deltas, untouched by warmup and drain traffic.
+type snapshot struct {
+	when    time.Time
+	counts  map[string]map[string]uint64 // endpoint → outcome → value
+	retries uint64
+	parked  uint64
+	drained uint64
+	dropped uint64
+}
+
+func (r *Runner) snapshot() snapshot {
+	s := snapshot{when: time.Now(), counts: map[string]map[string]uint64{}}
+	for ep, t := range r.tracks {
+		s.counts[ep] = map[string]uint64{
+			"ok":     t.ok.Value(),
+			"queued": t.queued.Value(),
+			"error":  t.errs.Value(),
+		}
+	}
+	s.retries = r.counterValue("crowdwifi_retry_retries_total")
+	s.parked = r.counterValue("crowdwifi_client_outbox_enqueued_total")
+	s.drained = r.counterValue("crowdwifi_client_outbox_drained_total")
+	s.dropped = r.counterValue("crowdwifi_client_outbox_dropped_total")
+	return s
+}
+
+// serverSample is one scrape of the target server's /debug/vars and
+// /metrics: enough to report CPU, heap, and ingest-side counter deltas
+// without the loader linking against the server at all.
+type serverSample struct {
+	available  bool
+	when       time.Time
+	cpuSeconds float64
+	heapAlloc  uint64
+	goroutines int
+	reports    uint64
+	shed       uint64
+	deduped    uint64
+	httpErrors uint64
+}
+
+// scrapeServer samples the target's debug endpoints with a plain HTTP
+// client (not the retrying fleet transport, which would pollute the fleet's
+// own metrics). Any failure yields an unavailable sample; the report then
+// omits server-side numbers rather than failing the run.
+func (r *Runner) scrapeServer(ctx context.Context) serverSample {
+	s := serverSample{when: time.Now()}
+	cl := &http.Client{Timeout: 5 * time.Second}
+
+	var vars struct {
+		Memstats struct {
+			HeapAlloc uint64 `json:"HeapAlloc"`
+		} `json:"memstats"`
+		Process obs.ProcStats `json:"crowdwifi_process"`
+	}
+	if err := getJSON(ctx, cl, r.cfg.ServerURL+"/debug/vars", &vars); err != nil {
+		return s
+	}
+	s.cpuSeconds = vars.Process.CPUSeconds
+	s.heapAlloc = vars.Memstats.HeapAlloc
+	s.goroutines = vars.Process.Goroutines
+
+	body, err := getBody(ctx, cl, r.cfg.ServerURL+"/metrics")
+	if err != nil {
+		return s
+	}
+	counters := parsePromCounters(body)
+	s.reports = counters["crowdwifi_server_reports_total"]
+	s.shed = counters["crowdwifi_server_shed_requests_total"]
+	s.deduped = counters["crowdwifi_server_deduped_requests_total"]
+	s.httpErrors = counters["crowdwifi_http_errors_total"]
+	s.available = true
+	return s
+}
+
+func getJSON(ctx context.Context, cl *http.Client, url string, out any) error {
+	body, err := getBody(ctx, cl, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal([]byte(body), out)
+}
+
+func getBody(ctx context.Context, cl *http.Client, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := cl.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("load: GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	return string(b), err
+}
+
+// parsePromCounters sums Prometheus text-format samples by family name,
+// collapsing labels — exactly what the report needs for totals like
+// crowdwifi_http_errors_total across all routes.
+func parsePromCounters(body string) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+		if err != nil || v < 0 {
+			continue
+		}
+		out[name] += uint64(v)
+	}
+	return out
+}
+
+// LatencyStats summarizes one endpoint's measure-phase latency in seconds.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// EndpointReport is one endpoint's measure-phase traffic summary.
+type EndpointReport struct {
+	Requests       uint64       `json:"requests"`
+	OK             uint64       `json:"ok"`
+	Queued         uint64       `json:"queued"`
+	Errors         uint64       `json:"errors"`
+	PerSecond      float64      `json:"perSecond"`
+	LatencySeconds LatencyStats `json:"latencySeconds"`
+}
+
+// RunReport is the machine-readable outcome of one load run (the BENCH_*.json
+// payload). All latency numbers are seconds; all rates are per second of the
+// measure phase.
+type RunReport struct {
+	Schema    string `json:"schema"`
+	Tool      string `json:"tool"`
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Platform  string `json:"platform"`
+	CPUs      int    `json:"cpus"`
+	Generated string `json:"generated"`
+
+	Config struct {
+		ServerURL      string  `json:"serverUrl"`
+		Vehicles       int     `json:"vehicles"`
+		WarmupSeconds  float64 `json:"warmupSeconds"`
+		MeasureSeconds float64 `json:"measureSeconds"`
+		DrainSeconds   float64 `json:"drainSeconds"`
+		ThinkSeconds   float64 `json:"thinkSeconds"`
+		LookupEvery    int     `json:"lookupEvery"`
+		Archetypes     int     `json:"archetypes"`
+		RetryAttempts  int     `json:"retryAttempts"`
+		OutboxCap      int     `json:"outboxCap"`
+		Seed           uint64  `json:"seed"`
+	} `json:"config"`
+
+	// Sustained rates over the measure phase.
+	Sustained struct {
+		UploadsPerSec  float64 `json:"uploadsPerSec"`
+		LookupsPerSec  float64 `json:"lookupsPerSec"`
+		RequestsPerSec float64 `json:"requestsPerSec"`
+		MeasureSeconds float64 `json:"measureSeconds"`
+	} `json:"sustained"`
+
+	// Endpoints holds measure-phase per-endpoint breakdowns.
+	Endpoints map[string]EndpointReport `json:"endpoints"`
+
+	// Resilience summarizes the delivery machinery over the whole run
+	// (warmup through drain): zero Lost is the acceptance bar.
+	Resilience struct {
+		Retries         uint64 `json:"retries"`
+		Parked          uint64 `json:"parked"`
+		DrainDelivered  uint64 `json:"drainDelivered"`
+		DrainDropped    uint64 `json:"drainDropped"`
+		OutboxRemaining int    `json:"outboxRemaining"`
+		OutboxEvicted   uint64 `json:"outboxEvicted"`
+		UploadErrors    uint64 `json:"uploadErrors"`
+		Lost            uint64 `json:"lost"`
+		// Measure-phase shed/park rates relative to upload attempts.
+		ShedRate  float64 `json:"shedRate"`
+		ParkRate  float64 `json:"parkRate"`
+		RetryRate float64 `json:"retryRate"`
+	} `json:"resilience"`
+
+	// Server holds target-side deltas over the measure phase, scraped from
+	// /debug/vars and /metrics. Absent (available=false) when the target
+	// does not expose them.
+	Server struct {
+		Available       bool    `json:"available"`
+		CPUSecondsDelta float64 `json:"cpuSecondsDelta"`
+		CPUUtilization  float64 `json:"cpuUtilization"`
+		HeapAllocBytes  uint64  `json:"heapAllocBytes"`
+		Goroutines      int     `json:"goroutines"`
+		ReportsDelta    uint64  `json:"reportsDelta"`
+		ShedDelta       uint64  `json:"shedDelta"`
+		DedupedDelta    uint64  `json:"dedupedDelta"`
+	} `json:"server"`
+
+	// Verification closes the books across the whole run: every upload the
+	// fleet considers acknowledged against the server's accepted count.
+	Verification struct {
+		AckedUploads        uint64 `json:"ackedUploads"`
+		ServerReportsDelta  uint64 `json:"serverReportsDelta"`
+		ServerSideAvailable bool   `json:"serverSideAvailable"`
+		Consistent          bool   `json:"consistent"`
+	} `json:"verification"`
+}
+
+type reportInputs struct {
+	before, after                                       snapshot
+	serverStart, serverBefore, serverAfter, serverFinal serverSample
+	measured                                            time.Duration
+}
+
+func (r *Runner) buildReport(in reportInputs) *RunReport {
+	rep := &RunReport{
+		Schema:    ReportSchema,
+		Tool:      "crowdwifi-load",
+		Version:   obs.Version,
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Endpoints: map[string]EndpointReport{},
+	}
+	rep.Config.ServerURL = r.cfg.ServerURL
+	rep.Config.Vehicles = r.cfg.Vehicles
+	rep.Config.WarmupSeconds = r.cfg.Warmup.Seconds()
+	rep.Config.MeasureSeconds = r.cfg.Measure.Seconds()
+	rep.Config.DrainSeconds = r.cfg.Drain.Seconds()
+	rep.Config.ThinkSeconds = r.cfg.Think.Seconds()
+	rep.Config.LookupEvery = r.cfg.LookupEvery
+	rep.Config.Archetypes = r.cfg.Archetypes
+	rep.Config.RetryAttempts = r.cfg.RetryAttempts
+	rep.Config.OutboxCap = r.cfg.OutboxCap
+	rep.Config.Seed = r.cfg.Seed
+
+	secs := in.measured.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	var uploadsOK, totalReq uint64
+	for ep, t := range r.tracks {
+		b, a := in.before.counts[ep], in.after.counts[ep]
+		e := EndpointReport{
+			OK:     a["ok"] - b["ok"],
+			Queued: a["queued"] - b["queued"],
+			Errors: a["error"] - b["error"],
+		}
+		e.Requests = e.OK + e.Queued + e.Errors
+		e.PerSecond = float64(e.Requests) / secs
+		h := t.measured
+		if n := h.Count(); n > 0 {
+			e.LatencySeconds = LatencyStats{
+				Count: n,
+				Mean:  h.Sum() / float64(n),
+				P50:   h.Quantile(0.50),
+				P95:   h.Quantile(0.95),
+				P99:   h.Quantile(0.99),
+				P999:  h.Quantile(0.999),
+			}
+		}
+		rep.Endpoints[ep] = e
+		totalReq += e.Requests
+		if ep == EndpointUpload {
+			uploadsOK = e.OK
+		}
+	}
+	rep.Sustained.UploadsPerSec = float64(uploadsOK) / secs
+	rep.Sustained.LookupsPerSec = float64(rep.Endpoints[EndpointLookup].OK) / secs
+	rep.Sustained.RequestsPerSec = float64(totalReq) / secs
+	rep.Sustained.MeasureSeconds = secs
+
+	// Whole-run resilience accounting.
+	final := r.snapshot()
+	remaining, evicted := r.outboxTotals()
+	res := &rep.Resilience
+	res.Retries = final.retries
+	res.Parked = final.parked
+	res.DrainDelivered = r.drainDelivered.Load()
+	res.DrainDropped = final.dropped
+	res.OutboxRemaining = remaining
+	res.OutboxEvicted = evicted
+	res.UploadErrors = final.counts[EndpointUpload]["error"]
+	res.Lost = res.UploadErrors + res.DrainDropped + res.OutboxEvicted + uint64(remaining)
+
+	upl := rep.Endpoints[EndpointUpload]
+	if upl.Requests > 0 {
+		res.ParkRate = float64(upl.Queued) / float64(upl.Requests)
+		res.RetryRate = float64(in.after.retries-in.before.retries) / float64(upl.Requests)
+		if in.serverBefore.available && in.serverAfter.available {
+			res.ShedRate = float64(in.serverAfter.shed-in.serverBefore.shed) / float64(upl.Requests)
+		}
+	}
+
+	if in.serverBefore.available && in.serverAfter.available {
+		srv := &rep.Server
+		srv.Available = true
+		srv.CPUSecondsDelta = in.serverAfter.cpuSeconds - in.serverBefore.cpuSeconds
+		if srv.CPUSecondsDelta < 0 {
+			srv.CPUSecondsDelta = 0 // /proc/self/stat unavailable → -1 samples
+		}
+		srv.CPUUtilization = srv.CPUSecondsDelta / secs
+		srv.HeapAllocBytes = in.serverAfter.heapAlloc
+		srv.Goroutines = in.serverAfter.goroutines
+		srv.ReportsDelta = in.serverAfter.reports - in.serverBefore.reports
+		srv.ShedDelta = in.serverAfter.shed - in.serverBefore.shed
+		srv.DedupedDelta = in.serverAfter.deduped - in.serverBefore.deduped
+	}
+
+	// Every upload the fleet believes landed, against the server's accepted
+	// count over the same span. Duplicate deliveries (a timeout the server
+	// actually served, replayed from the outbox) are answered from the
+	// idempotency cache, so the server-side count stays exact.
+	ver := &rep.Verification
+	ver.AckedUploads = final.counts[EndpointUpload]["ok"] + res.DrainDelivered
+	if in.serverStart.available && in.serverFinal.available {
+		ver.ServerSideAvailable = true
+		ver.ServerReportsDelta = in.serverFinal.reports - in.serverStart.reports
+		ver.Consistent = ver.ServerReportsDelta == ver.AckedUploads
+	}
+	return rep
+}
+
+// WriteFile writes the report as indented JSON; "-" or "" selects stdout.
+func (rep *RunReport) WriteFile(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,12 +1,16 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 )
 
 // Mount attaches the observability endpoints to mux: the registry's
@@ -24,16 +28,27 @@ func Mount(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// varsHandler serves the expvar document with one extra key,
-// "crowdwifi_histogram_quantiles", holding p50/p95/p99 estimates for the
-// registry's histograms. Emitted per-registry rather than via
-// expvar.Publish, which is process-global and panics on re-registration
-// (multiple registries, tests).
+// varsHandler serves the expvar document with extra keys:
+// "crowdwifi_histogram_quantiles" (p50/p95/p99/p999 estimates — rolling-
+// window estimates for windowed series), "crowdwifi_histogram_exemplars"
+// (per-bucket trace ids resolvable at /debug/traces/{id}), and
+// "crowdwifi_process" (CPU seconds and goroutines, so a load generator can
+// compute server CPU utilization from two scrapes). Emitted per-registry
+// rather than via expvar.Publish, which is process-global and panics on
+// re-registration (multiple registries, tests).
 func varsHandler(reg *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		fmt.Fprintf(w, "{\n")
 		first := true
+		emit := func(key string, v any) {
+			if !first {
+				fmt.Fprintf(w, ",\n")
+			}
+			first = false
+			b, _ := json.Marshal(v)
+			fmt.Fprintf(w, "%q: %s", key, b)
+		}
 		expvar.Do(func(kv expvar.KeyValue) {
 			if !first {
 				fmt.Fprintf(w, ",\n")
@@ -42,14 +57,60 @@ func varsHandler(reg *Registry) http.Handler {
 			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
 		})
 		if q := reg.Quantiles(); len(q) > 0 {
-			if !first {
-				fmt.Fprintf(w, ",\n")
-			}
-			b, _ := json.Marshal(q)
-			fmt.Fprintf(w, "%q: %s", "crowdwifi_histogram_quantiles", b)
+			emit("crowdwifi_histogram_quantiles", q)
 		}
+		if ex := reg.Exemplars(); len(ex) > 0 {
+			emit("crowdwifi_histogram_exemplars", ex)
+		}
+		emit("crowdwifi_process", ProcessStats())
 		fmt.Fprintf(w, "\n}\n")
 	})
+}
+
+// ProcStats is the process-level block of /debug/vars.
+type ProcStats struct {
+	// CPUSeconds is cumulative user+system CPU time, or -1 where
+	// /proc/self/stat is unavailable (non-Linux hosts).
+	CPUSeconds float64 `json:"cpuSeconds"`
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+}
+
+// ProcessStats samples the process-level stats served under
+// "crowdwifi_process".
+func ProcessStats() ProcStats {
+	return ProcStats{
+		CPUSeconds: ProcessCPUSeconds(),
+		Goroutines: runtime.NumGoroutine(),
+	}
+}
+
+// ProcessCPUSeconds returns the process's cumulative user+system CPU time
+// read from /proc/self/stat, or -1 when unavailable. Two samples Δt apart
+// give CPU utilization as Δcpu/Δt — the measure the load generator records
+// for the server under test.
+func ProcessCPUSeconds() float64 {
+	b, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return -1
+	}
+	// Fields after the parenthesized comm (which may itself contain spaces):
+	// field 3 is state; utime and stime are fields 14 and 15 (1-based).
+	i := bytes.LastIndexByte(b, ')')
+	if i < 0 {
+		return -1
+	}
+	fields := strings.Fields(string(b[i+1:]))
+	if len(fields) < 13 {
+		return -1
+	}
+	utime, err1 := strconv.ParseFloat(fields[11], 64)
+	stime, err2 := strconv.ParseFloat(fields[12], 64)
+	if err1 != nil || err2 != nil {
+		return -1
+	}
+	// USER_HZ is 100 on every Linux configuration Go supports.
+	return (utime + stime) / 100
 }
 
 // NewDebugMux returns a mux with the Mount endpoints, for serving metrics
@@ -71,6 +132,7 @@ func (r *Registry) RegisterGoRuntime() {
 	heapObjects := r.Gauge("go_memstats_heap_objects", "Number of allocated heap objects.")
 	totalAlloc := r.Gauge("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.")
 	gcCycles := r.Gauge("go_gc_cycles_total", "Completed GC cycles.")
+	cpuSeconds := r.Gauge("process_cpu_seconds_total", "Cumulative user+system CPU time (-1 where /proc is unavailable).")
 	r.OnScrape(func() {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
@@ -79,5 +141,6 @@ func (r *Registry) RegisterGoRuntime() {
 		heapObjects.Set(float64(ms.HeapObjects))
 		totalAlloc.Set(float64(ms.TotalAlloc))
 		gcCycles.Set(float64(ms.NumGC))
+		cpuSeconds.Set(ProcessCPUSeconds())
 	})
 }

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Label is one key="value" pair attached to a metric series.
@@ -50,9 +51,11 @@ func (t metricType) String() string {
 	}
 }
 
-// DefBuckets are the default histogram buckets (seconds), matching the
-// conventional Prometheus latency ladder.
-var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+// DefBuckets are the default histogram buckets (seconds): the conventional
+// Prometheus latency ladder extended to 30 s so the seconds-scale tail a
+// loaded server produces (retry storms, shed-and-retry loops, drain waits)
+// still resolves instead of clipping into +Inf at 10 s.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30}
 
 // LinearBuckets returns count buckets starting at start, each width apart.
 func LinearBuckets(start, width float64, count int) []float64 {
@@ -191,7 +194,53 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Lab
 		}
 	}
 	f := r.family(name, help, histogramType, buckets)
-	return f.child(labels, func() any { return newHistogram(f.buckets) }).(*Histogram)
+	switch h := f.child(labels, func() any { return newHistogram(f.buckets) }).(type) {
+	case *Histogram:
+		return h
+	case *WindowedHistogram:
+		// The series was first registered with a rolling window; hand out its
+		// cumulative core so both call styles observe the same data.
+		return h.hist
+	default:
+		panic(fmt.Sprintf("obs: metric %q is not a histogram", name))
+	}
+}
+
+// WindowedHistogram returns the rolling-window histogram for (name, labels),
+// creating it on first use with the given total window width split into
+// slots ring slots (≤ 0 select DefaultWindow / DefaultWindowSlots). The
+// cumulative core is exposed on /metrics exactly like a plain histogram; the
+// windowed view feeds Quantiles (and therefore /debug/vars), so quantile
+// reads describe recent traffic. Registering a name previously created via
+// Histogram upgrades that series in place, preserving its counts.
+func (r *Registry) WindowedHistogram(name, help string, buckets []float64, window time.Duration, slots int, labels ...Label) *WindowedHistogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	f := r.family(name, help, histogramType, buckets)
+	key := labelString(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch c := f.children[key].(type) {
+	case *WindowedHistogram:
+		return c
+	case *Histogram:
+		w := NewWindowedHistogram(c, window, slots, nil)
+		f.children[key] = w
+		return w
+	default:
+		w := NewWindowedHistogram(newHistogram(f.buckets), window, slots, nil)
+		f.children[key] = w
+		return w
+	}
 }
 
 // Counter is a monotonically increasing integer counter.
@@ -254,31 +303,24 @@ func (g *Gauge) Value() float64 {
 // Histogram counts observations into fixed buckets; per-bucket counts are
 // independent atomics so concurrent Observe calls never contend on a lock.
 type Histogram struct {
-	upper  []float64
-	counts []atomic.Uint64 // len(upper)+1; the last slot is the +Inf bucket
-	n      atomic.Uint64
-	sum    atomicFloat
+	upper     []float64
+	counts    []atomic.Uint64 // len(upper)+1; the last slot is the +Inf bucket
+	exemplars []atomic.Pointer[Exemplar]
+	n         atomic.Uint64
+	sum       atomicFloat
 }
 
 func newHistogram(buckets []float64) *Histogram {
 	return &Histogram{
-		upper:  buckets,
-		counts: make([]atomic.Uint64, len(buckets)+1),
+		upper:     buckets,
+		counts:    make([]atomic.Uint64, len(buckets)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(buckets)+1),
 	}
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
-	if h == nil {
-		return
-	}
-	i := 0
-	for i < len(h.upper) && v > h.upper[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.n.Add(1)
-	h.sum.add(v)
+	h.ObserveWithExemplar(v, "")
 }
 
 // Count returns the number of observations.
@@ -334,30 +376,55 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.upper[len(h.upper)-1]
 }
 
-// Quantiles returns p50/p95/p99 estimates for every registered histogram
-// series, keyed "name{labels}" → quantile label → estimate. Empty series are
-// skipped. This feeds /debug/vars so quick latency checks don't require a
-// Prometheus stack.
-func (r *Registry) Quantiles() map[string]map[string]float64 {
-	if r == nil {
-		return nil
-	}
-	qs := []struct {
-		label string
-		q     float64
-	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}}
-
+// histogramFamilies snapshots the registry's histogram families.
+func (r *Registry) histogramFamilies() []*family {
 	r.mu.RLock()
+	defer r.mu.RUnlock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		if f.typ == histogramType {
 			fams = append(fams, f)
 		}
 	}
-	r.mu.RUnlock()
+	return fams
+}
 
+// histogramChildren snapshots a family's series as cumulative histograms
+// (windowed series contribute their cumulative core).
+func (f *family) histogramChildren() map[string]*Histogram {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]*Histogram, len(f.children))
+	for k, c := range f.children {
+		switch h := c.(type) {
+		case *Histogram:
+			out[k] = h
+		case *WindowedHistogram:
+			out[k] = h.hist
+		}
+	}
+	return out
+}
+
+// quantileSpecs are the estimates reported on /debug/vars. p999 resolves the
+// seconds-scale tail the load generator hunts for.
+var quantileSpecs = []struct {
+	label string
+	q     float64
+}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}, {"p999", 0.999}}
+
+// Quantiles returns p50/p95/p99/p999 estimates for every registered
+// histogram series, keyed "name{labels}" → quantile label → estimate. Plain
+// histograms report lifetime estimates; windowed histograms report their
+// rolling window (the current tail, not the lifetime one). Empty series are
+// skipped. This feeds /debug/vars so quick latency checks don't require a
+// Prometheus stack.
+func (r *Registry) Quantiles() map[string]map[string]float64 {
+	if r == nil {
+		return nil
+	}
 	out := map[string]map[string]float64{}
-	for _, f := range fams {
+	for _, f := range r.histogramFamilies() {
 		f.mu.Lock()
 		children := make(map[string]any, len(f.children))
 		for k, c := range f.children {
@@ -365,17 +432,28 @@ func (r *Registry) Quantiles() map[string]map[string]float64 {
 		}
 		f.mu.Unlock()
 		for k, c := range children {
-			h, ok := c.(*Histogram)
-			if !ok || h.Count() == 0 {
+			quantile := func(float64) float64 { return math.NaN() }
+			switch h := c.(type) {
+			case *Histogram:
+				if h.Count() == 0 {
+					continue
+				}
+				quantile = h.Quantile
+			case *WindowedHistogram:
+				if h.Count() == 0 {
+					continue
+				}
+				quantile = h.Quantile
+			default:
 				continue
 			}
 			series := f.name
 			if k != "" {
 				series += "{" + k + "}"
 			}
-			est := make(map[string]float64, len(qs))
-			for _, spec := range qs {
-				if v := h.Quantile(spec.q); !math.IsNaN(v) {
+			est := make(map[string]float64, len(quantileSpecs))
+			for _, spec := range quantileSpecs {
+				if v := quantile(spec.q); !math.IsNaN(v) {
 					est[spec.label] = v
 				}
 			}
@@ -460,6 +538,28 @@ func writeSeries(w io.Writer, name, labels, value string) error {
 	return err
 }
 
+// writeHistogramSeries emits one histogram series in exposition order:
+// cumulative buckets, sum, count.
+func writeHistogramSeries(w io.Writer, name, k string, c *Histogram) error {
+	var cum uint64
+	for bi, ub := range c.upper {
+		cum += c.counts[bi].Load()
+		le := joinLabels(k, `le="`+formatFloat(ub)+`"`)
+		if err := writeSeries(w, name+"_bucket", le, strconv.FormatUint(cum, 10)); err != nil {
+			return err
+		}
+	}
+	cum += c.counts[len(c.upper)].Load()
+	le := joinLabels(k, `le="+Inf"`)
+	if err := writeSeries(w, name+"_bucket", le, strconv.FormatUint(cum, 10)); err != nil {
+		return err
+	}
+	if err := writeSeries(w, name+"_sum", k, formatFloat(c.Sum())); err != nil {
+		return err
+	}
+	return writeSeries(w, name+"_count", k, strconv.FormatUint(c.Count(), 10))
+}
+
 // joinLabels appends extra to a rendered label string.
 func joinLabels(base, extra string) string {
 	if base == "" {
@@ -524,23 +624,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					return err
 				}
 			case *Histogram:
-				var cum uint64
-				for bi, ub := range c.upper {
-					cum += c.counts[bi].Load()
-					le := joinLabels(k, `le="`+formatFloat(ub)+`"`)
-					if err := writeSeries(w, f.name+"_bucket", le, strconv.FormatUint(cum, 10)); err != nil {
-						return err
-					}
-				}
-				cum += c.counts[len(c.upper)].Load()
-				le := joinLabels(k, `le="+Inf"`)
-				if err := writeSeries(w, f.name+"_bucket", le, strconv.FormatUint(cum, 10)); err != nil {
+				if err := writeHistogramSeries(w, f.name, k, c); err != nil {
 					return err
 				}
-				if err := writeSeries(w, f.name+"_sum", k, formatFloat(c.Sum())); err != nil {
-					return err
-				}
-				if err := writeSeries(w, f.name+"_count", k, strconv.FormatUint(c.Count(), 10)); err != nil {
+			case *WindowedHistogram:
+				// The cumulative core is the Prometheus-visible series; the
+				// rolling window only affects Quantiles.
+				if err := writeHistogramSeries(w, f.name, k, c.hist); err != nil {
 					return err
 				}
 			}

@@ -8,6 +8,7 @@ import (
 
 	"crowdwifi/internal/crowd"
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/trace"
 )
 
 // Metrics instruments the crowd-server: per-route HTTP traffic, ingest
@@ -21,7 +22,9 @@ type Metrics struct {
 	Crowd *crowd.Metrics
 
 	requestsHelp    string
-	reqDuration     map[string]*obs.Histogram
+	errorsHelp      string
+	reqDuration     map[string]*obs.WindowedHistogram
+	inflight        map[string]*obs.Gauge
 	reports         *obs.Counter
 	labels          *obs.Counter
 	patterns        *obs.Counter
@@ -49,7 +52,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		registry:        reg,
 		Crowd:           crowd.NewMetrics(reg),
 		requestsHelp:    "HTTP requests served, by route, method, and status code.",
-		reqDuration:     map[string]*obs.Histogram{},
+		errorsHelp:      "HTTP requests answered with a 4xx/5xx status, by route and code.",
+		reqDuration:     map[string]*obs.WindowedHistogram{},
+		inflight:        map[string]*obs.Gauge{},
 		reports:         reg.Counter("crowdwifi_server_reports_total", "Vehicle AP reports accepted."),
 		labels:          reg.Counter("crowdwifi_server_labels_total", "Mapping-task labels accepted."),
 		patterns:        reg.Counter("crowdwifi_server_patterns_total", "Mapping tasks (patterns) registered."),
@@ -77,28 +82,52 @@ func (m *Metrics) Registry() *obs.Registry {
 }
 
 // routeHistogram returns (registering on first use) the latency histogram
-// for a route. The server pre-registers every mux route so the exposition
-// lists all of them from startup.
-func (m *Metrics) routeHistogram(route string) *obs.Histogram {
+// for a route: a cumulative series on /metrics plus a rolling window that
+// keeps /debug/vars quantiles describing current — not lifetime — traffic.
+// The server pre-registers every mux route so the exposition lists all of
+// them from startup.
+func (m *Metrics) routeHistogram(route string) *obs.WindowedHistogram {
 	if m == nil {
 		return nil
 	}
 	h, ok := m.reqDuration[route]
 	if !ok {
-		h = m.registry.Histogram("crowdwifi_http_request_duration_seconds",
-			"HTTP request latency by route.", nil, obs.L("route", route))
+		h = m.registry.WindowedHistogram("crowdwifi_http_request_duration_seconds",
+			"HTTP request latency by route.", nil, obs.DefaultWindow, obs.DefaultWindowSlots,
+			obs.L("route", route))
 		m.reqDuration[route] = h
 	}
 	return h
 }
 
-// countRequest records one served request.
+// routeInflight returns (registering on first use) the in-flight request
+// gauge for a route.
+func (m *Metrics) routeInflight(route string) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	g, ok := m.inflight[route]
+	if !ok {
+		g = m.registry.Gauge("crowdwifi_http_inflight_requests",
+			"Requests currently being served, by route.", obs.L("route", route))
+		m.inflight[route] = g
+	}
+	return g
+}
+
+// countRequest records one served request, plus the error series for
+// non-2xx/3xx outcomes — together with the duration histogram these are the
+// per-endpoint RED triple (rate, errors, duration).
 func (m *Metrics) countRequest(route, method string, code int) {
 	if m == nil {
 		return
 	}
 	m.registry.Counter("crowdwifi_http_requests_total", m.requestsHelp,
 		obs.L("route", route), obs.L("method", method), obs.L("code", strconv.Itoa(code))).Inc()
+	if code >= 400 {
+		m.registry.Counter("crowdwifi_http_errors_total", m.errorsHelp,
+			obs.L("route", route), obs.L("code", strconv.Itoa(code))).Inc()
+	}
 }
 
 // Ingest counters, nil-safe so Store call sites need no conditionals.
@@ -183,18 +212,27 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency observation
-// for one route.
+// instrument wraps a handler with the RED middleware for one route: request
+// and error counting by route/method/code, in-flight tracking, and latency
+// observation into the route's windowed histogram. It runs inside the
+// tracing middleware, so each observation carries the request's trace id as
+// a bucket exemplar — the slowest bucket always names a trace retrievable at
+// /debug/traces/{id}.
 func (m *Metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	if m == nil {
 		return h
 	}
 	hist := m.routeHistogram(route)
+	inflight := m.routeInflight(route)
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		inflight.Add(1)
 		start := time.Now()
 		h(sw, r)
-		hist.Observe(time.Since(start).Seconds())
+		dur := time.Since(start).Seconds()
+		inflight.Add(-1)
+		traceID, _, _ := trace.IDs(r.Context())
+		hist.ObserveWithExemplar(dur, traceID)
 		m.countRequest(route, r.Method, sw.code)
 	}
 }

@@ -619,9 +619,11 @@ func New(store *Store, opts ...Option) *Server {
 	return s
 }
 
-// handle registers a route through the instrumenting middleware (a no-op
-// when no metrics are attached), the tracing middleware, and the per-request
-// deadline.
+// handle registers a route through the middleware stack, outermost first:
+// tracing, then the RED instrumentation (inside tracing so each latency
+// observation can stamp the request's trace id as a bucket exemplar), then
+// the per-request deadline. The instrumenting and tracing layers are no-ops
+// when unconfigured.
 func (s *Server) handle(route string, h http.HandlerFunc) {
 	if d := s.reqTimeout; d > 0 {
 		inner := h
@@ -631,8 +633,8 @@ func (s *Server) handle(route string, h http.HandlerFunc) {
 			inner(w, r.WithContext(ctx))
 		}
 	}
-	h = s.traced(route, h)
-	s.mux.HandleFunc(route, s.metrics.instrument(route, h))
+	h = s.metrics.instrument(route, h)
+	s.mux.HandleFunc(route, s.traced(route, h))
 }
 
 // traced wraps a route with the server-side tracing middleware: a valid
