@@ -21,6 +21,7 @@
 //	                 [-snapshot-every 5m]
 //	                 [-metrics-addr :8701] [-log-level info]
 //	                 [-trace-sample 1] [-trace-buffer 256]
+//	                 [-overload-mode] [-max-inflight 0]
 package main
 
 import (
@@ -38,6 +39,7 @@ import (
 	"crowdwifi/internal/cs"
 	"crowdwifi/internal/obs"
 	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/overload"
 	"crowdwifi/internal/par"
 	"crowdwifi/internal/server"
 	"crowdwifi/internal/wal"
@@ -55,6 +57,8 @@ type config struct {
 	snapshotEvery  time.Duration
 	traceSample    float64
 	traceBuffer    int
+	maxInflight    int
+	overloadMode   bool
 }
 
 func main() {
@@ -77,6 +81,10 @@ func main() {
 		"fraction of new traces to record, 0..1 (error and slow traces are retained regardless once sampled)")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", trace.DefaultCapacity,
 		"number of recent traces kept in memory for /debug/traces")
+	flag.BoolVar(&cfg.overloadMode, "overload-mode", true,
+		"enable adaptive admission control and the degraded-mode state machine (healthy/overloaded/read-only/recovering)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0,
+		"hard cap on the adaptive per-family concurrency limits (0 uses the built-in defaults; requires -overload-mode)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -150,18 +158,36 @@ func run(cfg config, logger *obs.Logger) error {
 			"duration", recovery.Duration)
 	}
 
+	srvOpts := []server.Option{
+		server.WithMetrics(metrics),
+		server.WithLogger(logger),
+		server.WithTracer(tracer),
+		server.WithHealth(health),
+	}
+	if cfg.overloadMode {
+		lim := overload.LimiterOptions{Max: cfg.maxInflight}
+		srvOpts = append(srvOpts, server.WithOverload(overload.Options{
+			Lookup:  lim,
+			Control: lim,
+			Upload:  lim,
+		}))
+	}
+	api := server.New(store, srvOpts...)
 	srv := &http.Server{
-		Handler: server.New(store,
-			server.WithMetrics(metrics),
-			server.WithLogger(logger),
-			server.WithTracer(tracer),
-			server.WithHealth(health)),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ctx = trace.WithTracer(ctx, tracer)
+
+	// The overload controller's probe loop walks a read-only server back to
+	// healthy once the disk accepts durable writes again.
+	if ov := api.Overload(); ov != nil {
+		go ov.Controller().Run(ctx)
+		logger.Info("overload control enabled", "max_inflight", cfg.maxInflight)
+	}
 
 	aggLog := logger.With("component", "aggregate")
 	runCycle := func(base context.Context) {

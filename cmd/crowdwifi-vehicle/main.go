@@ -331,8 +331,14 @@ func flushOutbox(tracer *trace.Tracer, v *client.CrowdVehicle, timeout time.Dura
 			logger.Warn("outbox flush deadline exceeded", "undelivered", v.Outbox.Len())
 			return
 		}
-		logger.Warn("outbox flush interrupted; retrying", "delivered", n, "err", err)
-		if serr := retry.Sleep(ctx, 200*time.Millisecond); serr != nil {
+		// An overloaded or read-only server tells us when to come back;
+		// honor its Retry-After instead of hammering on a fixed cadence.
+		pause := 200 * time.Millisecond
+		if hint := client.RetryAfterHint(err); hint > pause {
+			pause = hint
+		}
+		logger.Warn("outbox flush interrupted; retrying", "delivered", n, "err", err, "pause", pause)
+		if serr := retry.Sleep(ctx, pause); serr != nil {
 			logger.Warn("outbox flush deadline exceeded", "undelivered", v.Outbox.Len())
 			return
 		}

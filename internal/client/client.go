@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,10 +57,57 @@ type StatusError struct {
 	Path   string
 	Status int
 	Body   string
+	// RetryAfter is the server's Retry-After hint (zero when absent): on a
+	// 503 it is the server's own estimate of when capacity returns —
+	// backlog drain time, aggregation remainder, or disk-recovery horizon.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("client: %s %s: status %d: %s", e.Method, e.Path, e.Status, e.Body)
+}
+
+// RetryAfterHint extracts the server's Retry-After from an upload or drain
+// error (zero when err carries none). Callers pacing their own retry loops
+// — outbox drains between contact windows — should wait at least this long.
+func RetryAfterHint(err error) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.RetryAfter
+	}
+	return 0
+}
+
+// maxRetryAfter caps how long a server hint can push a client out — a
+// misbehaving (or clock-skewed) server must not park a vehicle forever.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter reads the server's backoff hint, capped to maxRetryAfter:
+// the crowd-server's millisecond-precision header when present, else the
+// standard delay-seconds Retry-After (the only standard form it emits).
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("X-Crowdwifi-Retry-After-Ms"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			d := time.Duration(ms) * time.Millisecond
+			if d > maxRetryAfter {
+				d = maxRetryAfter
+			}
+			return d
+		}
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 // retryableStatus mirrors internal/retry's classification: statuses where a
@@ -534,7 +582,13 @@ func doJSON(h HTTPDoer, req *http.Request, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &StatusError{Method: req.Method, Path: req.URL.Path, Status: resp.StatusCode, Body: string(body)}
+		return &StatusError{
+			Method:     req.Method,
+			Path:       req.URL.Path,
+			Status:     resp.StatusCode,
+			Body:       string(body),
+			RetryAfter: parseRetryAfter(resp),
+		}
 	}
 	if out == nil {
 		_, err = io.Copy(io.Discard, resp.Body)

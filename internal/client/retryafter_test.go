@@ -1,0 +1,121 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowdwifi/internal/server"
+)
+
+// sheddingServer returns 503 with the given Retry-After header until
+// recovered is flipped, then accepts everything.
+func sheddingServer(t *testing.T, retryAfter string, recovered *atomic.Bool) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if recovered != nil && recovered.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"accepted":1}`)
+			return
+		}
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		http.Error(w, "server over capacity", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestStatusErrorCarriesRetryAfter(t *testing.T) {
+	url := sheddingServer(t, "3", nil)
+	cv := &CrowdVehicle{ID: "v1", BaseURL: url}
+	err := cv.UploadReport(context.Background(), server.Report{Segment: "s"})
+	if err == nil {
+		t.Fatal("UploadReport succeeded against a shedding server")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a StatusError", err)
+	}
+	if se.RetryAfter != 3*time.Second {
+		t.Fatalf("StatusError.RetryAfter = %v, want 3s", se.RetryAfter)
+	}
+	if got := RetryAfterHint(err); got != 3*time.Second {
+		t.Fatalf("RetryAfterHint = %v, want 3s", got)
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{"999", maxRetryAfter}, // capped: a bad server must not park clients forever
+		{"0", 0},
+		{"-5", 0},
+		{"soon", 0}, // HTTP-date form unsupported on purpose; treat as absent
+		{"", 0},
+	}
+	for _, tc := range cases {
+		url := sheddingServer(t, tc.header, nil)
+		cv := &CrowdVehicle{ID: "v1", BaseURL: url}
+		err := cv.UploadReport(context.Background(), server.Report{Segment: "s"})
+		if got := RetryAfterHint(err); got != tc.want {
+			t.Errorf("Retry-After %q: hint = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+func TestRetryAfterHintNonStatusErrors(t *testing.T) {
+	if got := RetryAfterHint(nil); got != 0 {
+		t.Fatalf("RetryAfterHint(nil) = %v, want 0", got)
+	}
+	if got := RetryAfterHint(errors.New("plain")); got != 0 {
+		t.Fatalf("RetryAfterHint(plain error) = %v, want 0", got)
+	}
+}
+
+// TestDrainOutboxSurfacesRetryAfter is the satellite regression: a drain
+// interrupted by a shedding server must return an error whose RetryAfterHint
+// matches the server's header, so callers pace their retry loop by the
+// server's own drain estimate instead of a guessed backoff.
+func TestDrainOutboxSurfacesRetryAfter(t *testing.T) {
+	var recovered atomic.Bool
+	url := sheddingServer(t, "5", &recovered)
+	cv := &CrowdVehicle{ID: "v1", BaseURL: url, Outbox: NewOutbox(8)}
+
+	err := cv.UploadReport(context.Background(), server.Report{Segment: "s"})
+	if !errors.Is(err, ErrQueued) {
+		t.Fatalf("UploadReport err = %v, want ErrQueued", err)
+	}
+	if cv.Outbox.Len() != 1 {
+		t.Fatalf("outbox len = %d, want 1", cv.Outbox.Len())
+	}
+
+	n, err := cv.DrainOutbox(context.Background())
+	if n != 0 || err == nil {
+		t.Fatalf("DrainOutbox = (%d, %v), want (0, transient error)", n, err)
+	}
+	if got := RetryAfterHint(err); got != 5*time.Second {
+		t.Fatalf("drain RetryAfterHint = %v, want 5s", got)
+	}
+	if cv.Outbox.Len() != 1 {
+		t.Fatalf("outbox len after failed drain = %d, want 1 (entry must stay parked)", cv.Outbox.Len())
+	}
+
+	recovered.Store(true)
+	n, err = cv.DrainOutbox(context.Background())
+	if n != 1 || err != nil {
+		t.Fatalf("DrainOutbox after recovery = (%d, %v), want (1, nil)", n, err)
+	}
+	if cv.Outbox.Len() != 0 {
+		t.Fatalf("outbox len after recovery = %d, want 0", cv.Outbox.Len())
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -200,13 +201,73 @@ type Runner struct {
 	phaseStart atomic.Int64 // unix nanos
 	runStart   time.Time
 	measuring  atomic.Bool
+	stopping   atomic.Bool
 
 	vehicles []*vehicle
 	tracks   map[string]*track
 
 	drainDelivered atomic.Uint64
 
+	// shed-then-succeed: logical requests that hit at least one 503 but
+	// eventually landed. The histogram is the client-side cost of being shed
+	// — exactly the latency the server's Retry-After hint is trying to bound.
+	shedThenOK        atomic.Uint64
+	shedRetryWindow   *obs.WindowedHistogram
+	shedRetryMeasured *obs.Histogram
+
 	phaseGauge *obs.Gauge
+}
+
+// shedKey carries the per-logical-request shed flag through the retry loop's
+// context, tying the attempt-level watcher (under the retrying doer) to the
+// request-level observer (over it).
+type shedKey struct{}
+
+type shedFlag struct{ seen atomic.Bool }
+
+// attemptWatcher sits UNDER the retrying doer: it sees every individual
+// attempt, so a 503 that a later retry recovers from still gets flagged.
+type attemptWatcher struct{ next client.HTTPDoer }
+
+func (a attemptWatcher) Do(req *http.Request) (*http.Response, error) {
+	resp, err := a.next.Do(req)
+	if err == nil && resp.StatusCode == http.StatusServiceUnavailable {
+		if f, ok := req.Context().Value(shedKey{}).(*shedFlag); ok {
+			f.seen.Store(true)
+		}
+	}
+	return resp, err
+}
+
+// shedObserver sits OVER the retrying doer: it plants the flag, times the
+// whole logical request (first attempt through final response, backoff
+// included), and records the shed-then-succeed latency when the flag fired
+// but the request ultimately succeeded.
+type shedObserver struct {
+	next client.HTTPDoer
+	r    *Runner
+}
+
+func (s shedObserver) Do(req *http.Request) (*http.Response, error) {
+	f := &shedFlag{}
+	req = req.WithContext(context.WithValue(req.Context(), shedKey{}, f))
+	start := time.Now()
+	resp, err := s.next.Do(req)
+	if err == nil && f.seen.Load() && resp.StatusCode < 300 {
+		s.r.recordShedRetry(time.Since(start))
+	}
+	return resp, err
+}
+
+// recordShedRetry feeds one shed-then-succeed completion into both latency
+// views and the whole-run count.
+func (r *Runner) recordShedRetry(d time.Duration) {
+	r.shedThenOK.Add(1)
+	sec := d.Seconds()
+	r.shedRetryWindow.Observe(sec)
+	if r.measuring.Load() {
+		r.shedRetryMeasured.Observe(sec)
+	}
 }
 
 // NewRunner precomputes payload archetypes and builds the fleet. It does not
@@ -227,9 +288,32 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if r.doer == nil {
 		// No circuit breaker on purpose: the generator must keep offering
 		// load while the server sheds, or the run would measure the
-		// breaker instead of the server.
-		r.doer = retry.NewDoer(nil, retry.Policy{MaxAttempts: cfg.RetryAttempts},
-			retry.WithMetrics(retry.NewMetrics(cfg.Registry)))
+		// breaker instead of the server. The shed observer/watcher pair
+		// brackets the retry loop so shed-then-succeed latency covers the
+		// full first-attempt-to-final-ack span; an injected cfg.HTTP owns
+		// its own layering and skips this instrumentation.
+		//
+		// The whole fleet funnels through this one client, so the transport
+		// needs a fleet-sized idle pool: DefaultClient keeps 2 idle conns
+		// per host, which at thousands of vehicles means a TCP handshake
+		// per request — the run would measure connection churn, not the
+		// server. A real fleet holds one connection per vehicle.
+		transport := http.DefaultTransport.(*http.Transport).Clone()
+		transport.MaxIdleConns = 0 // unlimited; one target host anyway
+		transport.MaxIdleConnsPerHost = cfg.Vehicles + 64
+		fleet := &http.Client{Transport: transport}
+		// The retry budget is likewise per-Doer, sized for one client. Left
+		// at its default the whole fleet shares one 10-token bucket and a
+		// single shed wave exhausts it instantly, parking uploads a real
+		// fleet of independent vehicles would have retried. Scale the burst
+		// by fleet size; the per-request ratio already scales on its own.
+		r.doer = shedObserver{
+			r: r,
+			next: retry.NewDoer(attemptWatcher{next: fleet},
+				retry.Policy{MaxAttempts: cfg.RetryAttempts},
+				retry.WithMetrics(retry.NewMetrics(cfg.Registry)),
+				retry.WithBudget(retry.BudgetConfig{Burst: 10 * float64(cfg.Vehicles)})),
+		}
 	}
 	for _, ep := range []string{EndpointUpload, EndpointLookup} {
 		r.tracks[ep] = &track{
@@ -244,6 +328,12 @@ func NewRunner(cfg Config) (*Runner, error) {
 			errs:   r.outcomeCounter(ep, "error"),
 		}
 	}
+	r.shedRetryWindow = r.reg.WindowedHistogram("crowdwifi_load_shed_retry_duration_seconds",
+		"First attempt to final ack for uploads shed (503) at least once then delivered (rolling window).",
+		nil, obs.DefaultWindow, obs.DefaultWindowSlots)
+	r.shedRetryMeasured = r.reg.Histogram("crowdwifi_load_shed_retry_measured_duration_seconds",
+		"Shed-then-succeed latency, measure phase only (source of the run report's quantiles).",
+		nil)
 	r.phaseGauge = r.reg.Gauge("crowdwifi_load_phase",
 		"Generator phase: 0 idle, 1 warmup, 2 measure, 3 drain, 4 done.")
 	r.reg.Gauge("crowdwifi_load_vehicles", "Simulated fleet size.").Set(float64(cfg.Vehicles))
@@ -366,7 +456,7 @@ func (r *Runner) record(ep string, d time.Duration, err error) {
 // repeat until the context ends.
 func (r *Runner) drive(ctx context.Context, v *vehicle) {
 	for i := 1; ; i++ {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || r.stopping.Load() {
 			return
 		}
 		start := time.Now()
@@ -448,8 +538,24 @@ func (r *Runner) Run(ctx context.Context) (*RunReport, error) {
 	}
 
 	r.setPhase(PhaseDrain)
+	// Graceful fleet stop: flag the vehicles to stop issuing and give
+	// in-flight requests a bounded grace period to finish. Hard-cancelling
+	// mid-flight leaves requests the server may complete after the client
+	// gave up; their outbox replays can outlive the server's idempotency
+	// window and double-apply, so the books only balance if the boundary is
+	// clean. Stragglers still stuck after the grace (e.g. sleeping out a
+	// long Retry-After) are cancelled and settle through the drain phase.
+	r.stopping.Store(true)
+	fleetDone := make(chan struct{})
+	go func() { wg.Wait(); close(fleetDone) }()
+	grace := r.cfg.Drain / 2
+	select {
+	case <-fleetDone:
+	case <-time.After(grace):
+		stopDrive()
+		<-fleetDone
+	}
 	stopDrive()
-	wg.Wait()
 	r.drainOutboxes(ctx)
 	serverFinal := r.scrapeServer(ctx)
 	r.setPhase(PhaseDone)
@@ -464,7 +570,10 @@ func (r *Runner) Run(ctx context.Context) (*RunReport, error) {
 
 // drainOutboxes flushes every vehicle's parked uploads, bounded by the drain
 // budget. DrainOutbox stops on the first transient failure, so each vehicle
-// loops with a short backoff until its outbox empties or time runs out.
+// loops until its outbox empties or time runs out, pausing for the server's
+// Retry-After hint when one came back with the rejection (a shedding server
+// has measured its own drain rate; second-guessing it just feeds the backlog)
+// and a short fixed backoff otherwise.
 func (r *Runner) drainOutboxes(ctx context.Context) {
 	dctx, cancel := context.WithTimeout(ctx, r.cfg.Drain)
 	defer cancel()
@@ -485,7 +594,11 @@ func (r *Runner) drainOutboxes(ctx context.Context) {
 				if err == nil {
 					return
 				}
-				if sleepCtx(dctx, 200*time.Millisecond) != nil {
+				pause := 200 * time.Millisecond
+				if hint := client.RetryAfterHint(err); hint > pause {
+					pause = hint
+				}
+				if sleepCtx(dctx, pause) != nil {
 					return
 				}
 			}

@@ -59,6 +59,15 @@ type serverSample struct {
 	shed       uint64
 	deduped    uint64
 	httpErrors uint64
+
+	// Overload-control surface (absent when the target runs without
+	// -overload-mode): degradation mode, state-machine transition count,
+	// and the admission controller's admit/shed totals across families.
+	overload    bool
+	mode        string
+	transitions uint64
+	admitted    uint64
+	admShed     uint64
 }
 
 // scrapeServer samples the target's debug endpoints with a plain HTTP
@@ -73,7 +82,10 @@ func (r *Runner) scrapeServer(ctx context.Context) serverSample {
 		Memstats struct {
 			HeapAlloc uint64 `json:"HeapAlloc"`
 		} `json:"memstats"`
-		Process obs.ProcStats `json:"crowdwifi_process"`
+		Process  obs.ProcStats `json:"crowdwifi_process"`
+		Overload struct {
+			Mode string `json:"mode"`
+		} `json:"crowdwifi_overload"`
 	}
 	if err := getJSON(ctx, cl, r.cfg.ServerURL+"/debug/vars", &vars); err != nil {
 		return s
@@ -81,6 +93,8 @@ func (r *Runner) scrapeServer(ctx context.Context) serverSample {
 	s.cpuSeconds = vars.Process.CPUSeconds
 	s.heapAlloc = vars.Memstats.HeapAlloc
 	s.goroutines = vars.Process.Goroutines
+	s.mode = vars.Overload.Mode
+	s.overload = s.mode != ""
 
 	body, err := getBody(ctx, cl, r.cfg.ServerURL+"/metrics")
 	if err != nil {
@@ -91,6 +105,9 @@ func (r *Runner) scrapeServer(ctx context.Context) serverSample {
 	s.shed = counters["crowdwifi_server_shed_requests_total"]
 	s.deduped = counters["crowdwifi_server_deduped_requests_total"]
 	s.httpErrors = counters["crowdwifi_http_errors_total"]
+	s.transitions = counters["crowdwifi_overload_transitions_total"]
+	s.admitted = counters["crowdwifi_admission_admitted_total"]
+	s.admShed = counters["crowdwifi_admission_shed_total"]
 	s.available = true
 	return s
 }
@@ -218,6 +235,11 @@ type RunReport struct {
 		ShedRate  float64 `json:"shedRate"`
 		ParkRate  float64 `json:"parkRate"`
 		RetryRate float64 `json:"retryRate"`
+		// ShedThenOK counts logical uploads that hit at least one 503 and
+		// were still delivered (whole run); the latency stats are the
+		// measure-phase cost of being shed, first attempt to final ack.
+		ShedThenOK              uint64       `json:"shedThenOK"`
+		ShedRetryLatencySeconds LatencyStats `json:"shedRetryLatencySeconds"`
 	} `json:"resilience"`
 
 	// Server holds target-side deltas over the measure phase, scraped from
@@ -233,6 +255,21 @@ type RunReport struct {
 		ShedDelta       uint64  `json:"shedDelta"`
 		DedupedDelta    uint64  `json:"dedupedDelta"`
 	} `json:"server"`
+
+	// Overload summarizes the target's admission control over the measure
+	// phase (absent when the server runs without -overload-mode): degradation
+	// mode at the window edges, state-machine transitions, and the admission
+	// controller's admit/shed deltas summed across endpoint families.
+	Overload struct {
+		Available          bool   `json:"available"`
+		ModeBefore         string `json:"modeBefore"`
+		ModeAfter          string `json:"modeAfter"`
+		ModeFinal          string `json:"modeFinal"`
+		TransitionsDelta   uint64 `json:"transitionsDelta"`
+		TransitionsRun     uint64 `json:"transitionsRun"`
+		AdmittedDelta      uint64 `json:"admittedDelta"`
+		AdmissionShedDelta uint64 `json:"admissionShedDelta"`
+	} `json:"overload"`
 
 	// Verification closes the books across the whole run: every upload the
 	// fleet considers acknowledged against the server's accepted count.
@@ -321,6 +358,19 @@ func (r *Runner) buildReport(in reportInputs) *RunReport {
 	res.OutboxEvicted = evicted
 	res.UploadErrors = final.counts[EndpointUpload]["error"]
 	res.Lost = res.UploadErrors + res.DrainDropped + res.OutboxEvicted + uint64(remaining)
+	res.ShedThenOK = r.shedThenOK.Load()
+	if h := r.shedRetryMeasured; h != nil {
+		if n := h.Count(); n > 0 {
+			res.ShedRetryLatencySeconds = LatencyStats{
+				Count: n,
+				Mean:  h.Sum() / float64(n),
+				P50:   h.Quantile(0.50),
+				P95:   h.Quantile(0.95),
+				P99:   h.Quantile(0.99),
+				P999:  h.Quantile(0.999),
+			}
+		}
+	}
 
 	upl := rep.Endpoints[EndpointUpload]
 	if upl.Requests > 0 {
@@ -344,6 +394,20 @@ func (r *Runner) buildReport(in reportInputs) *RunReport {
 		srv.ReportsDelta = in.serverAfter.reports - in.serverBefore.reports
 		srv.ShedDelta = in.serverAfter.shed - in.serverBefore.shed
 		srv.DedupedDelta = in.serverAfter.deduped - in.serverBefore.deduped
+	}
+
+	if in.serverBefore.overload && in.serverAfter.overload {
+		ov := &rep.Overload
+		ov.Available = true
+		ov.ModeBefore = in.serverBefore.mode
+		ov.ModeAfter = in.serverAfter.mode
+		ov.ModeFinal = in.serverFinal.mode
+		ov.TransitionsDelta = in.serverAfter.transitions - in.serverBefore.transitions
+		if in.serverStart.overload && in.serverFinal.overload {
+			ov.TransitionsRun = in.serverFinal.transitions - in.serverStart.transitions
+		}
+		ov.AdmittedDelta = in.serverAfter.admitted - in.serverBefore.admitted
+		ov.AdmissionShedDelta = in.serverAfter.admShed - in.serverBefore.admShed
 	}
 
 	// Every upload the fleet believes landed, against the server's accepted

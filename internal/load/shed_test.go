@@ -1,0 +1,66 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShedThenSucceedHistogram drives the built-in (nil-HTTP) transport
+// against a server that sheds every other upload with a Retry-After, and
+// checks the shed-then-succeed instrumentation: flagged requests that
+// eventually land are counted and their first-attempt-to-ack latency is
+// recorded in the measure-phase histogram.
+func TestShedThenSucceedHistogram(t *testing.T) {
+	var n atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/reports" && n.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server over capacity", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"accepted":1}`)
+	}))
+	t.Cleanup(ts.Close)
+
+	r, err := NewRunner(Config{
+		ServerURL:   ts.URL,
+		Vehicles:    4,
+		Warmup:      50 * time.Millisecond,
+		Measure:     4 * time.Second,
+		Drain:       2 * time.Second,
+		LookupEvery: -1,
+		Archetypes:  2,
+		LogEvery:    -1,
+		// nil HTTP on purpose: the shed observer/watcher pair only wraps the
+		// built-in retrying transport.
+	})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if rep.Resilience.ShedThenOK == 0 {
+		t.Fatal("ShedThenOK = 0: no shed-then-succeed requests recorded against an alternating 503 server")
+	}
+	lat := rep.Resilience.ShedRetryLatencySeconds
+	if lat.Count == 0 {
+		t.Fatal("shed-retry latency histogram empty during measure phase")
+	}
+	// Retry-After was 1s and the retry policy honors it, so a shed-then-ok
+	// request cannot complete faster than the hinted pause.
+	if lat.P50 < 0.9 {
+		t.Errorf("shed-retry p50 = %.3fs, want ≥ ~1s (Retry-After honored)", lat.P50)
+	}
+	if got := r.shedThenOK.Load(); got != rep.Resilience.ShedThenOK {
+		t.Errorf("report ShedThenOK %d != counter %d", rep.Resilience.ShedThenOK, got)
+	}
+}

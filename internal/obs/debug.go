@@ -56,6 +56,9 @@ func varsHandler(reg *Registry) http.Handler {
 			first = false
 			fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
 		})
+		for _, pv := range reg.publishedVars() {
+			emit(pv.key, pv.fn())
+		}
 		if q := reg.Quantiles(); len(q) > 0 {
 			emit("crowdwifi_histogram_quantiles", q)
 		}

@@ -10,11 +10,15 @@ import (
 // Liveness is unconditional (the process answering at all is the signal);
 // readiness flips off while the server cannot usefully take traffic — WAL
 // recovery/replay at startup, or the final snapshot during SIGTERM shutdown.
+// A degraded mode (overloaded, read-only, recovering) is a separate axis:
+// the server is still serving, so /readyz stays 200 but carries the mode in
+// its body — orchestrators keep routing, operators see the degradation.
 // A nil *Health accepts every method as a no-op and reports not ready.
 type Health struct {
 	mu     sync.Mutex
 	ready  bool
 	reason string
+	mode   string
 }
 
 // NewHealth returns a Health that starts not ready ("starting").
@@ -43,6 +47,28 @@ func (h *Health) SetNotReady(reason string) {
 	h.mu.Unlock()
 }
 
+// SetMode records the server's degradation mode ("healthy", "overloaded",
+// "read-only", "recovering"), surfaced in the /readyz body without changing
+// the readiness verdict.
+func (h *Health) SetMode(mode string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.mode = mode
+	h.mu.Unlock()
+}
+
+// Mode returns the recorded degradation mode ("" when never set).
+func (h *Health) Mode() string {
+	if h == nil {
+		return ""
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mode
+}
+
 // Ready reports the current readiness state and its reason when not ready.
 func (h *Health) Ready() (bool, string) {
 	if h == nil {
@@ -62,16 +88,30 @@ func (h *Health) LiveHandler() http.Handler {
 }
 
 // ReadyHandler serves /readyz: 200 when ready, 503 with the reason when not.
+// A degraded-but-serving server answers 200 with its mode in the body — the
+// distinction matters because a 503 would make orchestrators stop routing to
+// a server that is, by design, still answering lookups.
 func (h *Health) ReadyHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		ready, reason := h.Ready()
+		mode := h.Mode()
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		body := map[string]string{}
+		if mode != "" {
+			body["mode"] = mode
+		}
 		if !ready {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			_ = json.NewEncoder(w).Encode(map[string]string{"status": "not ready", "reason": reason})
+			body["status"], body["reason"] = "not ready", reason
+			_ = json.NewEncoder(w).Encode(body)
 			return
 		}
-		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+		if mode != "" && mode != "healthy" {
+			body["status"] = "degraded"
+		} else {
+			body["status"] = "ready"
+		}
+		_ = json.NewEncoder(w).Encode(body)
 	})
 }
 

@@ -95,6 +95,13 @@ type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 	hooks    []func()
+	vars     []publishedVar
+}
+
+// publishedVar is one caller-supplied /debug/vars key (see PublishVar).
+type publishedVar struct {
+	key string
+	fn  func() any
 }
 
 // NewRegistry returns an empty registry.
@@ -111,6 +118,28 @@ func (r *Registry) OnScrape(fn func()) {
 	r.mu.Lock()
 	r.hooks = append(r.hooks, fn)
 	r.mu.Unlock()
+}
+
+// PublishVar adds a key to this registry's /debug/vars document, evaluated
+// (and JSON-encoded) on every request. Unlike expvar.Publish it is
+// per-registry, so tests and multi-registry processes cannot collide.
+func (r *Registry) PublishVar(key string, fn func() any) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.vars = append(r.vars, publishedVar{key: key, fn: fn})
+	r.mu.Unlock()
+}
+
+// publishedVars snapshots the registered /debug/vars extensions.
+func (r *Registry) publishedVars() []publishedVar {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]publishedVar(nil), r.vars...)
 }
 
 func validName(name string) bool {

@@ -1,0 +1,338 @@
+package overload
+
+import (
+	"container/list"
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// LimiterOptions tune one endpoint family's adaptive concurrency limit. The
+// zero value is usable.
+type LimiterOptions struct {
+	// Initial is the starting concurrency limit. Default 64.
+	Initial int
+	// Min is the floor the limit never drops below. Default 4.
+	Min int
+	// Max caps the limit (the server's -max-inflight flag lands here).
+	// Default 1024.
+	Max int
+	// Smoothing blends each gradient update into the running limit,
+	// 0 < s ≤ 1. Default 0.2.
+	Smoothing float64
+	// QueueTimeout is the CoDel-style sojourn bound: a request may wait at
+	// most this long for a slot before it is shed. Default 100ms.
+	QueueTimeout time.Duration
+	// MaxQueue bounds how many requests may wait at once. Default 256.
+	MaxQueue int
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (o LimiterOptions) withDefaults() LimiterOptions {
+	if o.Initial <= 0 {
+		o.Initial = 64
+	}
+	if o.Min <= 0 {
+		o.Min = 4
+	}
+	if o.Max <= 0 {
+		o.Max = 1024
+	}
+	if o.Min > o.Max {
+		o.Min = o.Max
+	}
+	if o.Initial < o.Min {
+		o.Initial = o.Min
+	}
+	if o.Initial > o.Max {
+		o.Initial = o.Max
+	}
+	if o.Smoothing <= 0 || o.Smoothing > 1 {
+		o.Smoothing = 0.2
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 100 * time.Millisecond
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 256
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Limiter is an adaptive concurrency limit for one endpoint family. The
+// limit follows the latency gradient — the ratio of a slowly-adapting
+// baseline RTT to the recent RTT — so it grows additively while the server
+// keeps up and collapses multiplicatively when latency inflates (queueing
+// theory's signature of saturation) or requests fail. Requests beyond the
+// limit wait in a short bounded queue; a request that would wait longer than
+// the sojourn bound is shed immediately with a Retry-After computed from the
+// observed drain rate, so clients back off by measurement instead of by
+// guess.
+type Limiter struct {
+	opts LimiterOptions
+
+	mu       sync.Mutex
+	limit    float64
+	inflight int
+	queue    *list.List // of chan struct{}, closed to admit
+
+	shortRTT  float64 // EWMA of recent latency, seconds
+	longRTT   float64 // slowly-adapting baseline, seconds
+	drainRate float64 // EWMA completions/second
+	lastDone  time.Time
+
+	admitted uint64
+	shed     uint64
+	queued   uint64
+}
+
+// NewLimiter returns a Limiter at its initial limit.
+func NewLimiter(opts LimiterOptions) *Limiter {
+	opts = opts.withDefaults()
+	return &Limiter{
+		opts:  opts,
+		limit: float64(opts.Initial),
+		queue: list.New(),
+	}
+}
+
+// Acquire claims a concurrency slot, waiting briefly if the family is at its
+// limit. On success it returns ok=true and a release that MUST be called
+// exactly once with the request's service latency and outcome. On shed it
+// returns ok=false and a Retry-After hint sized from the current backlog and
+// drain rate. ctx cancellation counts as a shed (the caller is leaving).
+func (l *Limiter) Acquire(ctx context.Context) (release func(rtt time.Duration, success bool), retryAfter time.Duration, ok bool) {
+	l.mu.Lock()
+	if l.inflight < l.limitLocked() {
+		l.inflight++
+		l.admitted++
+		l.mu.Unlock()
+		return l.release, 0, true
+	}
+	// At the limit: queue if the expected wait fits inside the sojourn
+	// bound, otherwise shed now — queueing work we will time out anyway
+	// only burns memory and client patience (CoDel's insight).
+	if l.queue.Len() >= l.opts.MaxQueue || l.expectedWaitLocked(l.queue.Len()+1) > l.opts.QueueTimeout {
+		hint := l.retryAfterLocked()
+		l.shed++
+		l.mu.Unlock()
+		return nil, hint, false
+	}
+	ready := make(chan struct{})
+	elem := l.queue.PushBack(ready)
+	l.queued++
+	l.mu.Unlock()
+
+	timer := time.NewTimer(l.opts.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case <-ready:
+		// Admitted by a releasing request; the slot is already ours.
+		return l.release, 0, true
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+	// Timed out or abandoned: leave the queue — unless an admit raced us,
+	// in which case we own a slot and must keep it.
+	l.mu.Lock()
+	select {
+	case <-ready:
+		l.mu.Unlock()
+		return l.release, 0, true
+	default:
+	}
+	l.queue.Remove(elem)
+	hint := l.retryAfterLocked()
+	l.shed++
+	l.mu.Unlock()
+	return nil, hint, false
+}
+
+// TryAcquire is Acquire without the queue: a slot now or a shed now. Used
+// for uploads while the server is in ModeOverloaded, so backlog drains
+// instead of stacking.
+func (l *Limiter) TryAcquire() (release func(rtt time.Duration, success bool), retryAfter time.Duration, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight < l.limitLocked() {
+		l.inflight++
+		l.admitted++
+		return l.release, 0, true
+	}
+	l.shed++
+	return nil, l.retryAfterLocked(), false
+}
+
+func (l *Limiter) limitLocked() int {
+	return int(math.Floor(l.limit))
+}
+
+// expectedWaitLocked estimates how long the n-th queued request waits for a
+// slot, from the measured per-slot service interval.
+func (l *Limiter) expectedWaitLocked(n int) time.Duration {
+	interval := l.serviceIntervalLocked()
+	return time.Duration(float64(n) * float64(interval))
+}
+
+// serviceIntervalLocked is the mean time between slot frees: the recent RTT
+// spread over the concurrent slots, cross-checked against the drain-rate
+// EWMA when one is available.
+func (l *Limiter) serviceIntervalLocked() time.Duration {
+	lim := float64(l.limitLocked())
+	if lim < 1 {
+		lim = 1
+	}
+	var iv float64
+	if l.shortRTT > 0 {
+		iv = l.shortRTT / lim
+	}
+	if l.drainRate > 0 {
+		byDrain := 1 / l.drainRate
+		if iv == 0 || byDrain > iv {
+			iv = byDrain
+		}
+	}
+	if iv == 0 {
+		iv = 0.010 // no samples yet: assume a 10ms service interval
+	}
+	return time.Duration(iv * float64(time.Second))
+}
+
+// minRetryHint floors the drain estimate: below this the hint is noise and
+// an immediate retry would arrive before the response is even read.
+const minRetryHint = 25 * time.Millisecond
+
+// retryAfterLocked sizes the Retry-After hint for a shed request: the time
+// for the whole current backlog (in-flight plus queued, plus us) to drain,
+// clamped to a sane client range. The floor is deliberately sub-second —
+// the HTTP Retry-After header rounds up to whole seconds for third-party
+// clients, but fleet clients read the precise millisecond hint, and forcing
+// a 40ms backlog estimate up to 1s would idle the fleet 25× longer than
+// the queue needs.
+func (l *Limiter) retryAfterLocked() time.Duration {
+	backlog := l.inflight + l.queue.Len() + 1
+	d := time.Duration(float64(backlog) * float64(l.serviceIntervalLocked()))
+	if d < minRetryHint {
+		d = minRetryHint
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// ewma smoothing factors: shortRTT tracks the last few requests; longRTT is
+// the baseline and adapts asymmetrically — quickly downward (a faster
+// server is immediately believable) and slowly upward (latency inflation is
+// exactly the signal we must not bake into the baseline).
+const (
+	shortAlpha  = 0.4
+	longUpAlpha = 0.02
+	longDnAlpha = 0.25
+)
+
+func (l *Limiter) release(rtt time.Duration, success bool) {
+	s := rtt.Seconds()
+	if s < 0 {
+		s = 0
+	}
+	l.mu.Lock()
+	l.inflight--
+
+	now := l.opts.Clock()
+	if !l.lastDone.IsZero() {
+		if dt := now.Sub(l.lastDone).Seconds(); dt > 0 {
+			inst := 1 / dt
+			if l.drainRate == 0 {
+				l.drainRate = inst
+			} else {
+				l.drainRate += (inst - l.drainRate) * 0.2
+			}
+		}
+	}
+	l.lastDone = now
+
+	if s > 0 {
+		if l.shortRTT == 0 {
+			l.shortRTT, l.longRTT = s, s
+		} else {
+			l.shortRTT += (s - l.shortRTT) * shortAlpha
+			a := longUpAlpha
+			if s < l.longRTT {
+				a = longDnAlpha
+			}
+			l.longRTT += (s - l.longRTT) * a
+		}
+	}
+
+	if !success {
+		// Explicit failure: multiplicative decrease, AIMD's hard half.
+		l.limit = math.Max(float64(l.opts.Min), l.limit*0.8)
+	} else if l.shortRTT > 0 && l.longRTT > 0 {
+		// Gradient step: shrink toward baseline/recent when latency has
+		// inflated, grow by a √limit headroom allowance when it has not.
+		gradient := l.longRTT / l.shortRTT
+		if gradient > 1 {
+			gradient = 1
+		}
+		if gradient < 0.5 {
+			gradient = 0.5
+		}
+		target := l.limit*gradient + math.Sqrt(l.limit)
+		l.limit += (target - l.limit) * l.opts.Smoothing
+		l.limit = math.Min(math.Max(l.limit, float64(l.opts.Min)), float64(l.opts.Max))
+	}
+
+	// Hand freed slots to waiters, oldest first.
+	for l.inflight < l.limitLocked() && l.queue.Len() > 0 {
+		elem := l.queue.Front()
+		l.queue.Remove(elem)
+		l.inflight++
+		l.admitted++
+		close(elem.Value.(chan struct{}))
+	}
+	l.mu.Unlock()
+}
+
+// RetryHint returns the Retry-After a shed request in this family should
+// carry right now, without taking a slot.
+func (l *Limiter) RetryHint() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.retryAfterLocked()
+}
+
+// LimiterSnapshot is a point-in-time view for metrics and /debug/vars.
+type LimiterSnapshot struct {
+	Limit      int
+	Inflight   int
+	QueueDepth int
+	ShortRTT   time.Duration
+	LongRTT    time.Duration
+	DrainRate  float64 // completions/second
+	Admitted   uint64
+	Shed       uint64
+	Queued     uint64
+}
+
+// Snapshot returns the limiter's current state.
+func (l *Limiter) Snapshot() LimiterSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterSnapshot{
+		Limit:      l.limitLocked(),
+		Inflight:   l.inflight,
+		QueueDepth: l.queue.Len(),
+		ShortRTT:   time.Duration(l.shortRTT * float64(time.Second)),
+		LongRTT:    time.Duration(l.longRTT * float64(time.Second)),
+		DrainRate:  l.drainRate,
+		Admitted:   l.admitted,
+		Shed:       l.shed,
+		Queued:     l.queued,
+	}
+}

@@ -1,0 +1,345 @@
+// Package overload keeps the crowd-server upright when offered load or disk
+// health exceeds what it can absorb. Two cooperating mechanisms:
+//
+//   - per-endpoint-family adaptive concurrency limits (Limiter): an
+//     AIMD/gradient controller sized from measured latency against a windowed
+//     baseline, fronted by a short CoDel-style queue, shedding with a
+//     Retry-After hint computed from the observed drain rate; and
+//
+//   - a server-wide degraded-mode state machine (Controller):
+//     healthy → overloaded → read-only → recovering, which sheds by priority —
+//     vehicle uploads park to the client outbox and are shed first, the
+//     roadside /v1/lookup path is protected longest, and a durability fault
+//     (WAL write/fsync error, disk full) flips the server read-only: lookups
+//     keep serving from the last fused snapshot while uploads get 503 +
+//     Retry-After, and a background disk probe walks the server back to
+//     healthy once writes stick again.
+//
+// The paper's premise is that roadside WiFi crowdsensing traffic is bursty —
+// fleets sweep through coverage in waves — so the server's job under overload
+// is not to be fast, it is to stay correct: never lose an acked report, never
+// serve a lookup from torn state, and tell vehicles exactly when to come back.
+package overload
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode is one state of the server-wide degradation machine.
+type Mode int32
+
+const (
+	// ModeHealthy admits everything through the per-family limiters.
+	ModeHealthy Mode = iota
+	// ModeOverloaded sheds uploads eagerly (no queueing) so in-flight work
+	// drains; lookups and control traffic are untouched.
+	ModeOverloaded
+	// ModeReadOnly rejects all mutations (the WAL cannot accept writes);
+	// lookups keep serving from the last fused state.
+	ModeReadOnly
+	// ModeRecovering re-enables writes on probation after the disk probe
+	// succeeds; a further durability fault drops straight back to read-only.
+	ModeRecovering
+
+	numModes = 4
+)
+
+// String returns the wire/metric spelling of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeHealthy:
+		return "healthy"
+	case ModeOverloaded:
+		return "overloaded"
+	case ModeReadOnly:
+		return "read-only"
+	case ModeRecovering:
+		return "recovering"
+	default:
+		return "unknown"
+	}
+}
+
+// ControllerOptions tune the state machine. The zero value is usable.
+type ControllerOptions struct {
+	// ShedWindow is how far back the shed-ratio looks when deciding
+	// healthy ↔ overloaded. Default 5s.
+	ShedWindow time.Duration
+	// EnterOverloaded is the shed fraction over ShedWindow above which the
+	// server declares itself overloaded. Default 0.10.
+	EnterOverloaded float64
+	// ExitOverloaded is the shed fraction below which an overloaded server
+	// returns to healthy. Default 0.02.
+	ExitOverloaded float64
+	// MinSamples is how many admission decisions the window must hold before
+	// the shed ratio is trusted. Default 50.
+	MinSamples int
+	// Probe checks whether the disk accepts durable writes again (an append
+	// plus fsync of a throwaway record). Required for read-only recovery;
+	// nil leaves the server read-only until restart.
+	Probe func(ctx context.Context) error
+	// ProbeInterval is how often Run probes while read-only or recovering.
+	// Default 500ms.
+	ProbeInterval time.Duration
+	// RecoverAfter is how many consecutive probe successes promote
+	// recovering → healthy. Default 3.
+	RecoverAfter int
+	// OnTransition observes every state change (metrics, traces, logs).
+	OnTransition func(from, to Mode, reason string)
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+func (o ControllerOptions) withDefaults() ControllerOptions {
+	if o.ShedWindow <= 0 {
+		o.ShedWindow = 5 * time.Second
+	}
+	if o.EnterOverloaded <= 0 {
+		o.EnterOverloaded = 0.10
+	}
+	if o.ExitOverloaded <= 0 {
+		o.ExitOverloaded = 0.02
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 50
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.RecoverAfter <= 0 {
+		o.RecoverAfter = 3
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+const shedRingSlots = 8
+
+// Controller is the degradation state machine. All methods are safe for
+// concurrent use.
+type Controller struct {
+	opts ControllerOptions
+
+	mode atomic.Int32
+
+	mu       sync.Mutex
+	reason   string
+	since    time.Time
+	probeOKs int
+
+	// Shed-ratio ring: shedRingSlots buckets of ShedWindow/shedRingSlots
+	// each, counting admission decisions and sheds.
+	ringMu    sync.Mutex
+	ringStart time.Time
+	ringIdx   int
+	decisions [shedRingSlots]int
+	sheds     [shedRingSlots]int
+}
+
+// NewController returns a Controller in ModeHealthy.
+func NewController(opts ControllerOptions) *Controller {
+	opts = opts.withDefaults()
+	c := &Controller{opts: opts, since: opts.Clock()}
+	c.ringStart = opts.Clock()
+	return c
+}
+
+// Mode returns the current state.
+func (c *Controller) Mode() Mode { return Mode(c.mode.Load()) }
+
+// Status returns the current state, the reason it was entered, and when.
+func (c *Controller) Status() (mode Mode, reason string, since time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Mode(c.mode.Load()), c.reason, c.since
+}
+
+// transition moves the machine to `to` if the edge is legal, firing
+// OnTransition. Returns whether a change happened.
+func (c *Controller) transition(to Mode, reason string) bool {
+	c.mu.Lock()
+	from := Mode(c.mode.Load())
+	if from == to {
+		c.mu.Unlock()
+		return false
+	}
+	legal := false
+	switch {
+	case to == ModeReadOnly:
+		// A durability fault preempts every other state.
+		legal = true
+	case from == ModeHealthy && to == ModeOverloaded:
+		legal = true
+	case from == ModeOverloaded && to == ModeHealthy:
+		legal = true
+	case from == ModeReadOnly && to == ModeRecovering:
+		legal = true
+	case from == ModeRecovering && to == ModeHealthy:
+		legal = true
+	}
+	if !legal {
+		c.mu.Unlock()
+		return false
+	}
+	c.mode.Store(int32(to))
+	c.reason = reason
+	c.since = c.opts.Clock()
+	c.probeOKs = 0
+	c.mu.Unlock()
+	if c.opts.OnTransition != nil {
+		c.opts.OnTransition(from, to, reason)
+	}
+	return true
+}
+
+// ReportDurabilityError flips the server read-only: the WAL refused a write
+// or fsync, so no mutation can be made durable. Idempotent while already
+// read-only.
+func (c *Controller) ReportDurabilityError(err error) {
+	reason := "durability fault"
+	if err != nil {
+		reason = "durability fault: " + err.Error()
+	}
+	c.transition(ModeReadOnly, reason)
+}
+
+// NoteDecision feeds one admission outcome into the shed-ratio window and
+// re-evaluates the healthy ↔ overloaded edge.
+func (c *Controller) NoteDecision(shed bool) {
+	now := c.opts.Clock()
+	ratio, n := c.noteAndRatio(now, shed)
+	c.evalOverload(ratio, n)
+}
+
+func (c *Controller) noteAndRatio(now time.Time, shed bool) (float64, int) {
+	c.ringMu.Lock()
+	defer c.ringMu.Unlock()
+	c.advanceRingLocked(now)
+	c.decisions[c.ringIdx]++
+	if shed {
+		c.sheds[c.ringIdx]++
+	}
+	return c.ratioLocked()
+}
+
+// shedRatio reads the current windowed ratio without recording a decision.
+func (c *Controller) shedRatio(now time.Time) (float64, int) {
+	c.ringMu.Lock()
+	defer c.ringMu.Unlock()
+	c.advanceRingLocked(now)
+	return c.ratioLocked()
+}
+
+func (c *Controller) advanceRingLocked(now time.Time) {
+	slotDur := c.opts.ShedWindow / shedRingSlots
+	if now.Sub(c.ringStart) >= c.opts.ShedWindow+slotDur {
+		// Long idle gap: everything in the ring has aged out.
+		c.decisions = [shedRingSlots]int{}
+		c.sheds = [shedRingSlots]int{}
+		c.ringStart = now
+		return
+	}
+	for now.Sub(c.ringStart) >= slotDur {
+		c.ringIdx = (c.ringIdx + 1) % shedRingSlots
+		c.decisions[c.ringIdx] = 0
+		c.sheds[c.ringIdx] = 0
+		c.ringStart = c.ringStart.Add(slotDur)
+	}
+}
+
+func (c *Controller) ratioLocked() (float64, int) {
+	var dec, sh int
+	for i := 0; i < shedRingSlots; i++ {
+		dec += c.decisions[i]
+		sh += c.sheds[i]
+	}
+	if dec == 0 {
+		return 0, 0
+	}
+	return float64(sh) / float64(dec), dec
+}
+
+func (c *Controller) evalOverload(ratio float64, n int) {
+	if n < c.opts.MinSamples {
+		return
+	}
+	switch c.Mode() {
+	case ModeHealthy:
+		if ratio >= c.opts.EnterOverloaded {
+			c.transition(ModeOverloaded, "shed ratio above threshold")
+		}
+	case ModeOverloaded:
+		if ratio <= c.opts.ExitOverloaded {
+			c.transition(ModeHealthy, "shed ratio drained")
+		}
+	}
+}
+
+// Run drives recovery probing (and overload decay during quiet periods)
+// until ctx is done. Start it once, in its own goroutine.
+func (c *Controller) Run(ctx context.Context) {
+	t := time.NewTicker(c.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.step(ctx)
+		}
+	}
+}
+
+// step is one probe/decay tick, factored out of Run for tests.
+func (c *Controller) step(ctx context.Context) {
+	switch c.Mode() {
+	case ModeReadOnly:
+		if c.opts.Probe == nil {
+			return
+		}
+		if err := c.probe(ctx); err == nil {
+			c.transition(ModeRecovering, "disk probe succeeded")
+		}
+	case ModeRecovering:
+		if c.opts.Probe == nil {
+			return
+		}
+		if err := c.probe(ctx); err != nil {
+			c.transition(ModeReadOnly, "disk probe failed during recovery: "+err.Error())
+			return
+		}
+		c.mu.Lock()
+		c.probeOKs++
+		done := c.probeOKs >= c.opts.RecoverAfter
+		c.mu.Unlock()
+		if done {
+			c.transition(ModeHealthy, "disk probes stable")
+		}
+	case ModeOverloaded:
+		// Traffic may have vanished entirely (nothing calls NoteDecision);
+		// decay back to healthy once the window is quiet.
+		ratio, n := c.shedRatio(c.opts.Clock())
+		if n < c.opts.MinSamples {
+			c.transition(ModeHealthy, "traffic drained")
+		} else {
+			c.evalOverload(ratio, n)
+		}
+	}
+}
+
+func (c *Controller) probe(ctx context.Context) error {
+	pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeInterval)
+	defer cancel()
+	return c.opts.Probe(pctx)
+}
+
+// RecoveryHint is the Retry-After a read-only server should hand to shed
+// mutations: the soonest the machine could plausibly be healthy again.
+func (c *Controller) RecoveryHint() time.Duration {
+	return time.Duration(c.opts.RecoverAfter+1) * c.opts.ProbeInterval
+}

@@ -1,0 +1,410 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crowdwifi/internal/obs"
+)
+
+// fakeClock is a manually-advanced clock for window/ring tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// --- Controller -----------------------------------------------------------
+
+func TestControllerOverloadEdges(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []string
+	c := NewController(ControllerOptions{
+		ShedWindow:      8 * time.Second,
+		EnterOverloaded: 0.10,
+		ExitOverloaded:  0.02,
+		MinSamples:      10,
+		Clock:           clk.Now,
+		OnTransition: func(from, to Mode, reason string) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		},
+	})
+
+	// Below MinSamples nothing trips, even at 100% shed.
+	for i := 0; i < 9; i++ {
+		c.NoteDecision(true)
+	}
+	if got := c.Mode(); got != ModeHealthy {
+		t.Fatalf("mode after 9 sheds = %v, want healthy (below MinSamples)", got)
+	}
+
+	// Tenth decision crosses MinSamples with ratio 1.0 → overloaded.
+	c.NoteDecision(true)
+	if got := c.Mode(); got != ModeOverloaded {
+		t.Fatalf("mode = %v, want overloaded", got)
+	}
+
+	// A flood of admits dilutes the ratio below the exit threshold.
+	for i := 0; i < 600; i++ {
+		c.NoteDecision(false)
+	}
+	if got := c.Mode(); got != ModeHealthy {
+		t.Fatalf("mode = %v, want healthy after drain", got)
+	}
+	if want := []string{"healthy>overloaded", "overloaded>healthy"}; strings.Join(transitions, ",") != strings.Join(want, ",") {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+func TestControllerOverloadDecaysWhenTrafficVanishes(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(ControllerOptions{
+		ShedWindow: 4 * time.Second,
+		MinSamples: 10,
+		Clock:      clk.Now,
+	})
+	for i := 0; i < 20; i++ {
+		c.NoteDecision(true)
+	}
+	if got := c.Mode(); got != ModeOverloaded {
+		t.Fatalf("mode = %v, want overloaded", got)
+	}
+	// No more traffic; the window ages out and a step() decays the mode.
+	clk.Advance(10 * time.Second)
+	c.step(context.Background())
+	if got := c.Mode(); got != ModeHealthy {
+		t.Fatalf("mode after quiet window = %v, want healthy", got)
+	}
+}
+
+func TestControllerReadOnlyRecoveryCycle(t *testing.T) {
+	clk := newFakeClock()
+	var probeErr error
+	var probes int
+	c := NewController(ControllerOptions{
+		Probe:        func(ctx context.Context) error { probes++; return probeErr },
+		RecoverAfter: 2,
+		Clock:        clk.Now,
+	})
+
+	probeErr = errors.New("disk still broken")
+	c.ReportDurabilityError(errors.New("fsync: injected"))
+	if got := c.Mode(); got != ModeReadOnly {
+		t.Fatalf("mode = %v, want read-only", got)
+	}
+	_, reason, _ := c.Status()
+	if !strings.Contains(reason, "fsync") {
+		t.Fatalf("reason = %q, want the durability error in it", reason)
+	}
+
+	// Probes fail: stay read-only.
+	c.step(context.Background())
+	c.step(context.Background())
+	if got := c.Mode(); got != ModeReadOnly {
+		t.Fatalf("mode = %v, want read-only while probes fail", got)
+	}
+
+	// Disk heals: first success → recovering, RecoverAfter more → healthy.
+	probeErr = nil
+	c.step(context.Background())
+	if got := c.Mode(); got != ModeRecovering {
+		t.Fatalf("mode = %v, want recovering after first good probe", got)
+	}
+	c.step(context.Background())
+	c.step(context.Background())
+	if got := c.Mode(); got != ModeHealthy {
+		t.Fatalf("mode = %v, want healthy after stable probes", got)
+	}
+	if probes < 5 {
+		t.Fatalf("probes = %d, want at least 5", probes)
+	}
+}
+
+func TestControllerRecoveringRelapsesOnProbeFailure(t *testing.T) {
+	clk := newFakeClock()
+	var probeErr error
+	c := NewController(ControllerOptions{
+		Probe:        func(ctx context.Context) error { return probeErr },
+		RecoverAfter: 3,
+		Clock:        clk.Now,
+	})
+	c.ReportDurabilityError(errors.New("enospc"))
+	probeErr = nil
+	c.step(context.Background())
+	if got := c.Mode(); got != ModeRecovering {
+		t.Fatalf("mode = %v, want recovering", got)
+	}
+	probeErr = errors.New("relapse")
+	c.step(context.Background())
+	if got := c.Mode(); got != ModeReadOnly {
+		t.Fatalf("mode = %v, want read-only after relapse", got)
+	}
+}
+
+func TestControllerIllegalEdgesRejected(t *testing.T) {
+	c := NewController(ControllerOptions{})
+	if c.transition(ModeRecovering, "nope") {
+		t.Fatal("healthy → recovering must be illegal")
+	}
+	c.ReportDurabilityError(nil)
+	if c.transition(ModeOverloaded, "nope") {
+		t.Fatal("read-only → overloaded must be illegal")
+	}
+	if got := c.Mode(); got != ModeReadOnly {
+		t.Fatalf("mode = %v, want read-only to survive illegal edges", got)
+	}
+}
+
+// --- Limiter --------------------------------------------------------------
+
+func TestLimiterAdmitsUpToLimitThenSheds(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Initial: 2, Min: 2, Max: 2, MaxQueue: 1, QueueTimeout: 10 * time.Millisecond})
+	r1, _, ok := l.Acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire shed")
+	}
+	r2, _, ok := l.Acquire(context.Background())
+	if !ok {
+		t.Fatal("second acquire shed")
+	}
+	// Third must eventually shed (queue timeout) with a hint in the
+	// clamped range — a precise backlog-drain estimate, not a fixed floor.
+	_, hint, ok := l.Acquire(context.Background())
+	if ok {
+		t.Fatal("third acquire admitted beyond the limit")
+	}
+	if hint < minRetryHint || hint > 30*time.Second {
+		t.Fatalf("retry hint = %v, want within [%v, 30s]", hint, minRetryHint)
+	}
+	r1(5*time.Millisecond, true)
+	r2(5*time.Millisecond, true)
+	r3, _, ok := l.Acquire(context.Background())
+	if !ok {
+		t.Fatal("acquire after release shed")
+	}
+	r3(5*time.Millisecond, true)
+	s := l.Snapshot()
+	if s.Admitted != 3 || s.Shed != 1 {
+		t.Fatalf("admitted=%d shed=%d, want 3/1", s.Admitted, s.Shed)
+	}
+	if s.Inflight != 0 {
+		t.Fatalf("inflight = %d, want 0", s.Inflight)
+	}
+}
+
+func TestLimiterQueueHandoff(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Initial: 1, Min: 1, Max: 1, MaxQueue: 4, QueueTimeout: 2 * time.Second})
+	r1, _, ok := l.Acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire shed")
+	}
+	got := make(chan bool, 1)
+	go func() {
+		r2, _, ok := l.Acquire(context.Background())
+		if ok {
+			r2(time.Millisecond, true)
+		}
+		got <- ok
+	}()
+	// Give the goroutine time to enqueue, then free the slot.
+	time.Sleep(20 * time.Millisecond)
+	r1(time.Millisecond, true)
+	select {
+	case ok := <-got:
+		if !ok {
+			t.Fatal("queued waiter was shed despite a freed slot")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+}
+
+func TestLimiterGradientShrinksOnLatencyInflation(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Initial: 100, Min: 4, Max: 200, Smoothing: 0.5})
+	// Establish a 5ms baseline.
+	for i := 0; i < 50; i++ {
+		r, _, ok := l.Acquire(context.Background())
+		if !ok {
+			t.Fatal("acquire shed during baseline")
+		}
+		r(5*time.Millisecond, true)
+	}
+	base := l.Snapshot().Limit
+	// Latency inflates 20×: the gradient must pull the limit down hard.
+	for i := 0; i < 50; i++ {
+		r, _, ok := l.Acquire(context.Background())
+		if !ok {
+			continue
+		}
+		r(100*time.Millisecond, true)
+	}
+	inflated := l.Snapshot().Limit
+	if inflated >= base {
+		t.Fatalf("limit %d did not shrink from %d under latency inflation", inflated, base)
+	}
+	// Latency returns to baseline: the limit must grow back.
+	for i := 0; i < 200; i++ {
+		r, _, ok := l.Acquire(context.Background())
+		if !ok {
+			continue
+		}
+		r(5*time.Millisecond, true)
+	}
+	recovered := l.Snapshot().Limit
+	if recovered <= inflated {
+		t.Fatalf("limit %d did not regrow from %d after latency recovered", recovered, inflated)
+	}
+}
+
+func TestLimiterMultiplicativeDecreaseOnFailure(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Initial: 100, Min: 4, Max: 200})
+	r, _, ok := l.Acquire(context.Background())
+	if !ok {
+		t.Fatal("acquire shed")
+	}
+	r(time.Millisecond, false)
+	if got := l.Snapshot().Limit; got >= 100 {
+		t.Fatalf("limit = %d, want < 100 after a failure", got)
+	}
+}
+
+func TestLimiterRespectsContextCancel(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Initial: 1, Min: 1, Max: 1, MaxQueue: 4, QueueTimeout: 5 * time.Second})
+	r1, _, ok := l.Acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire shed")
+	}
+	defer r1(time.Millisecond, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, _, ok := l.Acquire(ctx)
+		done <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cancelled waiter was admitted")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+}
+
+// --- Admission ------------------------------------------------------------
+
+func TestAdmissionReadOnlyRejectsMutationsServesReads(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Options{Registry: reg})
+	a.Controller().ReportDurabilityError(errors.New("enospc"))
+
+	d := a.Admit(context.Background(), FamilyUpload, true)
+	if d.OK || !d.ReadOnly {
+		t.Fatalf("mutation while read-only: OK=%v ReadOnly=%v, want rejected read-only", d.OK, d.ReadOnly)
+	}
+	if d.RetryAfter <= 0 {
+		t.Fatal("read-only rejection carries no Retry-After hint")
+	}
+
+	d = a.Admit(context.Background(), FamilyLookup, false)
+	if !d.OK {
+		t.Fatal("lookup rejected while read-only; reads must keep flowing")
+	}
+	d.Release(time.Millisecond, true)
+}
+
+func TestAdmissionReadOnlyDoesNotTripOverloadDetector(t *testing.T) {
+	a := New(Options{Controller: ControllerOptions{MinSamples: 5}})
+	a.Controller().ReportDurabilityError(nil)
+	for i := 0; i < 100; i++ {
+		a.Admit(context.Background(), FamilyUpload, true)
+	}
+	if got := a.Mode(); got != ModeReadOnly {
+		t.Fatalf("mode = %v, want read-only (disk faults are not load)", got)
+	}
+}
+
+func TestAdmissionShedsUploadsFirstWhenOverloaded(t *testing.T) {
+	a := New(Options{
+		Controller: ControllerOptions{MinSamples: 1_000_000}, // pin mode manually
+		Upload:     LimiterOptions{Initial: 1, Min: 1, Max: 1, MaxQueue: 8, QueueTimeout: time.Second},
+		Lookup:     LimiterOptions{Initial: 4, Min: 4, Max: 4},
+	})
+	a.Controller().transition(ModeOverloaded, "test")
+
+	// Fill the single upload slot.
+	hold := a.Admit(context.Background(), FamilyUpload, true)
+	if !hold.OK {
+		t.Fatal("first upload rejected")
+	}
+	defer hold.Release(time.Millisecond, true)
+
+	// Overloaded uploads must shed instantly — no queue wait.
+	start := time.Now()
+	d := a.Admit(context.Background(), FamilyUpload, true)
+	if d.OK {
+		t.Fatal("second upload admitted past the limit")
+	}
+	if waited := time.Since(start); waited > 200*time.Millisecond {
+		t.Fatalf("overloaded upload queued for %v, want an instant shed", waited)
+	}
+	if d.RetryAfter <= 0 {
+		t.Fatal("shed upload carries no Retry-After")
+	}
+
+	// Lookups still flow.
+	lk := a.Admit(context.Background(), FamilyLookup, false)
+	if !lk.OK {
+		t.Fatal("lookup shed while only uploads are saturated")
+	}
+	lk.Release(time.Millisecond, true)
+}
+
+func TestAdmissionMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New(Options{Registry: reg})
+	a.Controller().ReportDurabilityError(nil)
+	a.Admit(context.Background(), FamilyUpload, true)
+	d := a.Admit(context.Background(), FamilyLookup, false)
+	if d.OK {
+		d.Release(time.Millisecond, true)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"crowdwifi_overload_mode 2",
+		`crowdwifi_overload_transitions_total{from="healthy",to="read-only"} 1`,
+		`family="upload"`,
+		`reason="read_only"`,
+		"crowdwifi_admission_limit{",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -153,11 +153,19 @@ func RetryableStatus(code int) bool {
 	return false
 }
 
-// retryAfter parses a Retry-After header in delay-seconds form; 0 means
-// absent or unparseable (HTTP-date form is not supported).
+// retryAfter parses the server's backoff hint: the crowd-server's precise
+// millisecond header when present (whole-second Retry-After rounds a 40ms
+// backlog estimate up 25×), falling back to the standard Retry-After in
+// delay-seconds form. 0 means absent or unparseable (HTTP-date form is not
+// supported).
 func retryAfter(resp *http.Response) time.Duration {
 	if resp == nil {
 		return 0
+	}
+	if v := resp.Header.Get("X-Crowdwifi-Retry-After-Ms"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
 	}
 	v := resp.Header.Get("Retry-After")
 	if v == "" {

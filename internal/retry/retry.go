@@ -73,10 +73,23 @@ func (p Policy) withDefaults() Policy {
 func (p Policy) Delay(retryIdx int, hint time.Duration) time.Duration {
 	p = p.withDefaults()
 	if hint > 0 {
+		// The hint is the server's drain estimate for the backlog it can
+		// see — not for the competing demand it can't. Honor it verbatim
+		// on the first retry, but double it per repeated shed: a client
+		// rejected again at the hinted time is evidence the estimate lost
+		// to arrival pressure, and constant-cadence retries at saturation
+		// just burn server CPU on 503s.
+		for i := 0; i < retryIdx && hint < maxRetryAfter; i++ {
+			hint *= 2
+		}
 		if hint > maxRetryAfter {
 			hint = maxRetryAfter
 		}
-		return hint
+		// Retry-After is a lower bound, not an appointment: a fleet that
+		// sleeps exactly the hinted time wakes as one herd, slams the
+		// queue, and leaves the server idle in between. Spread wakeups
+		// across [hint, 1.5·hint) so the backlog arrives as a stream.
+		return hint + time.Duration(p.Rand()*0.5*float64(hint))
 	}
 	ceil := float64(p.BaseDelay) * math.Pow(p.Multiplier, float64(retryIdx))
 	if ceil > float64(p.MaxDelay) {

@@ -30,11 +30,24 @@ func TestPolicyDelayFullJitter(t *testing.T) {
 }
 
 func TestPolicyDelayHonorsHint(t *testing.T) {
-	p := Policy{Rand: func() float64 { return 0.5 }}
+	// The hint is a floor, jittered up to 1.5× to decorrelate shed herds:
+	// Rand = 0 sleeps exactly the hint, Rand = 0.5 lands mid-spread.
+	p := Policy{Rand: func() float64 { return 0 }}
 	if d := p.Delay(0, 7*time.Second); d != 7*time.Second {
 		t.Errorf("hinted delay = %v, want 7s", d)
 	}
+	p.Rand = func() float64 { return 0.5 }
+	if d := p.Delay(0, 7*time.Second); d != 8750*time.Millisecond {
+		t.Errorf("jittered hinted delay = %v, want 8.75s", d)
+	}
+	// Repeated sheds double the hint: the server's estimate lost to
+	// arrival pressure, so the cadence must back off.
+	p.Rand = func() float64 { return 0 }
+	if d := p.Delay(2, 100*time.Millisecond); d != 400*time.Millisecond {
+		t.Errorf("hint on third attempt = %v, want 400ms", d)
+	}
 	// Hints are clamped so a hostile server cannot park the client.
+	p.Rand = func() float64 { return 0 }
 	if d := p.Delay(0, time.Hour); d != maxRetryAfter {
 		t.Errorf("clamped hint = %v, want %v", d, maxRetryAfter)
 	}

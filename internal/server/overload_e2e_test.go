@@ -1,0 +1,228 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crowdwifi/internal/chaos"
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/overload"
+)
+
+// transitionLog records the degraded-mode state machine's path through a
+// test, so assertions can check the sequence rather than just the endpoint.
+type transitionLog struct {
+	mu    sync.Mutex
+	edges []string
+}
+
+func (l *transitionLog) observe(from, to overload.Mode, reason string) {
+	l.mu.Lock()
+	l.edges = append(l.edges, from.String()+"->"+to.String())
+	l.mu.Unlock()
+}
+
+func (l *transitionLog) has(edge string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.edges {
+		if e == edge {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *transitionLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return strings.Join(l.edges, ", ")
+}
+
+// TestOverloadReadOnlyChaosE2E is the chaos end-to-end for the degraded-mode
+// state machine: a durable server takes acknowledged uploads, the disk fails
+// under it mid-ingest (injected ENOSPC via the WAL's FS seam), the server
+// flips read-only — lookups keep serving, mutations get 503 + Retry-After,
+// /readyz reports degraded — the disk heals, the probe walks the server back
+// to healthy, and a restart proves every acknowledged report survived.
+func TestOverloadReadOnlyChaosE2E(t *testing.T) {
+	dir := t.TempDir()
+	ffs := chaos.NewFaultFS(nil)
+	store, _, err := OpenStore(10, StorageOptions{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+
+	reg := obs.NewRegistry()
+	health := obs.NewHealth()
+	var edges transitionLog
+	srv := New(store,
+		WithMetrics(NewMetrics(reg)),
+		WithHealth(health),
+		WithOverload(overload.Options{
+			Controller: overload.ControllerOptions{
+				ProbeInterval: 20 * time.Millisecond,
+				RecoverAfter:  2,
+				OnTransition:  edges.observe,
+			},
+		}))
+	health.SetReady()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Overload().Controller().Run(ctx)
+
+	// Continuous lookup traffic for the whole test: the paper's query path
+	// must survive every mode. Any non-200 is a failure.
+	var lookupOK, lookupBad atomic.Uint64
+	lookupCtx, stopLookups := context.WithCancel(context.Background())
+	var lookupWG sync.WaitGroup
+	lookupWG.Add(1)
+	go func() {
+		defer lookupWG.Done()
+		for lookupCtx.Err() == nil {
+			resp, err := http.Get(ts.URL + "/v1/lookup?xmin=0&ymin=0&xmax=100&ymax=100")
+			if err != nil {
+				lookupBad.Add(1)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				lookupOK.Add(1)
+			} else {
+				lookupBad.Add(1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// upload posts one uniquely-keyed report and returns the HTTP status.
+	// A 201 is an acknowledgement: that report may never be lost.
+	acked := 0
+	upload := func(i int) int {
+		rep := Report{Vehicle: fmt.Sprintf("veh-%03d", i%7), Segment: "seg-e2e",
+			APs: []APReport{{X: float64(i), Y: 2, Credit: 3}}}
+		resp := postKeyed(t, ts.URL+"/v1/reports", "e2e-key-"+strconv.Itoa(i), rep)
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusCreated {
+			acked++
+		}
+		return resp.StatusCode
+	}
+
+	// Phase A: healthy ingest.
+	next := 0
+	for ; next < 40; next++ {
+		if code := upload(next); code != http.StatusCreated {
+			t.Fatalf("healthy upload %d: status %d", next, code)
+		}
+	}
+
+	// Phase B: the volume fills. Every WAL write now fails with ENOSPC; the
+	// first failing mutation flips the state machine read-only.
+	ffs.SetFault(chaos.FSFault{FailWrites: -1, WriteErr: chaos.ErrNoSpace})
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Overload().Mode() != overload.ModeReadOnly {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never went read-only; transitions: %s", edges.String())
+		}
+		upload(next)
+		next++
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// While read-only: mutations are rejected 503 with a Retry-After and the
+	// mode header; /readyz stays 200 but reports the degraded mode.
+	code := upload(next)
+	next++
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("read-only upload status = %d, want 503", code)
+	}
+	resp := postKeyed(t, ts.URL+"/v1/reports", "e2e-ro-probe", Report{Vehicle: "v", Segment: "s"})
+	io.Copy(io.Discard, resp.Body)
+	if got := resp.Header.Get(ModeHeader); got != "read-only" {
+		t.Errorf("shed %s = %q, want read-only", ModeHeader, got)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("shed Retry-After = %q, want integer ≥ 1", resp.Header.Get("Retry-After"))
+	}
+
+	ready, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	body, _ := io.ReadAll(ready.Body)
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusOK {
+		t.Errorf("read-only /readyz status = %d, want 200 (degraded, not down)", ready.StatusCode)
+	}
+	if !strings.Contains(string(body), "read-only") || !strings.Contains(string(body), "degraded") {
+		t.Errorf("read-only /readyz body = %s, want degraded + read-only", body)
+	}
+
+	// Lookups flowed during the outage.
+	if lookupOK.Load() == 0 {
+		t.Error("no successful lookups while read-only")
+	}
+
+	// Phase C: the disk heals; the probe loop walks read-only → recovering →
+	// healthy without a restart.
+	ffs.SetFault(chaos.FSFault{})
+	deadline = time.Now().Add(5 * time.Second)
+	for srv.Overload().Mode() != overload.ModeHealthy {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never recovered; mode %s, transitions: %s",
+				srv.Overload().Mode(), edges.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Healthy again: ingest resumes and is durable again.
+	for end := next + 20; next < end; next++ {
+		if code := upload(next); code != http.StatusCreated {
+			t.Fatalf("post-recovery upload %d: status %d", next, code)
+		}
+	}
+
+	stopLookups()
+	lookupWG.Wait()
+	if bad := lookupBad.Load(); bad != 0 {
+		t.Errorf("%d lookups failed across the outage (ok=%d); lookups must survive every mode",
+			bad, lookupOK.Load())
+	}
+
+	for _, edge := range []string{"healthy->read-only", "read-only->recovering", "recovering->healthy"} {
+		if !edges.has(edge) {
+			t.Errorf("missing transition %s; saw: %s", edge, edges.String())
+		}
+	}
+
+	// Close the books: restart from disk and count recovered reports. Every
+	// acknowledged upload — and nothing torn or half-applied — must be there.
+	cancel()
+	ts.Close()
+	if err := store.Close(); err != nil {
+		t.Fatalf("store.Close: %v", err)
+	}
+	reopened, stats, err := OpenStore(10, StorageOptions{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after chaos: %v", err)
+	}
+	defer reopened.Close()
+	if stats.Reports != acked {
+		t.Fatalf("recovered %d reports, acked %d: acked reports were lost (or ghosts appeared)",
+			stats.Reports, acked)
+	}
+}

@@ -94,6 +94,13 @@ type StorageOptions struct {
 	Metrics *wal.Metrics
 	// Logger, when non-nil, receives recovery warnings.
 	Logger *obs.Logger
+	// FS overrides the write-side filesystem (nil selects the real one);
+	// the chaos harness injects disk faults here.
+	FS wal.FS
+	// OnSyncError observes background fsync failures under SyncInterval —
+	// durability faults that no request surfaces, so the overload controller
+	// must hear about them out of band.
+	OnSyncError func(error)
 }
 
 // RecoveryStats summarizes one boot's recovery work.
@@ -145,12 +152,20 @@ func OpenStore(mergeRadius float64, opts StorageOptions) (*Store, RecoveryStats,
 		stats.SnapshotSeq = snapSeq
 	}
 
+	userSyncErr := opts.OnSyncError
 	log, info, err := wal.Open(opts.Dir, wal.Options{
 		SegmentBytes: opts.SegmentBytes,
 		Sync:         opts.Fsync,
 		SyncEvery:    opts.SyncEvery,
 		NextSeq:      snapSeq + 1,
 		Metrics:      opts.Metrics,
+		FS:           opts.FS,
+		OnSyncError: func(serr error) {
+			s.durabilityFault(serr)
+			if userSyncErr != nil {
+				userSyncErr(serr)
+			}
+		},
 	})
 	if err != nil {
 		return nil, stats, fmt.Errorf("server: opening wal: %w", err)
@@ -391,6 +406,37 @@ func (s *Store) Snapshot() (uint64, error) {
 		return seq, err
 	}
 	return seq, wal.CompactSnapshots(opts.Dir, opts.SnapshotKeep)
+}
+
+// OnDurabilityError registers fn to receive durability faults that surface
+// outside any request — a failed background interval fsync. At most one
+// sink is held; later registrations replace earlier ones.
+func (s *Store) OnDurabilityError(fn func(error)) {
+	if fn != nil {
+		s.durabilitySink.Store(fn)
+	}
+}
+
+// durabilityFault delivers an out-of-band durability fault to the
+// registered sink, if any.
+func (s *Store) durabilityFault(err error) {
+	if fn, ok := s.durabilitySink.Load().(func(error)); ok && fn != nil {
+		fn(err)
+	}
+}
+
+// ProbeDurability checks whether the disk accepts durable writes: it
+// appends (and fsyncs) a throwaway probe record that replay ignores. The
+// overload controller calls this while read-only to detect recovery. Always
+// nil for an in-memory store — there is nothing to recover.
+func (s *Store) ProbeDurability(ctx context.Context) error {
+	s.mu.Lock()
+	log := s.log
+	s.mu.Unlock()
+	if log == nil {
+		return nil
+	}
+	return log.Probe(ctx)
 }
 
 // Close flushes and closes the attached log (no-op for an in-memory store).

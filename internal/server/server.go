@@ -22,6 +22,7 @@ import (
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs"
 	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/overload"
 	"crowdwifi/internal/par"
 	"crowdwifi/internal/wal"
 )
@@ -36,9 +37,24 @@ const (
 	DefaultIdempotencyCapacity = 4096
 	// MaxTaskCount caps ?count= on /v1/tasks.
 	MaxTaskCount = 100
-	// shedRetryAfterSeconds is advertised on 503 load-shed responses.
-	shedRetryAfterSeconds = 1
+	// defaultShedRetryAfter floors every 503's standard Retry-After header:
+	// callers supply a dynamic hint (backlog drain estimate, aggregation
+	// remainder, recovery probe horizon) and this is the minimum a client
+	// reading only the whole-second header is told to wait.
+	defaultShedRetryAfter = time.Second
 )
+
+// RetryAfterMsHeader carries the shed hint at millisecond precision. The
+// standard Retry-After header only speaks whole seconds, so a 40ms backlog
+// estimate would round up to 1s and idle a fleet client 25× longer than the
+// queue needs; fleet clients prefer this header when present and third-party
+// clients still get a conservative whole-second Retry-After.
+const RetryAfterMsHeader = "X-Crowdwifi-Retry-After-Ms"
+
+// ModeHeader carries the server's degradation mode on shed responses, so a
+// client can distinguish "over capacity, retry soon" from "read-only disk
+// fault, retry later" without parsing the body.
+const ModeHeader = "X-Crowdwifi-Mode"
 
 // IdempotencyKeyHeader carries the client's per-upload deduplication key.
 const IdempotencyKeyHeader = "Idempotency-Key"
@@ -94,6 +110,8 @@ type Store struct {
 	workers     atomic.Int64 // fusion parallelism; 0 → par.DefaultWorkers()
 	metrics     *Metrics
 	aggregating atomic.Bool
+	aggStart    atomic.Int64 // unixnano when the in-progress cycle began
+	lastAggDur  atomic.Int64 // nanoseconds of the last completed cycle
 
 	// Durability (see persist.go). log is nil for an in-memory store;
 	// recoveredIdem buffers replayed idempotency completions until a Server
@@ -102,6 +120,11 @@ type Store struct {
 	storage       StorageOptions
 	idemSink      *idemCache
 	recoveredIdem []idemEntry
+
+	// durabilitySink receives background durability faults (failed interval
+	// fsyncs) that no request surfaces; the overload controller registers
+	// here via Store.OnDurabilityError. Holds a func(error).
+	durabilitySink atomic.Value
 }
 
 // NewStore returns an empty store. mergeRadius controls fusion clustering
@@ -281,6 +304,25 @@ func (s *Store) Aggregating() bool {
 	return s.aggregating.Load()
 }
 
+// AggregationEta estimates how much longer the in-progress aggregation cycle
+// will run, from the previous cycle's duration. Zero when no cycle is
+// running, no history exists, or the estimate is already exhausted — the
+// HTTP layer then falls back to its Retry-After floor.
+func (s *Store) AggregationEta() time.Duration {
+	if !s.aggregating.Load() {
+		return 0
+	}
+	last := time.Duration(s.lastAggDur.Load())
+	if last <= 0 {
+		return 0
+	}
+	elapsed := time.Since(time.Unix(0, s.aggStart.Load()))
+	if rem := last - elapsed; rem > 0 {
+		return rem
+	}
+	return 0
+}
+
 // Reliability returns the inferred reliability map (copy).
 func (s *Store) Reliability() map[string]float64 {
 	s.mu.Lock()
@@ -353,8 +395,13 @@ func (s *Store) AggregateCycleContext(ctx context.Context) (CycleStats, error) {
 }
 
 func (s *Store) aggregate(ctx context.Context) (CycleStats, error) {
+	start := time.Now()
+	s.aggStart.Store(start.UnixNano())
 	s.aggregating.Store(true)
-	defer s.aggregating.Store(false)
+	defer func() {
+		s.lastAggDur.Store(int64(time.Since(start)))
+		s.aggregating.Store(false)
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -528,6 +575,10 @@ type Server struct {
 	reqTimeout time.Duration
 	idemCap    int
 	idem       *idemCache
+
+	ov        *overload.Admission
+	ovEnabled bool
+	ovOpts    overload.Options
 }
 
 // Option configures a Server.
@@ -577,6 +628,18 @@ func WithHealth(h *obs.Health) Option {
 	return func(s *Server) { s.health = h }
 }
 
+// WithOverload enables the adaptive admission controller and degraded-mode
+// state machine (see internal/overload): every route is classified into an
+// endpoint family (uploads shed first, /v1/lookup protected longest),
+// concurrency limits adapt to measured latency, durability faults flip the
+// server read-only, and a background disk probe walks it back to healthy.
+// The zero Options value selects all defaults; a nil Controller.Probe is
+// wired to the store's durability probe. Start Overload().Controller().Run
+// to drive recovery probing.
+func WithOverload(o overload.Options) Option {
+	return func(s *Server) { s.ovEnabled, s.ovOpts = true, o }
+}
+
 // New returns a server around the given store.
 func New(store *Store, opts ...Option) *Server {
 	s := &Server{
@@ -600,6 +663,9 @@ func New(store *Store, opts ...Option) *Server {
 	if s.metrics != nil {
 		store.Instrument(s.metrics)
 	}
+	if s.ovEnabled {
+		s.buildOverload()
+	}
 	s.handle("/v1/patterns", s.ingest(s.handlePatterns))
 	s.handle("/v1/tasks", s.handleTasks)
 	s.handle("/v1/labels", s.ingest(s.handleLabels))
@@ -619,11 +685,69 @@ func New(store *Store, opts ...Option) *Server {
 	return s
 }
 
+// buildOverload finishes the admission controller's wiring once the other
+// options (metrics, health, tracer, store) are resolved: transitions update
+// /readyz's mode, log a warning, and — when a tracer is attached — record an
+// overload.transition span; the state block lands on /debug/vars.
+func (s *Server) buildOverload() {
+	o := s.ovOpts
+	if o.Registry == nil && s.metrics != nil {
+		o.Registry = s.metrics.Registry()
+	}
+	if o.Controller.Probe == nil {
+		o.Controller.Probe = s.store.ProbeDurability
+	}
+	user := o.Controller.OnTransition
+	o.Controller.OnTransition = func(from, to overload.Mode, reason string) {
+		s.health.SetMode(to.String())
+		s.log.Warn("overload mode transition",
+			"from", from.String(), "to", to.String(), "reason", reason)
+		if s.tracer != nil {
+			_, sp := trace.Start(trace.WithTracer(context.Background(), s.tracer), "overload.transition")
+			sp.SetAttr("from", from.String())
+			sp.SetAttr("to", to.String())
+			sp.SetAttr("reason", reason)
+			sp.End()
+		}
+		if user != nil {
+			user(from, to, reason)
+		}
+	}
+	s.ov = overload.New(o)
+	s.health.SetMode(overload.ModeHealthy.String())
+	// Background interval fsync failures have no request to surface through;
+	// route them straight to the state machine.
+	s.store.OnDurabilityError(s.reportDurability)
+	if o.Registry != nil {
+		o.Registry.PublishVar("crowdwifi_overload", s.overloadVars)
+	}
+}
+
+func (s *Server) overloadVars() any {
+	mode, reason, since := s.ov.Controller().Status()
+	fams := map[string]overload.LimiterSnapshot{}
+	for _, f := range []overload.Family{overload.FamilyLookup, overload.FamilyControl, overload.FamilyUpload} {
+		fams[f.String()] = s.ov.LimiterSnapshot(f)
+	}
+	return map[string]any{
+		"mode":     mode.String(),
+		"reason":   reason,
+		"since":    since,
+		"families": fams,
+	}
+}
+
+// Overload exposes the admission controller (nil unless WithOverload was
+// given). The caller should start Overload().Controller().Run to drive
+// read-only recovery probing.
+func (s *Server) Overload() *overload.Admission { return s.ov }
+
 // handle registers a route through the middleware stack, outermost first:
 // tracing, then the RED instrumentation (inside tracing so each latency
-// observation can stamp the request's trace id as a bucket exemplar), then
-// the per-request deadline. The instrumenting and tracing layers are no-ops
-// when unconfigured.
+// observation can stamp the request's trace id as a bucket exemplar; and
+// outside admission so observed latency includes queue wait and sheds count
+// as 503s), then admission control, then the per-request deadline. The
+// instrumenting, tracing, and admission layers are no-ops when unconfigured.
 func (s *Server) handle(route string, h http.HandlerFunc) {
 	if d := s.reqTimeout; d > 0 {
 		inner := h
@@ -633,8 +757,68 @@ func (s *Server) handle(route string, h http.HandlerFunc) {
 			inner(w, r.WithContext(ctx))
 		}
 	}
+	h = s.admit(route, h)
 	h = s.metrics.instrument(route, h)
 	s.mux.HandleFunc(route, s.traced(route, h))
+}
+
+// classify maps a (route, method) to its shedding family and whether it
+// mutates durable state. Uploads (vehicle ingest POSTs) shed first; GET
+// reads and task/aggregation management are control traffic; /v1/lookup is
+// the protected class.
+func classify(route, method string) (overload.Family, bool) {
+	switch route {
+	case "/v1/lookup":
+		return overload.FamilyLookup, false
+	case "/v1/reports", "/v1/labels", "/v1/patterns":
+		if method == http.MethodPost {
+			return overload.FamilyUpload, true
+		}
+		return overload.FamilyControl, false
+	case "/v1/aggregate":
+		return overload.FamilyControl, method == http.MethodPost
+	default:
+		return overload.FamilyControl, false
+	}
+}
+
+// admit wraps a route with admission control: acquire a slot in the route's
+// family (waiting briefly in the bounded queue), shed with a measured
+// Retry-After when the family is saturated, reject mutations outright while
+// the server is read-only, and feed the request's service latency back into
+// the family's adaptive limit.
+func (s *Server) admit(route string, h http.HandlerFunc) http.HandlerFunc {
+	if s.ov == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		fam, mutation := classify(route, r.Method)
+		dec := s.ov.Admit(r.Context(), fam, mutation)
+		if !dec.OK {
+			mode := s.ov.Mode()
+			w.Header().Set(ModeHeader, mode.String())
+			_, sp := trace.StartChild(r.Context(), "server.shed")
+			sp.SetAttr("family", fam.String())
+			sp.SetAttr("mode", mode.String())
+			sp.SetAttr("retry_after_ms", int(dec.RetryAfter/time.Millisecond))
+			sp.End()
+			if dec.ReadOnly {
+				s.shed(w, errors.New("server is read-only: durable writes unavailable"), dec.RetryAfter)
+				return
+			}
+			s.shed(w, errors.New("server over capacity"), dec.RetryAfter)
+			return
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		// 5xx count as failures so the limit backs off — except 503, the
+		// handler's own shed (aggregation window, duplicate in flight), which
+		// is deliberate and must not collapse the limit; 4xx are the
+		// client's fault and must not shrink capacity either.
+		ok := sw.code < http.StatusInternalServerError || sw.code == http.StatusServiceUnavailable
+		dec.Release(time.Since(start), ok)
+	}
 }
 
 // traced wraps a route with the server-side tracing middleware: a valid
@@ -664,11 +848,33 @@ func (s *Server) traced(route string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // shed writes a 503 with Retry-After, steering well-behaved clients (whose
-// retry layer honors the header) away from a busy window.
-func (s *Server) shed(w http.ResponseWriter, reason error) {
+// retry layer honors the header) away from a busy window. retryAfter is the
+// caller's estimate of when capacity returns — backlog drain time, the
+// aggregation cycle's remainder, the disk-recovery probe horizon. The
+// estimate goes out twice: verbatim at millisecond precision for fleet
+// clients, and floored at one second, rounded up to whole seconds, in the
+// standard header (its unit).
+func (s *Server) shed(w http.ResponseWriter, reason error, retryAfter time.Duration) {
 	s.metrics.incShed()
-	w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
+	if ms := retryAfter.Milliseconds(); ms > 0 {
+		w.Header().Set(RetryAfterMsHeader, strconv.FormatInt(ms, 10))
+	}
+	if retryAfter < defaultShedRetryAfter {
+		retryAfter = defaultShedRetryAfter
+	}
+	secs := int((retryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeError(w, http.StatusServiceUnavailable, reason)
+}
+
+// uploadRetryHint estimates Retry-After for sheds issued outside the
+// admission layer (aggregation window, duplicate in flight), from the upload
+// family's backlog when admission is enabled.
+func (s *Server) uploadRetryHint() time.Duration {
+	if s.ov == nil {
+		return defaultShedRetryAfter
+	}
+	return s.ov.RetryHint(overload.FamilyUpload)
 }
 
 // ingest wraps a write route with the resilience middleware, applied to POST
@@ -683,7 +889,7 @@ func (s *Server) ingest(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		if s.store.Aggregating() {
-			s.shed(w, errors.New("aggregation in progress"))
+			s.shed(w, errors.New("aggregation in progress"), s.store.AggregationEta())
 			return
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
@@ -704,7 +910,7 @@ func (s *Server) ingest(h http.HandlerFunc) http.HandlerFunc {
 				// A first delivery of this key is still executing; the
 				// duplicate cannot be answered yet, so push it to retry.
 				dspan.AddEvent("first delivery still in flight")
-				s.shed(w, errors.New("duplicate request still in flight"))
+				s.shed(w, errors.New("duplicate request still in flight"), s.uploadRetryHint())
 				return
 			}
 			s.metrics.incDeduped()
@@ -767,14 +973,25 @@ func writeCanned(w http.ResponseWriter, resp cannedResponse) {
 
 // mutationError maps a durable-mutator error to its HTTP status: a failed
 // write-ahead append is the server's problem (500, retryable), anything
-// else is a validation failure (400).
+// else is a validation failure (400). A durability failure also flips the
+// overload state machine read-only — the disk refused a write, so no later
+// mutation can be acknowledged honestly until the probe sees it recover.
 func (s *Server) mutationError(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrDurability) {
 		s.log.Error("durable append failed", "err", err)
+		s.reportDurability(err)
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeError(w, http.StatusBadRequest, err)
+}
+
+// reportDurability forwards a durability fault to the overload controller
+// (no-op without WithOverload).
+func (s *Server) reportDurability(err error) {
+	if s.ov != nil {
+		s.ov.Controller().ReportDurabilityError(err)
+	}
 }
 
 // handlePatterns: POST registers a pattern; GET lists patterns (optionally
@@ -908,6 +1125,9 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	n, err := s.store.AggregateContext(r.Context())
 	if err != nil {
 		s.log.Warn("aggregate request failed", "err", err)
+		if errors.Is(err, ErrDurability) {
+			s.reportDurability(err)
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}

@@ -21,6 +21,7 @@ type Metrics struct {
 	snapshotBytes  *obs.Gauge
 	replayed       *obs.Counter
 	truncated      *obs.Counter
+	heals          *obs.Counter
 	lastSeq        *obs.Gauge
 }
 
@@ -42,6 +43,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		snapshotBytes:  reg.Gauge("crowdwifi_wal_snapshot_bytes", "Size of the most recent snapshot."),
 		replayed:       reg.Counter("crowdwifi_wal_recovery_replayed_records_total", "Records replayed from the log during recovery."),
 		truncated:      reg.Counter("crowdwifi_wal_recovery_truncated_bytes_total", "Torn-tail bytes truncated from the final segment during recovery."),
+		heals:          reg.Counter("crowdwifi_wal_torn_tail_heals_total", "Failed appends whose partial or unacknowledged frame was truncated away in place."),
 		lastSeq:        reg.Gauge("crowdwifi_wal_last_seq", "Sequence number of the newest durable record."),
 	}
 }
@@ -82,6 +84,12 @@ func (m *Metrics) incReplayed() {
 func (m *Metrics) recoveryTruncated(bytes int64) {
 	if m != nil {
 		m.truncated.Add(uint64(bytes))
+	}
+}
+
+func (m *Metrics) incHeals() {
+	if m != nil {
+		m.heals.Inc()
 	}
 }
 

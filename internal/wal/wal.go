@@ -90,6 +90,13 @@ type Options struct {
 	// Metrics, when non-nil, receives append/fsync/rotation/recovery
 	// observations.
 	Metrics *Metrics
+	// FS is the write-side filesystem seam (nil selects OSFS). Tests and
+	// the chaos harness inject disk faults here.
+	FS FS
+	// OnSyncError, when non-nil, is called with the error each time a
+	// background (SyncInterval) fsync fails — the only sync whose error no
+	// caller observes directly. Called without the log's lock held.
+	OnSyncError func(error)
 }
 
 // Record is one replayed log entry.
@@ -121,11 +128,13 @@ type Log struct {
 	dir    string
 	opts   Options
 	m      *Metrics
+	fs     FS
 	segs   []segment // sorted by first; the last one is active
-	f      *os.File  // active segment
+	f      File      // active segment
 	size   int64     // bytes in the active segment
 	next   uint64    // sequence number of the next append
 	dirty  bool      // unsynced writes pending
+	torn   bool      // a failed append left bytes past size; heal before writing
 	closed bool
 
 	stopSync chan struct{}
@@ -163,7 +172,10 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 	if err != nil {
 		return nil, OpenInfo{}, err
 	}
-	l := &Log{dir: dir, opts: opts, m: opts.Metrics}
+	l := &Log{dir: dir, opts: opts, m: opts.Metrics, fs: opts.FS}
+	if l.fs == nil {
+		l.fs = OSFS{}
+	}
 	for _, e := range entries {
 		if first, ok := parseSegmentName(e.Name()); ok {
 			l.segs = append(l.segs, segment{path: filepath.Join(dir, e.Name()), first: first})
@@ -196,7 +208,7 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 			}
 			l.m.recoveryTruncated(info.TruncatedBytes)
 		}
-		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.OpenAppend(active.path)
 		if err != nil {
 			return nil, OpenInfo{}, err
 		}
@@ -242,7 +254,9 @@ func (l *Log) syncLoop(stop <-chan struct{}) {
 	for {
 		select {
 		case <-t.C:
-			_ = l.Sync()
+			if err := l.Sync(); err != nil && l.opts.OnSyncError != nil {
+				l.opts.OnSyncError(err)
+			}
 		case <-stop:
 			return
 		}
@@ -253,11 +267,11 @@ func (l *Log) syncLoop(stop <-chan struct{}) {
 // l.next. Requires l.mu held (or exclusive access during Open).
 func (l *Log) createSegmentLocked() error {
 	path := filepath.Join(l.dir, segmentName(l.next))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	f, err := l.fs.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -320,6 +334,17 @@ func (l *Log) AppendContext(ctx context.Context, kind byte, data []byte) (uint64
 		span.SetError(err)
 		return 0, err
 	}
+	if l.torn {
+		// A previous append failed and its heal failed too: bytes past
+		// l.size are garbage. Retry the heal before writing anything new;
+		// while it keeps failing, every append fails fast and nothing makes
+		// the tail worse.
+		if err := l.healLocked(); err != nil {
+			err = fmt.Errorf("wal: tail unhealed after failed append: %w", err)
+			span.SetError(err)
+			return 0, err
+		}
+	}
 	size := frameSize(len(data))
 	if l.size > 0 && l.size+size > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
@@ -330,26 +355,62 @@ func (l *Log) AppendContext(ctx context.Context, kind byte, data []byte) (uint64
 	}
 	frame := appendFrame(make([]byte, 0, size), kind, data)
 	if _, err := l.f.Write(frame); err != nil {
+		// The frame may be partially on disk (a short write, ENOSPC
+		// mid-frame). Cut the file back to the last acknowledged byte so
+		// the log stays replayable and identical to the last ack.
+		l.healAfterFailureLocked(span)
 		span.SetError(err)
 		return 0, err
 	}
-	seq := l.next
-	l.next++
-	l.size += size
-	l.dirty = true
-	l.m.observeAppend(size, seq)
-	span.SetAttr("seq", seq)
 	if l.opts.Sync == SyncAlways {
 		_, fspan := trace.StartChild(actx, "wal.fsync")
+		l.dirty = true
 		err := l.syncLocked()
 		fspan.SetError(err)
 		fspan.End()
 		if err != nil {
+			// The frame is fully written but not durable, and the caller
+			// will NOT acknowledge it. Leaving it would double-apply on
+			// replay once the client retries with a fresh append, so the
+			// unacked frame is truncated away with the same heal path.
+			l.healAfterFailureLocked(span)
 			span.SetError(err)
 			return 0, err
 		}
+	} else {
+		l.dirty = true
 	}
+	seq := l.next
+	l.next++
+	l.size += size
+	l.m.observeAppend(size, seq)
+	span.SetAttr("seq", seq)
 	return seq, nil
+}
+
+// healLocked truncates the active segment back to l.size — the last byte
+// covered by an acknowledged (or at least fully-framed) record — clearing the
+// torn flag on success. Requires l.mu held.
+func (l *Log) healLocked() error {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.torn = true
+		return err
+	}
+	l.torn = false
+	l.m.incHeals()
+	return nil
+}
+
+// healAfterFailureLocked runs the heal after a failed append and records the
+// outcome on the append's span. When the heal itself fails (the disk is
+// refusing truncates too), the torn flag keeps later appends from writing
+// past garbage. Requires l.mu held.
+func (l *Log) healAfterFailureLocked(span *trace.Span) {
+	if err := l.healLocked(); err != nil {
+		span.AddEvent("torn tail heal failed")
+		return
+	}
+	span.AddEvent("torn tail healed")
 }
 
 // Sync flushes pending appends to stable storage regardless of policy.
@@ -360,6 +421,26 @@ func (l *Log) Sync() error {
 		return nil
 	}
 	return l.syncLocked()
+}
+
+// KindProbe is the record kind reserved for durability probes. Probe records
+// are invisible to Replay — they exist only to prove the disk accepts a
+// write+fsync round trip — but they do consume sequence numbers.
+const KindProbe byte = 0xFF
+
+// Probe appends a tiny probe record and forces an fsync regardless of the
+// configured policy. A nil return means the full durable-append path —
+// framing, write, fsync, and any pending torn-tail heal — is working again;
+// the degraded-mode state machine uses this to decide when a read-only
+// server may start recovering.
+func (l *Log) Probe(ctx context.Context) error {
+	if _, err := l.AppendContext(ctx, KindProbe, []byte("probe")); err != nil {
+		return err
+	}
+	if l.opts.Sync == SyncAlways {
+		return nil // the append already fsynced
+	}
+	return l.Sync()
 }
 
 // LastSeq returns the sequence number of the newest record (0 if none were
@@ -395,7 +476,7 @@ func (l *Log) Replay(after uint64, fn func(Record) error) error {
 		}
 		valid, n, err := walkFrames(buf, func(idx int, kind byte, data []byte) error {
 			seq := seg.first + uint64(idx)
-			if seq <= after {
+			if seq <= after || kind == KindProbe {
 				return nil
 			}
 			l.m.incReplayed()
@@ -436,7 +517,7 @@ func (l *Log) CompactThrough(seq uint64) error {
 	}
 	if removed > 0 {
 		l.m.addCompacted(removed)
-		return syncDir(l.dir)
+		return l.fs.SyncDir(l.dir)
 	}
 	return nil
 }
