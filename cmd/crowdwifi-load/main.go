@@ -17,6 +17,7 @@
 //	               [-vehicles 1000] [-warmup 5s] [-measure 30s] [-drain 15s] \
 //	               [-think 100ms] [-lookup-every 10] [-archetypes 16] \
 //	               [-retries 4] [-outbox 256] [-seed 1] \
+//	               [-scrape http://shard-a:8700,http://shard-b:8700] \
 //	               [-out BENCH.json] [-addr :8710] [-log-every 5s] \
 //	               [-fail-on-lost] [-log-level info] [-version]
 //
@@ -31,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,7 +42,10 @@ import (
 
 func main() {
 	var cfg load.Config
-	server := flag.String("server", "", "crowd-server base URL (required), e.g. http://127.0.0.1:8700")
+	server := flag.String("server", "", "crowd-server or router base URL (required), e.g. http://127.0.0.1:8700")
+	scrape := flag.String("scrape", "",
+		"comma-separated debug base URLs to scrape for the server-side report section; "+
+			"against a cluster list every shard (defaults to the -server URL)")
 	flag.IntVar(&cfg.Vehicles, "vehicles", 1000, "fleet size: concurrent simulated vehicles")
 	flag.DurationVar(&cfg.Warmup, "warmup", 5*time.Second, "warmup phase length (traffic flows, nothing is recorded)")
 	flag.DurationVar(&cfg.Measure, "measure", 30*time.Second, "measurement window length")
@@ -74,6 +79,13 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.ServerURL = *server
+	if *scrape != "" {
+		for _, u := range strings.Split(*scrape, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.ScrapeURLs = append(cfg.ScrapeURLs, u)
+			}
+		}
+	}
 	cfg.Seed = *seed
 	cfg.Logger = obs.NewLogger(os.Stderr, level)
 	if err := run(cfg, *addr, *out, *failOnLost); err != nil {

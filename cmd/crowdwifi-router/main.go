@@ -1,0 +1,222 @@
+// Command crowdwifi-router fronts a sharded CrowdWiFi cluster: it speaks
+// the same /v1 surface as a single crowd-server, routes uploads to the
+// shard owning each road segment (consistent-hash ring, stable across
+// membership churn), scatter-gathers lookups across every shard, and
+// merges the answers in the server's deterministic order — so a client
+// cannot tell the cluster from one big server, except that a degraded
+// shard degrades only its slice (partial answers carry
+// X-Crowdwifi-Partial naming the missing shards).
+//
+// On startup (unless -reconcile=false) the router runs one reconcile pass:
+// it fetches every shard's per-segment digests, moves any segment resident
+// on a non-owner back to its ring owner through the idempotent WAL-slice
+// transfer, and re-aggregates the shards it touched — repairing the drift
+// a crashed rebalance or a half-propagated membership change leaves
+// behind.
+//
+// Membership changes are operator actions: POST /v1/cluster/members with
+// {"members":["a","b"]} installs the new ring and propagates it to the
+// surviving shards. To drain a dead shard's WAL into the survivors, run a
+// rebalance from its data directory (see internal/cluster.RebalanceFromDir
+// and the DESIGN.md cluster section).
+//
+// Usage:
+//
+//	crowdwifi-router -peers a=http://h1:8700,b=http://h2:8700
+//	                 [-addr :8600] [-vnodes 64]
+//	                 [-metrics-addr :8601] [-log-level info]
+//	                 [-retry-attempts 4] [-reconcile]
+//	                 [-overload-mode]
+//	                 [-trace-sample 1] [-trace-buffer 256]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"crowdwifi/internal/cluster"
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/overload"
+	"crowdwifi/internal/retry"
+)
+
+type config struct {
+	addr          string
+	peers         string
+	vnodes        int
+	metricsAddr   string
+	retryAttempts int
+	reconcile     bool
+	overloadMode  bool
+	traceSample   float64
+	traceBuffer   int
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", ":8600", "listen address")
+	flag.StringVar(&cfg.peers, "peers", "",
+		"shard endpoints as id=url pairs, e.g. a=http://h1:8700,b=http://h2:8700 (required)")
+	flag.IntVar(&cfg.vnodes, "vnodes", 0,
+		"virtual nodes per member on the ownership ring (0 uses the default; must match the shards)")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "",
+		"optional extra listen address serving only /metrics and /debug endpoints")
+	flag.IntVar(&cfg.retryAttempts, "retry-attempts", 0,
+		"max attempts per upstream shard request (0 uses the retry default)")
+	flag.BoolVar(&cfg.reconcile, "reconcile", true,
+		"run a drift-detection and repair pass against the shards on startup")
+	flag.BoolVar(&cfg.overloadMode, "overload-mode", true,
+		"enable the router's own adaptive admission control")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 1,
+		"fraction of new traces to record, 0..1")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", trace.DefaultCapacity,
+		"number of recent traces kept in memory for /debug/traces")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		obs.PrintVersion(os.Stdout, "crowdwifi-router")
+		return
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	if err := run(cfg, logger); err != nil {
+		logger.Error("router exited", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg config, logger *obs.Logger) error {
+	peers, err := cluster.ParsePeers(cfg.peers)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	reg.RegisterGoRuntime()
+	obs.RegisterBuildInfo(reg)
+	tracer := trace.NewTracer(trace.Config{
+		SampleRate: cfg.traceSample,
+		Capacity:   cfg.traceBuffer,
+	})
+	health := obs.NewHealth()
+	health.SetNotReady("starting")
+
+	opts := cluster.RouterOptions{
+		Peers:    peers,
+		VNodes:   cfg.vnodes,
+		Retry:    retry.Policy{MaxAttempts: cfg.retryAttempts},
+		Registry: reg,
+		Logger:   logger,
+	}
+	if cfg.overloadMode {
+		opts.Overload = &overload.Options{}
+	}
+	rt, err := cluster.NewRouter(opts)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx = trace.WithTracer(ctx, tracer)
+
+	if ov := rt.Admission(); ov != nil {
+		go ov.Controller().Run(ctx)
+		logger.Info("overload control enabled")
+	}
+
+	if cfg.reconcile {
+		start := time.Now()
+		rep, err := rt.Reconcile(ctx)
+		if err != nil {
+			// Startup reconcile is best-effort: a shard that is down keeps
+			// its drift until the next pass, and the router still serves
+			// (partially) in the meantime.
+			logger.Warn("startup reconcile incomplete", "err", err)
+		}
+		logger.Info("startup reconcile done",
+			"moves", len(rep.Moves),
+			"moved_reports", rep.Stats.Reports,
+			"dropped_reports", rep.DroppedReports,
+			"duration", time.Since(start))
+	}
+
+	// The API mux carries the debug surface too, like the crowd-server: one
+	// scrape target per process by default.
+	mux := http.NewServeMux()
+	mux.Handle("/", rt)
+	obs.Mount(mux, reg)
+	trace.Mount(mux, tracer.Store())
+	obs.MountHealth(mux, health)
+	handler := cluster.WithTracer(tracer, mux)
+
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+
+	var metricsSrv *http.Server
+	if cfg.metricsAddr != "" {
+		debugMux := obs.NewDebugMux(reg)
+		trace.Mount(debugMux, tracer.Store())
+		obs.MountHealth(debugMux, health)
+		metricsSrv = &http.Server{
+			Addr:              cfg.metricsAddr,
+			Handler:           debugMux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("metrics listener failed", "addr", cfg.metricsAddr, "err", err)
+			}
+		}()
+		logger.Info("metrics listening", "addr", cfg.metricsAddr)
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	health.SetReady()
+	logger.Info("router listening", "addr", ln.Addr().String(),
+		"members", len(rt.Members()), "vnodes", cfg.vnodes)
+
+	shutdownMetrics := func() {
+		if metricsSrv == nil {
+			return
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = metricsSrv.Shutdown(sctx)
+	}
+
+	select {
+	case err := <-errCh:
+		shutdownMetrics()
+		return err
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		health.SetNotReady("shutdown")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shutdownCtx)
+		shutdownMetrics()
+		if errors.Is(err, context.DeadlineExceeded) {
+			return errors.New("shutdown timed out")
+		}
+		return err
+	}
+}

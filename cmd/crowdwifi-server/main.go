@@ -22,6 +22,12 @@
 //	                 [-metrics-addr :8701] [-log-level info]
 //	                 [-trace-sample 1] [-trace-buffer 256]
 //	                 [-overload-mode] [-max-inflight 0]
+//	                 [-shard-id a -peers a,b,c [-vnodes 64]]
+//
+// With -shard-id and -peers set the server runs as one shard of a cluster:
+// it serves the /v1/cluster/* endpoints, rejects uploads for segments the
+// ownership ring assigns elsewhere with 421 + X-Crowdwifi-Owner, and
+// expects a crowdwifi-router in front of it (see cmd/crowdwifi-router).
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +66,36 @@ type config struct {
 	traceBuffer    int
 	maxInflight    int
 	overloadMode   bool
+	shardID        string
+	peers          string
+	vnodes         int
+}
+
+// parseMemberIDs accepts the -peers flag in either the bare id form
+// "a,b,c" or the router's id=url form "a=http://...,b=http://..." — the
+// shard only needs the id set to build its ownership ring.
+func parseMemberIDs(s string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, _, _ := strings.Cut(part, "=")
+		if id == "" {
+			return nil, fmt.Errorf("bad peer %q", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no peer ids")
+	}
+	return out, nil
 }
 
 func main() {
@@ -85,6 +122,12 @@ func main() {
 		"enable adaptive admission control and the degraded-mode state machine (healthy/overloaded/read-only/recovering)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0,
 		"hard cap on the adaptive per-family concurrency limits (0 uses the built-in defaults; requires -overload-mode)")
+	flag.StringVar(&cfg.shardID, "shard-id", "",
+		"this shard's id in a cluster (empty runs single-node; requires -peers)")
+	flag.StringVar(&cfg.peers, "peers", "",
+		"cluster member ids, \"a,b,c\" or the router's \"a=url,b=url\" form (ids only are used here)")
+	flag.IntVar(&cfg.vnodes, "vnodes", 0,
+		"virtual nodes per member on the ownership ring (0 uses the default; must match the router)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -171,6 +214,19 @@ func run(cfg config, logger *obs.Logger) error {
 			Control: lim,
 			Upload:  lim,
 		}))
+	}
+	if cfg.shardID != "" {
+		members, err := parseMemberIDs(cfg.peers)
+		if err != nil {
+			return fmt.Errorf("parsing -peers: %w", err)
+		}
+		srvOpts = append(srvOpts, server.WithCluster(server.ClusterOptions{
+			Self:    cfg.shardID,
+			Members: members,
+			VNodes:  cfg.vnodes,
+		}))
+		logger.Info("cluster mode enabled",
+			"shard_id", cfg.shardID, "members", cfg.peers, "vnodes", cfg.vnodes)
 	}
 	api := server.New(store, srvOpts...)
 	srv := &http.Server{

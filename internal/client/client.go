@@ -82,6 +82,41 @@ func RetryAfterHint(err error) time.Duration {
 // misbehaving (or clock-skewed) server must not park a vehicle forever.
 const maxRetryAfter = 30 * time.Second
 
+// modeRecorder remembers the last X-Crowdwifi-Mode header a vehicle saw, so
+// fleets (and the cluster router) can observe a degraded server from traffic
+// they were sending anyway instead of parsing errors. Safe for concurrent
+// use.
+type modeRecorder struct{ v atomic.Value }
+
+func (m *modeRecorder) observe(resp *http.Response) {
+	if resp == nil {
+		return
+	}
+	if s := resp.Header.Get(server.ModeHeader); s != "" {
+		m.v.Store(s)
+	}
+}
+
+func (m *modeRecorder) last() string {
+	s, _ := m.v.Load().(string)
+	return s
+}
+
+// modeDoer wraps a transport, recording the mode header of every response it
+// returns. Sitting over a retrying doer it sees the final attempt's response
+// — including a terminal 503 that surfaces to the caller as a StatusError,
+// so the mode is captured even when the logical request fails.
+type modeDoer struct {
+	next HTTPDoer
+	rec  *modeRecorder
+}
+
+func (d modeDoer) Do(req *http.Request) (*http.Response, error) {
+	resp, err := d.next.Do(req)
+	d.rec.observe(resp)
+	return resp, err
+}
+
 // parseRetryAfter reads the server's backoff hint, capped to maxRetryAfter:
 // the crowd-server's millisecond-precision header when present, else the
 // standard delay-seconds Retry-After (the only standard form it emits).
@@ -156,10 +191,17 @@ type CrowdVehicle struct {
 
 	engine *cs.Engine
 
+	mode modeRecorder
+
 	keyOnce sync.Once
 	keySalt string
 	keySeq  atomic.Uint64
 }
+
+// LastServerMode returns the last X-Crowdwifi-Mode the server (or router)
+// sent on any of this vehicle's requests — "healthy", "overloaded",
+// "read-only", "recovering" — or "" before the first response carrying one.
+func (v *CrowdVehicle) LastServerMode() string { return v.mode.last() }
 
 // NewCrowdVehicle builds a crowd-vehicle with a fresh online CS engine.
 func NewCrowdVehicle(id, baseURL string, engineCfg cs.EngineConfig) (*CrowdVehicle, error) {
@@ -410,6 +452,8 @@ type UserVehicle struct {
 	HTTP HTTPDoer
 	// Metrics, when non-nil, records request latency and outcomes.
 	Metrics *Metrics
+
+	mode modeRecorder
 }
 
 // NewUserVehicle builds a user-vehicle client.
@@ -417,11 +461,16 @@ func NewUserVehicle(baseURL string) *UserVehicle {
 	return &UserVehicle{BaseURL: baseURL, HTTP: http.DefaultClient}
 }
 
+// LastServerMode returns the last X-Crowdwifi-Mode seen on this vehicle's
+// requests, or "" before the first response carrying one.
+func (u *UserVehicle) LastServerMode() string { return u.mode.last() }
+
 func (u *UserVehicle) httpDoer() HTTPDoer {
+	next := HTTPDoer(http.DefaultClient)
 	if u.HTTP != nil {
-		return u.HTTP
+		next = u.HTTP
 	}
-	return http.DefaultClient
+	return modeDoer{next: next, rec: &u.mode}
 }
 
 // Lookup downloads the fused APs inside the given area. Equivalent to
@@ -512,10 +561,11 @@ func (v *CrowdVehicle) postJSON(ctx context.Context, path string, body, out any,
 }
 
 func (v *CrowdVehicle) httpDoer() HTTPDoer {
+	next := HTTPDoer(http.DefaultClient)
 	if v.HTTP != nil {
-		return v.HTTP
+		next = v.HTTP
 	}
-	return http.DefaultClient
+	return modeDoer{next: next, rec: &v.mode}
 }
 
 // sendJSON is the single request path shared by every client call: it

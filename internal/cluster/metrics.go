@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/trace"
+)
+
+// routerMetrics is the router's RED bundle plus the per-shard cluster view:
+// requests/errors/latency by route, upstream outcomes by shard, and a
+// numeric last-seen mode gauge per shard so one Prometheus query shows which
+// slice of the world is degraded. A nil *routerMetrics is a no-op.
+type routerMetrics struct {
+	registry *obs.Registry
+
+	requestsHelp string
+	errorsHelp   string
+
+	mu          sync.Mutex
+	reqDuration map[string]*obs.WindowedHistogram
+	inflight    map[string]*obs.Gauge
+	shardMode   map[string]*obs.Gauge
+	modes       map[string]string // shard id → last-seen mode string
+
+	shards     *obs.Gauge
+	partial    *obs.Counter
+	rerouted   *obs.Counter
+	shed       *obs.Counter
+	upstreamOK *obs.Counter
+}
+
+// modeValue maps a shard's X-Crowdwifi-Mode string to the gauge encoding:
+// healthy 0, overloaded 1, read-only 2, recovering 3, unknown/unseen -1.
+func modeValue(mode string) float64 {
+	switch mode {
+	case "healthy":
+		return 0
+	case "overloaded":
+		return 1
+	case "read-only":
+		return 2
+	case "recovering":
+		return 3
+	}
+	return -1
+}
+
+func newRouterMetrics(reg *obs.Registry) *routerMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &routerMetrics{
+		registry:     reg,
+		requestsHelp: "Router HTTP requests served, by route, method, and status code.",
+		errorsHelp:   "Router HTTP requests answered with a 4xx/5xx status, by route and code.",
+		reqDuration:  map[string]*obs.WindowedHistogram{},
+		inflight:     map[string]*obs.Gauge{},
+		shardMode:    map[string]*obs.Gauge{},
+		modes:        map[string]string{},
+		shards: reg.Gauge("crowdwifi_router_shards",
+			"Shard members in the router's current ring."),
+		partial: reg.Counter("crowdwifi_router_partial_lookups_total",
+			"Scatter-gather lookups answered without every shard (X-Crowdwifi-Partial set)."),
+		rerouted: reg.Counter("crowdwifi_router_rerouted_total",
+			"Uploads re-routed after a shard answered 421 Misdirected Request."),
+		shed: reg.Counter("crowdwifi_router_shed_requests_total",
+			"Requests shed by the router's own admission control."),
+		upstreamOK: reg.Counter("crowdwifi_router_upstream_requests_total",
+			"Upstream shard requests that returned a response."),
+	}
+	reg.PublishVar("crowdwifi_cluster", m.vars)
+	return m
+}
+
+func (m *routerMetrics) vars() any {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	modes := make(map[string]string, len(m.modes))
+	for k, v := range m.modes {
+		modes[k] = v
+	}
+	shards := make([]string, 0, len(modes))
+	for k := range modes {
+		shards = append(shards, k)
+	}
+	sort.Strings(shards)
+	return map[string]any{"shards": shards, "modes": modes}
+}
+
+// observeShard records one upstream exchange with a shard: the last-seen
+// mode gauge and error accounting.
+func (m *routerMetrics) observeShard(shard, mode string, err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.registry.Counter("crowdwifi_router_upstream_errors_total",
+			"Upstream shard requests that failed at the transport layer, by shard.",
+			obs.L("shard", shard)).Inc()
+		mode = "unreachable"
+	} else {
+		m.upstreamOK.Inc()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mode != "" {
+		m.modes[shard] = mode
+	}
+	g, ok := m.shardMode[shard]
+	if !ok {
+		g = m.registry.Gauge("crowdwifi_router_shard_mode",
+			"Last-seen shard mode: 0 healthy, 1 overloaded, 2 read-only, 3 recovering, -1 unknown/unreachable.",
+			obs.L("shard", shard))
+		m.shardMode[shard] = g
+	}
+	if mode != "" {
+		g.Set(modeValue(mode))
+	}
+}
+
+func (m *routerMetrics) setShards(n int) {
+	if m != nil {
+		m.shards.Set(float64(n))
+	}
+}
+
+func (m *routerMetrics) incPartial() {
+	if m != nil {
+		m.partial.Inc()
+	}
+}
+
+func (m *routerMetrics) incRerouted() {
+	if m != nil {
+		m.rerouted.Inc()
+	}
+}
+
+func (m *routerMetrics) incShed() {
+	if m != nil {
+		m.shed.Inc()
+	}
+}
+
+func (m *routerMetrics) routeHistogram(route string) *obs.WindowedHistogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.reqDuration[route]
+	if !ok {
+		h = m.registry.WindowedHistogram("crowdwifi_router_http_request_duration_seconds",
+			"Router HTTP request latency by route.", nil, obs.DefaultWindow, obs.DefaultWindowSlots,
+			obs.L("route", route))
+		m.reqDuration[route] = h
+	}
+	return h
+}
+
+func (m *routerMetrics) routeInflight(route string) *obs.Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.inflight[route]
+	if !ok {
+		g = m.registry.Gauge("crowdwifi_router_inflight_requests",
+			"Requests currently being served by the router, by route.", obs.L("route", route))
+		m.inflight[route] = g
+	}
+	return g
+}
+
+// statusWriter captures the response code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the router's RED middleware for one route, mirroring the
+// shard server's: request/error counting, in-flight tracking, and exemplared
+// windowed latency.
+func (m *routerMetrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	if m == nil {
+		return h
+	}
+	hist := m.routeHistogram(route)
+	inflight := m.routeInflight(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		inflight.Add(1)
+		start := time.Now()
+		h(sw, r)
+		dur := time.Since(start).Seconds()
+		inflight.Add(-1)
+		traceID, _, _ := trace.IDs(r.Context())
+		hist.ObserveWithExemplar(dur, traceID)
+		m.registry.Counter("crowdwifi_router_http_requests_total", m.requestsHelp,
+			obs.L("route", route), obs.L("method", r.Method), obs.L("code", strconv.Itoa(sw.code))).Inc()
+		if sw.code >= 400 {
+			m.registry.Counter("crowdwifi_router_http_errors_total", m.errorsHelp,
+				obs.L("route", route), obs.L("code", strconv.Itoa(sw.code))).Inc()
+		}
+	}
+}

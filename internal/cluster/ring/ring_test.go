@@ -1,0 +1,114 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("seg-%d", i)
+	}
+	return out
+}
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	a := New([]string{"a", "b", "c"}, 64)
+	b := New([]string{"c", "a", "b", "a"}, 64)
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("ownership depends on member list order for %q: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestOwnerCoversAllMembers(t *testing.T) {
+	r := New([]string{"a", "b", "c"}, 64)
+	got := map[string]int{}
+	for _, k := range keys(3000) {
+		got[r.Owner(k)]++
+	}
+	for _, m := range []string{"a", "b", "c"} {
+		if got[m] == 0 {
+			t.Fatalf("member %q owns no keys: %v", m, got)
+		}
+	}
+	// Virtual nodes should keep the split roughly even: no member should own
+	// more than half of a 3-way split.
+	for m, n := range got {
+		if n > 1500 {
+			t.Fatalf("member %q owns %d/3000 keys — distribution collapsed: %v", m, n, got)
+		}
+	}
+}
+
+// TestRemovalMovesOnlyDepartedKeys is the stability property rebalance relies
+// on: removing a member must remap exactly the keys that member owned, and
+// every other key keeps its owner.
+func TestRemovalMovesOnlyDepartedKeys(t *testing.T) {
+	full := New([]string{"a", "b", "c"}, 64)
+	without := New([]string{"a", "b"}, 64)
+	moved := 0
+	for _, k := range keys(2000) {
+		before, after := full.Owner(k), without.Owner(k)
+		if before == "c" {
+			moved++
+			if after == "c" {
+				t.Fatalf("key %q still owned by removed member", k)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %q → %q although its owner never left", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; test is vacuous")
+	}
+}
+
+// TestAdditionStealsBoundedShare: adding a member must only move keys TO the
+// new member, never shuffle keys between the incumbents.
+func TestAdditionStealsBoundedShare(t *testing.T) {
+	before := New([]string{"a", "b"}, 64)
+	after := New([]string{"a", "b", "c"}, 64)
+	stolen := 0
+	total := 2000
+	for _, k := range keys(total) {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		if oa != "c" {
+			t.Fatalf("key %q moved %q → %q: churn between incumbents on join", k, ob, oa)
+		}
+		stolen++
+	}
+	if stolen == 0 {
+		t.Fatal("new member stole no keys")
+	}
+	if stolen > total*2/3 {
+		t.Fatalf("new member stole %d/%d keys — far more than its fair third", stolen, total)
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(nil, 0)
+	if got := r.Owner("seg-1"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if len(r.Members()) != 0 {
+		t.Fatalf("empty ring has members: %v", r.Members())
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	r := New([]string{"a"}, 0)
+	if r.VNodes() != DefaultVirtualNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.VNodes(), DefaultVirtualNodes)
+	}
+	if got := r.Owner("anything"); got != "a" {
+		t.Fatalf("single-member ring owner = %q, want a", got)
+	}
+}

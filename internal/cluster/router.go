@@ -1,0 +1,796 @@
+// Package cluster shards the crowd-server across nodes: a consistent-hash
+// ring (subpackage ring) assigns every road segment to exactly one owner
+// shard, a Router fans uploads to owners and scatter-gathers lookups, and
+// rebalance/reconcile move WAL-backed slices when membership changes.
+//
+// The router is deliberately stateless: it holds no durable data, only the
+// membership ring and per-shard HTTP clients. Anything idempotent about the
+// protocol (Idempotency-Key dedupe, canonical replay bodies, Retry-After
+// hints, X-Crowdwifi-Mode) is produced by the shards and passed through, so
+// a client talking to the router observes the same bytes it would talking
+// to a single crowd-server.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crowdwifi/internal/cluster/ring"
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/overload"
+	"crowdwifi/internal/retry"
+	"crowdwifi/internal/server"
+)
+
+// PartialHeader names the shards missing from a scatter-gather answer. When
+// set, the body is the merge of every shard that did answer: a degraded
+// shard degrades only its slice of the map, and the client can tell a
+// partial answer from a complete one without comparing counts.
+const PartialHeader = "X-Crowdwifi-Partial"
+
+// DefaultMaxBodyBytes mirrors the shard server's ingest cap so the router
+// rejects oversized uploads before burning upstream bandwidth on them.
+const DefaultMaxBodyBytes = server.DefaultMaxBodyBytes
+
+// Peer is one shard the router can reach.
+type Peer struct {
+	ID  string
+	URL string
+}
+
+// ParsePeers parses the -peers flag form "a=http://host:port,b=http://...".
+func ParsePeers(s string) ([]Peer, error) {
+	var out []Peer
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rawurl, ok := strings.Cut(part, "=")
+		if !ok || id == "" || rawurl == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		out = append(out, Peer{ID: id, URL: rawurl})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("cluster: no peers")
+	}
+	return out, nil
+}
+
+// RouterOptions configure a Router.
+type RouterOptions struct {
+	// Peers are the shards the router knows how to reach. Required.
+	Peers []Peer
+	// Members are the initial ring members; nil selects every peer id.
+	// Members must be a subset of peer ids.
+	Members []string
+	// VNodes is the virtual-node count per member (≤ 0 selects
+	// ring.DefaultVirtualNodes). Every shard must agree on this value.
+	VNodes int
+	// Retry shapes the per-shard retry schedule. Zero value selects the
+	// package defaults.
+	Retry retry.Policy
+	// HTTP is the base transport under the retry layer; nil selects
+	// http.DefaultClient.
+	HTTP retry.HTTPDoer
+	// Registry receives router metrics; nil disables them.
+	Registry *obs.Registry
+	// Logger receives router logs; nil is silent.
+	Logger *obs.Logger
+	// Overload, when non-nil, enables the router's own admission control.
+	// The caller is responsible for running Admission().Controller().Run.
+	Overload *overload.Options
+	// MaxBodyBytes caps upload bodies (≤ 0 selects DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+}
+
+// peerClient is one shard's outbound path: its base URL plus a retrying
+// doer with a private breaker, so a dead shard trips only its own circuit
+// and the survivors keep their retry capacity.
+type peerClient struct {
+	id   string
+	base *url.URL
+	doer *retry.Doer
+}
+
+func (p *peerClient) endpoint(path, rawQuery string) string {
+	u := *p.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = rawQuery
+	return u.String()
+}
+
+// Router is the cluster front door: an http.Handler speaking the same /v1
+// surface as a single crowd-server, backed by owner-routed forwarding and
+// scatter-gather merges across the shard set.
+type Router struct {
+	mux     *http.ServeMux
+	metrics *routerMetrics
+	log     *obs.Logger
+	ov      *overload.Admission
+	vnodes  int
+	maxBody int64
+
+	mu    sync.RWMutex
+	peers map[string]*peerClient
+	ring  atomic.Pointer[ring.Ring]
+}
+
+// NewRouter builds a Router from opts.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Peers) == 0 {
+		return nil, errors.New("cluster: router needs at least one peer")
+	}
+	rt := &Router{
+		mux:     http.NewServeMux(),
+		metrics: newRouterMetrics(opts.Registry),
+		log:     opts.Logger,
+		vnodes:  opts.VNodes,
+		maxBody: opts.MaxBodyBytes,
+		peers:   map[string]*peerClient{},
+	}
+	if rt.maxBody <= 0 {
+		rt.maxBody = DefaultMaxBodyBytes
+	}
+	var retryMetrics *retry.Metrics
+	if opts.Registry != nil {
+		retryMetrics = retry.NewMetrics(opts.Registry)
+	}
+	for _, p := range opts.Peers {
+		if _, dup := rt.peers[p.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", p.ID)
+		}
+		u, err := url.Parse(p.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad peer url %q", p.URL)
+		}
+		doerOpts := []retry.DoerOption{retry.WithBreaker(retry.NewBreaker(retry.BreakerConfig{}))}
+		if retryMetrics != nil {
+			doerOpts = append(doerOpts, retry.WithMetrics(retryMetrics))
+		}
+		rt.peers[p.ID] = &peerClient{
+			id:   p.ID,
+			base: u,
+			doer: retry.NewDoer(opts.HTTP, opts.Retry, doerOpts...),
+		}
+	}
+	members := opts.Members
+	if members == nil {
+		for id := range rt.peers {
+			members = append(members, id)
+		}
+	}
+	if err := rt.UpdateMembers(members); err != nil {
+		return nil, err
+	}
+	if opts.Overload != nil {
+		o := *opts.Overload
+		if o.Registry == nil {
+			o.Registry = opts.Registry
+		}
+		rt.ov = overload.New(o)
+	}
+
+	rt.handle("/v1/reports", rt.handleUpload)
+	rt.handle("/v1/patterns", rt.handleUpload)
+	rt.handle("/v1/lookup", rt.handleLookup)
+	rt.handle("/v1/aggregate", rt.handleAggregate)
+	rt.handle("/v1/reliability", rt.handleReliability)
+	rt.handle("/v1/labels", rt.handleShardLocal)
+	rt.handle("/v1/tasks", rt.handleShardLocal)
+	rt.handle("/v1/cluster/members", rt.handleMembers)
+	return rt, nil
+}
+
+// Admission exposes the router's admission controller (nil when disabled);
+// callers start its mode state machine with Admission().Controller().Run.
+func (rt *Router) Admission() *overload.Admission { return rt.ov }
+
+// Members returns the current ring membership.
+func (rt *Router) Members() []string { return rt.ring.Load().Members() }
+
+// Owner returns the shard owning segment under the current ring.
+func (rt *Router) Owner(segment string) string { return rt.ring.Load().Owner(segment) }
+
+// UpdateMembers installs a new membership ring. Every member must be a
+// known peer; peers absent from members stay reachable (for rebalance
+// pulls) but receive no routed traffic.
+func (rt *Router) UpdateMembers(members []string) error {
+	if len(members) == 0 {
+		return errors.New("cluster: members required")
+	}
+	rt.mu.RLock()
+	for _, m := range members {
+		if _, ok := rt.peers[m]; !ok {
+			rt.mu.RUnlock()
+			return fmt.Errorf("cluster: member %q is not a configured peer", m)
+		}
+	}
+	rt.mu.RUnlock()
+	rg := ring.New(members, rt.vnodes)
+	rt.ring.Store(rg)
+	rt.metrics.setShards(len(rg.Members()))
+	if rt.log != nil {
+		rt.log.Info("router membership updated", "members", strings.Join(rg.Members(), ","))
+	}
+	return nil
+}
+
+// peer returns the client for a shard id, nil when unknown.
+func (rt *Router) peer(id string) *peerClient {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.peers[id]
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// handle wires one route through the router middleware stack — tracing
+// outermost, then metrics, then admission — mirroring the shard server's
+// ordering so traces and RED series mean the same thing on both tiers.
+func (rt *Router) handle(route string, h http.HandlerFunc) {
+	h = rt.admit(route, h)
+	h = rt.metrics.instrument(route, h)
+	rt.mux.HandleFunc(route, rt.traced(route, h))
+}
+
+// classify maps a router route to its shedding family. The router holds no
+// durable state, so nothing is a mutation from its admission layer's point
+// of view — read-only is a disk condition the router cannot have.
+func classify(route string) overload.Family {
+	switch route {
+	case "/v1/lookup":
+		return overload.FamilyLookup
+	case "/v1/reports", "/v1/patterns":
+		return overload.FamilyUpload
+	default:
+		return overload.FamilyControl
+	}
+}
+
+// admit wraps a route with the router's own admission control, so a router
+// drowning in fan-out work sheds at its front door with the same headers a
+// shard would use instead of queueing blindly.
+func (rt *Router) admit(route string, h http.HandlerFunc) http.HandlerFunc {
+	if rt.ov == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(server.ModeHeader, rt.ov.Mode().String())
+		dec := rt.ov.Admit(r.Context(), classify(route), false)
+		if !dec.OK {
+			rt.metrics.incShed()
+			shed(w, errors.New("router over capacity"), dec.RetryAfter)
+			return
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		// 502 means an upstream shard failed, not that the router lacks
+		// capacity; only genuine router-side 5xx should shrink the limit.
+		ok := sw.code < http.StatusInternalServerError || sw.code == http.StatusBadGateway ||
+			sw.code == http.StatusServiceUnavailable
+		dec.Release(time.Since(start), ok)
+	}
+}
+
+// traced wraps a route with the server-side tracing middleware: a client
+// traceparent continues the caller's trace, and the per-peer retry doers
+// hang their attempt spans (and the shard-side handler spans beyond them)
+// under this one.
+func (rt *Router) traced(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tracer := trace.TracerFromContext(r.Context())
+		if tracer == nil {
+			h(w, r)
+			return
+		}
+		ctx, span := tracer.StartServer(r.Context(), "router "+r.Method+" "+route, r.Header)
+		if span == nil {
+			h(w, r)
+			return
+		}
+		defer span.End()
+		span.SetAttr("http.method", r.Method)
+		span.SetAttr("http.route", route)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		span.SetAttr("http.status", sw.code)
+		if sw.code >= http.StatusInternalServerError {
+			span.SetError(fmt.Errorf("status %d", sw.code))
+		}
+	}
+}
+
+// WithTracer returns a middleware installing tracer into every request
+// context, activating the router's tracing layer.
+func WithTracer(tracer *trace.Tracer, next http.Handler) http.Handler {
+	if tracer == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r.WithContext(trace.WithTracer(r.Context(), tracer)))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// shed mirrors the shard server's 503 shape: millisecond hint for fleet
+// clients, whole-second floor for everyone else.
+func shed(w http.ResponseWriter, reason error, retryAfter time.Duration) {
+	if ms := retryAfter.Milliseconds(); ms > 0 {
+		w.Header().Set(server.RetryAfterMsHeader, fmt.Sprintf("%d", ms))
+	}
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	secs := int((retryAfter + time.Second - 1) / time.Second)
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, http.StatusServiceUnavailable, reason)
+}
+
+// passthroughHeaders are the shard response headers a forwarded answer
+// keeps. Everything idempotency- and backoff-related must survive the hop:
+// a fleet client behind the router depends on Retry-After/Idempotent-Replay
+// exactly as it would talking to the shard directly.
+var passthroughHeaders = []string{
+	"Content-Type",
+	"Retry-After",
+	server.RetryAfterMsHeader,
+	server.ModeHeader,
+	"Idempotent-Replay",
+	server.OwnerHeader,
+}
+
+// proxy relays an upstream response downstream verbatim: whitelisted
+// headers, status, body bytes.
+func proxy(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, name := range passthroughHeaders {
+		if v := resp.Header.Get(name); v != "" {
+			w.Header().Set(name, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// send issues one upstream request through the peer's retry doer and
+// records the exchange (mode gauge, error counters). The caller owns the
+// response body.
+func (rt *Router) send(pc *peerClient, req *http.Request) (*http.Response, error) {
+	resp, err := pc.doer.Do(req)
+	mode := ""
+	if resp != nil {
+		mode = resp.Header.Get(server.ModeHeader)
+	}
+	rt.metrics.observeShard(pc.id, mode, err)
+	return resp, err
+}
+
+// forward posts body to one shard, copying the upload headers that must
+// survive the hop (Content-Type, Idempotency-Key; traceparent is stamped
+// per attempt by the retry doer).
+func (rt *Router) forward(ctx context.Context, pc *peerClient, path string, in http.Header, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, pc.endpoint(path, ""), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"Content-Type", server.IdempotencyKeyHeader} {
+		if v := in.Get(name); v != "" {
+			req.Header.Set(name, v)
+		}
+	}
+	return rt.send(pc, req)
+}
+
+// handleUpload routes POST /v1/reports and /v1/patterns to the segment's
+// owner shard. A 421 Misdirected Request answer — the shard's ring
+// disagrees with ours, mid-rebalance — is re-routed once to the owner the
+// shard names; a second disagreement is returned to the client, whose
+// retry layer will come back after the membership change settles.
+func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("not implemented at the router: pattern/report listings are shard-local; query shards directly"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var probe struct {
+		Segment string `json:"segment"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if probe.Segment == "" {
+		writeError(w, http.StatusBadRequest, errors.New("segment required"))
+		return
+	}
+	owner := rt.ring.Load().Owner(probe.Segment)
+	if owner == "" {
+		shed(w, errors.New("no cluster members"), time.Second)
+		return
+	}
+	pc := rt.peer(owner)
+	if pc == nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("owner shard %q is not a configured peer", owner))
+		return
+	}
+	resp, err := rt.forward(r.Context(), pc, r.URL.Path, r.Header, body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s: %w", owner, err))
+		return
+	}
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		next := resp.Header.Get(server.OwnerHeader)
+		if npc := rt.peer(next); npc != nil && next != owner {
+			drainClose(resp)
+			rt.metrics.incRerouted()
+			if rt.log != nil {
+				rt.log.Warn("upload re-routed after 421",
+					"segment", probe.Segment, "routed", owner, "owner", next)
+			}
+			resp, err = rt.forward(r.Context(), npc, r.URL.Path, r.Header, body)
+			if err != nil {
+				writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s: %w", next, err))
+				return
+			}
+		}
+	}
+	proxy(w, resp)
+}
+
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+}
+
+// handleShardLocal answers the routes the router cannot meaningfully proxy:
+// mapping-task ids are dense per-shard integers, so a label or task fetch
+// only makes sense against the shard that issued the id.
+func (rt *Router) handleShardLocal(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotImplemented,
+		errors.New("not implemented at the router: task ids are shard-local; talk to the owning shard directly"))
+}
+
+// scatterResult is one shard's answer to a fan-out GET.
+type scatterResult struct {
+	id   string
+	body []byte
+	err  error
+}
+
+// scatter fans a GET to every current ring member concurrently and returns
+// the answers in sorted-shard order. Results with err != nil carry no body;
+// non-2xx statuses are errors.
+func (rt *Router) scatter(ctx context.Context, path, rawQuery string) []scatterResult {
+	members := rt.ring.Load().Members()
+	out := make([]scatterResult, len(members))
+	var wg sync.WaitGroup
+	for i, id := range members {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			out[i] = scatterResult{id: id}
+			pc := rt.peer(id)
+			if pc == nil {
+				out[i].err = fmt.Errorf("member %q is not a configured peer", id)
+				return
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, pc.endpoint(path, rawQuery), nil)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			resp, err := rt.send(pc, req)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(io.LimitReader(resp.Body, maxSliceBytes))
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				out[i].err = fmt.Errorf("shard %s: status %d: %s", id, resp.StatusCode, strings.TrimSpace(string(body)))
+				return
+			}
+			out[i].body = body
+		}(i, id)
+	}
+	wg.Wait()
+	return out
+}
+
+// maxSliceBytes caps a single scatter answer read; matches the shard-side
+// slice cap.
+const maxSliceBytes = 256 << 20
+
+// partition splits scatter results into decoded successes and the sorted
+// ids of failed shards.
+func partition[T any](results []scatterResult) (ok []struct {
+	ID    string
+	Value T
+}, missing []string, errs []error) {
+	for _, res := range results {
+		if res.err != nil {
+			missing = append(missing, res.id)
+			errs = append(errs, res.err)
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(res.body, &v); err != nil {
+			missing = append(missing, res.id)
+			errs = append(errs, fmt.Errorf("shard %s: %w", res.id, err))
+			continue
+		}
+		ok = append(ok, struct {
+			ID    string
+			Value T
+		}{res.id, v})
+	}
+	sort.Strings(missing)
+	return ok, missing, errs
+}
+
+// handleLookup scatter-gathers GET /v1/lookup across every ring member and
+// merges with the shard server's deterministic order (X asc, Y asc, Weight
+// desc), so the merged body is byte-identical to a single server holding
+// the union of the shards' fused maps. Degenerate rects are rejected here
+// with the shard's exact error, saving a pointless fan-out. When some — but
+// not all — shards fail, the answer is 200 with PartialHeader naming the
+// missing shards: a degraded shard degrades only its slice of the map.
+func (rt *Router) handleLookup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	vals := make([]float64, 4)
+	for i, name := range []string{"xmin", "ymin", "xmax", "ymax"} {
+		v, err := parseFloat(q.Get(name))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s", name))
+			return
+		}
+		vals[i] = v
+	}
+	if vals[0] > vals[2] || vals[1] > vals[3] {
+		writeError(w, http.StatusBadRequest,
+			errors.New("degenerate rect: xmin must not exceed xmax and ymin must not exceed ymax"))
+		return
+	}
+	results, missing, errs := partition[[]server.LookupResult](rt.scatter(r.Context(), "/v1/lookup", r.URL.RawQuery))
+	if len(results) == 0 {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("no shard answered: %w", errors.Join(errs...)))
+		return
+	}
+	merged := []server.LookupResult{}
+	for _, res := range results {
+		merged = append(merged, res.Value...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].X != merged[j].X {
+			return merged[i].X < merged[j].X
+		}
+		if merged[i].Y != merged[j].Y {
+			return merged[i].Y < merged[j].Y
+		}
+		return merged[i].Weight > merged[j].Weight
+	})
+	if len(missing) > 0 {
+		rt.metrics.incPartial()
+		w.Header().Set(PartialHeader, strings.Join(missing, ","))
+		if rt.log != nil {
+			rt.log.Warn("partial lookup", "missing", strings.Join(missing, ","))
+		}
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+// handleAggregate broadcasts POST /v1/aggregate to every member and sums
+// the per-shard fused-AP counts. Aggregation is the step that makes every
+// shard's slice queryable, so unlike lookups it is all-or-nothing: any
+// shard failing fails the broadcast with 502, and the caller retries.
+func (rt *Router) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	members := rt.ring.Load().Members()
+	results := make([]scatterResult, len(members))
+	var wg sync.WaitGroup
+	for i, id := range members {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			results[i] = scatterResult{id: id}
+			pc := rt.peer(id)
+			if pc == nil {
+				results[i].err = fmt.Errorf("member %q is not a configured peer", id)
+				return
+			}
+			resp, err := rt.forward(r.Context(), pc, "/v1/aggregate", r.Header, nil)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			if err == nil && resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("shard %s: status %d: %s", id, resp.StatusCode, strings.TrimSpace(string(body)))
+			}
+			results[i].body, results[i].err = body, err
+		}(i, id)
+	}
+	wg.Wait()
+	counts, missing, errs := partition[map[string]int](results)
+	if len(missing) > 0 {
+		writeError(w, http.StatusBadGateway,
+			fmt.Errorf("aggregate incomplete, failed shards %s: %w", strings.Join(missing, ","), errors.Join(errs...)))
+		return
+	}
+	total := 0
+	for _, c := range counts {
+		total += c.Value["fusedAPs"]
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"fusedAPs": total})
+}
+
+// handleReliability scatter-gathers GET /v1/reliability and merges the
+// per-vehicle scores. A vehicle scored by several shards (it drove through
+// several ownership slices) takes its score from the first shard in sorted
+// order — deterministic, if arbitrary; reliability is shard-locally
+// inferred and only advisory across the cluster.
+func (rt *Router) handleReliability(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	results, missing, errs := partition[map[string]float64](rt.scatter(r.Context(), "/v1/reliability", ""))
+	if len(results) == 0 {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("no shard answered: %w", errors.Join(errs...)))
+		return
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+	merged := map[string]float64{}
+	for _, res := range results {
+		for vehicle, score := range res.Value {
+			if _, ok := merged[vehicle]; !ok {
+				merged[vehicle] = score
+			}
+		}
+	}
+	if len(missing) > 0 {
+		rt.metrics.incPartial()
+		w.Header().Set(PartialHeader, strings.Join(missing, ","))
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// handleMembers serves the router's membership view. GET returns it; POST
+// installs a new ring and, unless ?propagate=false, pushes it to every new
+// member shard so router and shards agree on ownership atomically from the
+// operator's point of view. Shards outside the new membership are left
+// untouched — a departing shard may already be dead, and its ring no longer
+// matters.
+func (rt *Router) handleMembers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		var req server.MembersRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := rt.UpdateMembers(req.Members); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if r.URL.Query().Get("propagate") != "false" {
+			if err := rt.PropagateMembers(r.Context()); err != nil {
+				writeError(w, http.StatusBadGateway, err)
+				return
+			}
+		}
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	rg := rt.ring.Load()
+	rt.mu.RLock()
+	peers := make([]string, 0, len(rt.peers))
+	for id := range rt.peers {
+		peers = append(peers, id)
+	}
+	rt.mu.RUnlock()
+	sort.Strings(peers)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"members": rg.Members(),
+		"vnodes":  rg.VNodes(),
+		"peers":   peers,
+	})
+}
+
+// PropagateMembers pushes the router's current membership to every member
+// shard, so shard-side ownership filters (the 421 guard) agree with the
+// router's routing table.
+func (rt *Router) PropagateMembers(ctx context.Context) error {
+	members := rt.ring.Load().Members()
+	payload, err := json.Marshal(server.MembersRequest{Members: members})
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, id := range members {
+		pc := rt.peer(id)
+		if pc == nil {
+			errs = append(errs, fmt.Errorf("member %q is not a configured peer", id))
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			pc.endpoint("/v1/cluster/members", ""), bytes.NewReader(payload))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.send(pc, req)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("shard %s: %w", id, err))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			errs = append(errs, fmt.Errorf("shard %s: status %d", id, resp.StatusCode))
+		}
+		drainClose(resp)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,85 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"crowdwifi/internal/cluster"
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/server"
+)
+
+// TestRunAgainstRouterFrontedCluster drives the fleet at a router fronting
+// two shards and scrapes both shards for the server-side report section.
+// The books must still balance: nothing lost, and the acked-upload count
+// must equal the reports counter summed across the shards — which is the
+// whole point of Config.ScrapeURLs.
+func TestRunAgainstRouterFrontedCluster(t *testing.T) {
+	members := []string{"a", "b"}
+	shards := make(map[string]*httptest.Server, len(members))
+	for _, id := range members {
+		reg := obs.NewRegistry()
+		srv := server.New(server.NewStore(8),
+			server.WithMetrics(server.NewMetrics(reg)),
+			server.WithCluster(server.ClusterOptions{Self: id, Members: members}))
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		shards[id] = ts
+	}
+
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Peers: []cluster.Peer{
+			{ID: "a", URL: shards["a"].URL},
+			{ID: "b", URL: shards["b"].URL},
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	router := httptest.NewServer(rt)
+	t.Cleanup(router.Close)
+
+	r, err := NewRunner(Config{
+		ServerURL:   router.URL,
+		ScrapeURLs:  []string{shards["a"].URL, shards["b"].URL},
+		Vehicles:    8,
+		Warmup:      100 * time.Millisecond,
+		Measure:     400 * time.Millisecond,
+		Drain:       5 * time.Second,
+		Think:       2 * time.Millisecond,
+		LookupEvery: 4,
+		Archetypes:  4,
+		LogEvery:    -1,
+	})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if upl := rep.Endpoints[EndpointUpload]; upl.OK == 0 {
+		t.Fatalf("no successful uploads through the router: %+v", upl)
+	}
+	if look := rep.Endpoints[EndpointLookup]; look.OK == 0 {
+		t.Fatalf("no successful scatter-gather lookups: %+v", look)
+	}
+	if rep.Resilience.Lost != 0 {
+		t.Fatalf("lost %d reports behind the router: %+v", rep.Resilience.Lost, rep.Resilience)
+	}
+	if !rep.Server.Available {
+		t.Fatal("multi-shard scrape unavailable; shard /debug/vars or /metrics broke")
+	}
+	if !rep.Verification.ServerSideAvailable {
+		t.Fatalf("server-side verification unavailable: %+v", rep.Verification)
+	}
+	if !rep.Verification.Consistent {
+		t.Fatalf("acked uploads do not match the summed shard counters: %+v", rep.Verification)
+	}
+	if rep.Verification.AckedUploads == 0 {
+		t.Fatal("no uploads acknowledged over the whole run")
+	}
+}

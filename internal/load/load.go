@@ -81,7 +81,14 @@ func (p Phase) String() string {
 // Config parameterizes one load run.
 type Config struct {
 	// ServerURL is the crowd-server base URL, e.g. "http://127.0.0.1:8700".
+	// When the fleet drives a cluster, point this at the router.
 	ServerURL string
+	// ScrapeURLs are the debug/metrics endpoints sampled for the
+	// server-side section of the report. Empty defaults to [ServerURL].
+	// Against a cluster, list every shard (and optionally the router):
+	// counters are summed across targets, so RED deltas cover the whole
+	// fleet of shards instead of one.
+	ScrapeURLs []string
 	// Vehicles is the fleet size: one goroutine per simulated vehicle
 	// (default 100).
 	Vehicles int
@@ -152,6 +159,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OutboxCap <= 0 {
 		c.OutboxCap = 256
+	}
+	if len(c.ScrapeURLs) == 0 {
+		c.ScrapeURLs = []string{c.ServerURL}
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()

@@ -70,45 +70,71 @@ type serverSample struct {
 	admShed     uint64
 }
 
-// scrapeServer samples the target's debug endpoints with a plain HTTP
+// modeSeverity orders degradation modes worst-last so a multi-shard scrape
+// can report the worst shard's mode.
+func modeSeverity(mode string) int {
+	switch mode {
+	case "":
+		return -1
+	case "healthy":
+		return 0
+	case "recovering":
+		return 1
+	case "overloaded":
+		return 2
+	case "read-only":
+		return 3
+	}
+	return 1
+}
+
+// scrapeServer samples every target in Config.ScrapeURLs with a plain HTTP
 // client (not the retrying fleet transport, which would pollute the fleet's
-// own metrics). Any failure yields an unavailable sample; the report then
-// omits server-side numbers rather than failing the run.
+// own metrics) and sums the counters across them — against a cluster the
+// server-side section then covers all shards, not one. The reported mode is
+// the worst across targets. A target that fails to answer is skipped; the
+// sample is unavailable only when every target failed.
 func (r *Runner) scrapeServer(ctx context.Context) serverSample {
 	s := serverSample{when: time.Now()}
 	cl := &http.Client{Timeout: 5 * time.Second}
 
-	var vars struct {
-		Memstats struct {
-			HeapAlloc uint64 `json:"HeapAlloc"`
-		} `json:"memstats"`
-		Process  obs.ProcStats `json:"crowdwifi_process"`
-		Overload struct {
-			Mode string `json:"mode"`
-		} `json:"crowdwifi_overload"`
-	}
-	if err := getJSON(ctx, cl, r.cfg.ServerURL+"/debug/vars", &vars); err != nil {
-		return s
-	}
-	s.cpuSeconds = vars.Process.CPUSeconds
-	s.heapAlloc = vars.Memstats.HeapAlloc
-	s.goroutines = vars.Process.Goroutines
-	s.mode = vars.Overload.Mode
-	s.overload = s.mode != ""
+	for _, base := range r.cfg.ScrapeURLs {
+		var vars struct {
+			Memstats struct {
+				HeapAlloc uint64 `json:"HeapAlloc"`
+			} `json:"memstats"`
+			Process  obs.ProcStats `json:"crowdwifi_process"`
+			Overload struct {
+				Mode string `json:"mode"`
+			} `json:"crowdwifi_overload"`
+		}
+		if err := getJSON(ctx, cl, base+"/debug/vars", &vars); err != nil {
+			continue
+		}
+		s.cpuSeconds += vars.Process.CPUSeconds
+		s.heapAlloc += vars.Memstats.HeapAlloc
+		s.goroutines += vars.Process.Goroutines
+		if vars.Overload.Mode != "" {
+			s.overload = true
+			if modeSeverity(vars.Overload.Mode) > modeSeverity(s.mode) {
+				s.mode = vars.Overload.Mode
+			}
+		}
 
-	body, err := getBody(ctx, cl, r.cfg.ServerURL+"/metrics")
-	if err != nil {
-		return s
+		body, err := getBody(ctx, cl, base+"/metrics")
+		if err != nil {
+			continue
+		}
+		counters := parsePromCounters(body)
+		s.reports += counters["crowdwifi_server_reports_total"]
+		s.shed += counters["crowdwifi_server_shed_requests_total"]
+		s.deduped += counters["crowdwifi_server_deduped_requests_total"]
+		s.httpErrors += counters["crowdwifi_http_errors_total"]
+		s.transitions += counters["crowdwifi_overload_transitions_total"]
+		s.admitted += counters["crowdwifi_admission_admitted_total"]
+		s.admShed += counters["crowdwifi_admission_shed_total"]
+		s.available = true
 	}
-	counters := parsePromCounters(body)
-	s.reports = counters["crowdwifi_server_reports_total"]
-	s.shed = counters["crowdwifi_server_shed_requests_total"]
-	s.deduped = counters["crowdwifi_server_deduped_requests_total"]
-	s.httpErrors = counters["crowdwifi_http_errors_total"]
-	s.transitions = counters["crowdwifi_overload_transitions_total"]
-	s.admitted = counters["crowdwifi_admission_admitted_total"]
-	s.admShed = counters["crowdwifi_admission_shed_total"]
-	s.available = true
 	return s
 }
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/trace"
 	"crowdwifi/internal/wal"
 )
 
@@ -26,6 +27,7 @@ const (
 	recLabels    byte = 2
 	recReport    byte = 3
 	recAggregate byte = 4
+	recDrop      byte = 5
 )
 
 // ErrDurability marks a mutation rejected because its write-ahead append
@@ -58,6 +60,13 @@ type reportRecord struct {
 type aggregateRecord struct {
 	Fused       map[string][]LookupResult `json:"fused"`
 	Reliability map[string]float64        `json:"reliability"`
+}
+
+// dropRecord logs one segment-ownership drop (DropSegments): the named
+// segments' reports and fused results were streamed to their new owner and
+// must not survive replay here.
+type dropRecord struct {
+	Segments []string `json:"segments"`
 }
 
 // snapshotState is the full Store serialization: everything recovery needs
@@ -265,6 +274,12 @@ func (s *Store) applyRecord(rec wal.Record) error {
 		}
 		s.fused = ar.Fused
 		s.reliability = ar.Reliability
+	case recDrop:
+		var dr dropRecord
+		if err := json.Unmarshal(rec.Data, &dr); err != nil {
+			return fmt.Errorf("server: record %d: %w", rec.Seq, err)
+		}
+		s.dropSegmentsLocked(dr.Segments)
 	default:
 		return fmt.Errorf("server: record %d has unknown kind %d", rec.Seq, rec.Kind)
 	}
@@ -437,6 +452,52 @@ func (s *Store) ProbeDurability(ctx context.Context) error {
 		return nil
 	}
 	return log.Probe(ctx)
+}
+
+// DropSegments removes the named segments' reports and fused results, WAL-
+// logged so the drop survives a crash — the tail of a cross-shard move (the
+// data now lives on its ring owner). Patterns and labels for those segments
+// are deliberately left in place: pattern ids are dense per-shard (replay
+// enforces id == len(patterns)), so removing mid-list patterns would corrupt
+// replay. Stale patterns only cost a little shard-local task assignment and
+// never reach lookup results, whose inputs (reports, fused) are removed
+// here. Returns the number of reports dropped.
+func (s *Store) DropSegments(ctx context.Context, segments []string) (int, error) {
+	ctx, span := trace.StartChild(ctx, "store.drop_segments")
+	defer span.End()
+	span.SetAttr("segments", len(segments))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendRecordLocked(ctx, recDrop, dropRecord{Segments: segments}); err != nil {
+		span.SetError(err)
+		return 0, err
+	}
+	n := s.dropSegmentsLocked(segments)
+	span.SetAttr("dropped_reports", n)
+	return n, nil
+}
+
+// dropSegmentsLocked removes reports and fused entries for the named
+// segments. Requires s.mu held. Shared by the live mutator and WAL replay.
+func (s *Store) dropSegmentsLocked(segments []string) int {
+	set := make(map[string]bool, len(segments))
+	for _, seg := range segments {
+		set[seg] = true
+	}
+	kept := s.reports[:0]
+	dropped := 0
+	for _, r := range s.reports {
+		if set[r.Segment] {
+			dropped++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.reports = kept
+	for seg := range set {
+		delete(s.fused, seg)
+	}
+	return dropped
 }
 
 // Close flushes and closes the attached log (no-op for an in-memory store).

@@ -51,9 +51,11 @@ const (
 // clients still get a conservative whole-second Retry-After.
 const RetryAfterMsHeader = "X-Crowdwifi-Retry-After-Ms"
 
-// ModeHeader carries the server's degradation mode on shed responses, so a
-// client can distinguish "over capacity, retry soon" from "read-only disk
-// fault, retry later" without parsing the body.
+// ModeHeader carries the server's degradation mode on every response when
+// overload control is enabled, so a client can distinguish "over capacity,
+// retry soon" from "read-only disk fault, retry later" without parsing the
+// body — and a fleet (or the cluster router) can track shard health
+// passively from the traffic it already sends.
 const ModeHeader = "X-Crowdwifi-Mode"
 
 // IdempotencyKeyHeader carries the client's per-upload deduplication key.
@@ -579,6 +581,11 @@ type Server struct {
 	ov        *overload.Admission
 	ovEnabled bool
 	ovOpts    overload.Options
+
+	// cluster is non-nil when the server runs as one shard of a cluster
+	// (WithCluster): ingest is ownership-filtered and the /v1/cluster
+	// endpoints are mounted. See cluster.go.
+	cluster *clusterState
 }
 
 // Option configures a Server.
@@ -673,6 +680,12 @@ func New(store *Store, opts ...Option) *Server {
 	s.handle("/v1/aggregate", s.handleAggregate)
 	s.handle("/v1/lookup", s.handleLookup)
 	s.handle("/v1/reliability", s.handleReliability)
+	if s.cluster != nil {
+		s.handle("/v1/cluster/digest", s.handleClusterDigest)
+		s.handle("/v1/cluster/slice", s.handleClusterSlice)
+		s.handle("/v1/cluster/drop", s.handleClusterDrop)
+		s.handle("/v1/cluster/members", s.handleClusterMembers)
+	}
 	if s.metrics != nil {
 		obs.Mount(s.mux, s.metrics.Registry())
 	}
@@ -777,6 +790,11 @@ func classify(route, method string) (overload.Family, bool) {
 		return overload.FamilyControl, false
 	case "/v1/aggregate":
 		return overload.FamilyControl, method == http.MethodPost
+	case "/v1/cluster/slice", "/v1/cluster/drop":
+		// Rebalance transfers mutate durable state; a read-only shard must
+		// reject them like any upload so data is never half-moved onto a
+		// failing disk.
+		return overload.FamilyControl, method == http.MethodPost
 	default:
 		return overload.FamilyControl, false
 	}
@@ -793,9 +811,14 @@ func (s *Server) admit(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		fam, mutation := classify(route, r.Method)
+		// Every response carries the server's degradation mode, not just the
+		// sheds: clients and the router track shard health passively from
+		// traffic they were sending anyway, without probing or parsing errors.
+		mode := s.ov.Mode()
+		w.Header().Set(ModeHeader, mode.String())
 		dec := s.ov.Admit(r.Context(), fam, mutation)
 		if !dec.OK {
-			mode := s.ov.Mode()
+			mode = s.ov.Mode()
 			w.Header().Set(ModeHeader, mode.String())
 			_, sp := trace.StartChild(r.Context(), "server.shed")
 			sp.SetAttr("family", fam.String())
@@ -1007,6 +1030,10 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, errors.New("segment required"))
 			return
 		}
+		if owner, mis := s.misdirected(p.Segment); mis {
+			s.rejectMisdirected(w, p.Segment, owner)
+			return
+		}
 		id, err := s.store.AddPatternKeyed(r.Context(), r.Header.Get(IdempotencyKeyHeader), p.Segment, p.APs)
 		if err != nil {
 			s.mutationError(w, err)
@@ -1110,6 +1137,10 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &rep) {
 		return
 	}
+	if owner, mis := s.misdirected(rep.Segment); mis {
+		s.rejectMisdirected(w, rep.Segment, owner)
+		return
+	}
 	if err := s.store.AddReportKeyed(r.Context(), r.Header.Get(IdempotencyKeyHeader), rep); err != nil {
 		s.mutationError(w, err)
 		return
@@ -1150,7 +1181,14 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		}
 		vals[i] = v
 	}
-	area := geo.NewRect(geo.Point{X: vals[0], Y: vals[1]}, geo.Point{X: vals[2], Y: vals[3]})
+	// Reject degenerate rects instead of building one: geo.NewRect would
+	// silently normalize swapped corners and answer the wrong query.
+	if vals[0] > vals[2] || vals[1] > vals[3] {
+		writeError(w, http.StatusBadRequest,
+			errors.New("degenerate rect: xmin must not exceed xmax and ymin must not exceed ymax"))
+		return
+	}
+	area := geo.Rect{Min: geo.Point{X: vals[0], Y: vals[1]}, Max: geo.Point{X: vals[2], Y: vals[3]}}
 	// Store.Lookup never returns nil, so empty results encode as [].
 	writeJSON(w, http.StatusOK, s.store.Lookup(area))
 }

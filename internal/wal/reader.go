@@ -1,0 +1,61 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// IterateDir streams every record with seq > after from the log directory,
+// oldest first, without opening the log for writing. It is the read-only
+// sibling of (*Log).Replay, built for the cluster's rebalance path: a
+// departed shard's data directory can be sliced by segment ownership while
+// the shard's process is gone, so nothing ever appends to — or truncates —
+// the dead log.
+//
+// A torn tail in the final segment (the usual residue of a crash mid-append) is
+// tolerated and simply ends the iteration; unlike Open, the file is left
+// untouched. Framing damage inside a sealed (non-final) segment is
+// unrecoverable mid-log corruption and returns an error, exactly like
+// Replay. Probe records (KindProbe) are invisible, and record data is copied
+// so fn may retain it.
+func IterateDir(dir string, after uint64, fn func(Record) error) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var segs []segment
+	for _, e := range entries {
+		if first, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segment{path: filepath.Join(dir, e.Name()), first: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		buf, err := os.ReadFile(seg.path)
+		if err != nil {
+			return err
+		}
+		valid, n, err := walkFrames(buf, func(idx int, kind byte, data []byte) error {
+			seq := seg.first + uint64(idx)
+			if seq <= after || kind == KindProbe {
+				return nil
+			}
+			return fn(Record{Seq: seq, Kind: kind, Data: append([]byte(nil), data...)})
+		})
+		if err != nil {
+			return err
+		}
+		if final {
+			continue // a short final segment is a torn tail, not corruption
+		}
+		// A sealed segment must be fully framed and run exactly up to the
+		// next segment's first sequence.
+		if valid < int64(len(buf)) || seg.first+uint64(n) != segs[i+1].first {
+			return corruptionError(seg.path, valid)
+		}
+	}
+	return nil
+}
