@@ -105,9 +105,15 @@ func run(cfg load.Config, addr, out string, failOnLost bool) error {
 		return err
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if addr != "" {
 		mux := obs.NewDebugMux(reg)
 		runner.MountDebug(mux)
+		profiler := obs.NewProfiler(obs.ProfilerConfig{Logger: cfg.Logger})
+		go profiler.Run(ctx)
+		obs.MountProfiles(mux, profiler)
 		srv := &http.Server{Addr: addr, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -117,9 +123,6 @@ func run(cfg load.Config, addr, out string, failOnLost bool) error {
 		defer srv.Close()
 		cfg.Logger.Info("debug endpoints up", "addr", addr)
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	cfg.Logger.Info("load run starting",
 		"server", cfg.ServerURL, "vehicles", cfg.Vehicles,
@@ -139,6 +142,12 @@ func run(cfg load.Config, addr, out string, failOnLost bool) error {
 		"acked", rep.Verification.AckedUploads,
 		"lost", rep.Resilience.Lost,
 		"consistent", rep.Verification.Consistent)
+	if rep.SLO.Available {
+		for _, v := range rep.SLO.Objectives {
+			cfg.Logger.Info("slo verdict", "slo", v.Name, "target", v.Target,
+				"healthy", v.Healthy, "burnRate", fmt.Sprintf("%.2f", v.BurnRate))
+		}
+	}
 	if failOnLost && rep.Resilience.Lost > 0 {
 		return fmt.Errorf("run lost %d reports", rep.Resilience.Lost)
 	}

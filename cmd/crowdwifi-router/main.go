@@ -7,6 +7,15 @@
 // shard degrades only its slice (partial answers carry
 // X-Crowdwifi-Partial naming the missing shards).
 //
+// The router is also the cluster's observability front door: /metrics
+// federates every shard's registry (each sample gains a shard label;
+// counters and histograms get shard="all" sums), /debug/traces/{id}
+// assembles per-process trace fragments into one end-to-end trace,
+// /debug/cluster is a one-fetch JSON view of ring ownership, per-shard
+// digests/modes/WAL depth and reconcile drift, /debug/slo evaluates the
+// router's burn-rate SLOs, and /debug/profiles serves the continuous
+// CPU/heap profile ring.
+//
 // On startup (unless -reconcile=false) the router runs one reconcile pass:
 // it fetches every shard's per-segment digests, moves any segment resident
 // on a non-owner back to its ring owner through the idempotent WAL-slice
@@ -44,6 +53,7 @@ import (
 
 	"crowdwifi/internal/cluster"
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/slo"
 	"crowdwifi/internal/obs/trace"
 	"crowdwifi/internal/overload"
 	"crowdwifi/internal/retry"
@@ -155,12 +165,32 @@ func run(cfg config, logger *obs.Logger) error {
 			"duration", time.Since(start))
 	}
 
+	// The router's user-facing SLOs are measured at the front door from its
+	// own RED families; the engine samples in the background and refreshes
+	// the crowdwifi_slo_* gauges.
+	sloEngine := slo.New(slo.Config{
+		Objectives: cluster.SLOObjectives(reg),
+		Registry:   reg,
+	})
+	go sloEngine.Run(ctx)
+
+	profiler := obs.NewProfiler(obs.ProfilerConfig{Logger: logger})
+	go profiler.Run(ctx)
+
 	// The API mux carries the debug surface too, like the crowd-server: one
-	// scrape target per process by default.
+	// scrape target per process by default. /metrics federates every shard's
+	// registry with the router's own, and /debug/traces assembles per-process
+	// fragments into end-to-end traces.
 	mux := http.NewServeMux()
 	mux.Handle("/", rt)
-	obs.Mount(mux, reg)
-	trace.Mount(mux, tracer.Store())
+	mux.Handle("/metrics", rt.FederatedMetrics(reg))
+	obs.MountDebug(mux, reg)
+	traceHandler := rt.TraceHandler(tracer.Store())
+	mux.Handle("/debug/traces", traceHandler)
+	mux.Handle("/debug/traces/", traceHandler)
+	mux.Handle("/debug/cluster", rt.ClusterHandler())
+	mux.Handle("/debug/slo", sloEngine.Handler())
+	obs.MountProfiles(mux, profiler)
 	obs.MountHealth(mux, health)
 	handler := cluster.WithTracer(tracer, mux)
 
@@ -168,8 +198,14 @@ func run(cfg config, logger *obs.Logger) error {
 
 	var metricsSrv *http.Server
 	if cfg.metricsAddr != "" {
-		debugMux := obs.NewDebugMux(reg)
-		trace.Mount(debugMux, tracer.Store())
+		debugMux := http.NewServeMux()
+		debugMux.Handle("/metrics", rt.FederatedMetrics(reg))
+		obs.MountDebug(debugMux, reg)
+		debugMux.Handle("/debug/traces", traceHandler)
+		debugMux.Handle("/debug/traces/", traceHandler)
+		debugMux.Handle("/debug/cluster", rt.ClusterHandler())
+		debugMux.Handle("/debug/slo", sloEngine.Handler())
+		obs.MountProfiles(debugMux, profiler)
 		obs.MountHealth(debugMux, health)
 		metricsSrv = &http.Server{
 			Addr:              cfg.metricsAddr,

@@ -45,6 +45,7 @@ import (
 
 	"crowdwifi/internal/cs"
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/slo"
 	"crowdwifi/internal/obs/trace"
 	"crowdwifi/internal/overload"
 	"crowdwifi/internal/par"
@@ -201,11 +202,23 @@ func run(cfg config, logger *obs.Logger) error {
 			"duration", recovery.Duration)
 	}
 
+	// The SLO engine evaluates the shard's user-facing objectives from its
+	// own RED families; the profiler keeps a ring of CPU/heap snapshots.
+	// Both mount on the API mux (/debug/slo, /debug/profiles) and run until
+	// shutdown.
+	sloEngine := slo.New(slo.Config{
+		Objectives: server.SLOObjectives(reg),
+		Registry:   reg,
+	})
+	profiler := obs.NewProfiler(obs.ProfilerConfig{Logger: logger})
+
 	srvOpts := []server.Option{
 		server.WithMetrics(metrics),
 		server.WithLogger(logger),
 		server.WithTracer(tracer),
 		server.WithHealth(health),
+		server.WithSLO(sloEngine.Handler()),
+		server.WithProfiler(profiler),
 	}
 	if cfg.overloadMode {
 		lim := overload.LimiterOptions{Max: cfg.maxInflight}
@@ -237,6 +250,9 @@ func run(cfg config, logger *obs.Logger) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ctx = trace.WithTracer(ctx, tracer)
+
+	go sloEngine.Run(ctx)
+	go profiler.Run(ctx)
 
 	// The overload controller's probe loop walks a read-only server back to
 	// healthy once the disk accepts durable writes again.
@@ -311,6 +327,8 @@ func run(cfg config, logger *obs.Logger) error {
 		debugMux := obs.NewDebugMux(reg)
 		trace.Mount(debugMux, tracer.Store())
 		obs.MountHealth(debugMux, health)
+		debugMux.Handle("/debug/slo", sloEngine.Handler())
+		obs.MountProfiles(debugMux, profiler)
 		metricsSrv = &http.Server{
 			Addr:              cfg.metricsAddr,
 			Handler:           debugMux,

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"crowdwifi/internal/obs"
+)
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("req_total", "Requests.", obs.L("route", "/a"), obs.L("code", "200")).Add(7)
+	reg.Gauge("depth", "Queue depth.").Set(3)
+	reg.Histogram("lat_seconds", "Latency.", []float64{0.1, 1}).Observe(0.05)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := parseExposition([]byte(sb.String()))
+	if err != nil {
+		t.Fatalf("parseExposition of our own exposition: %v", err)
+	}
+	byName := map[string]*promFamily{}
+	for _, f := range fams {
+		byName[f.name] = f
+	}
+	if f := byName["req_total"]; f == nil || f.typ != "counter" || len(f.series) != 1 {
+		t.Fatalf("req_total family = %+v", f)
+	} else {
+		s := f.series[0]
+		if s.value != "7" {
+			t.Fatalf("req_total value = %q", s.value)
+		}
+		if ls := obs.ParseLabels(s.labels); ls["route"] != "/a" || ls["code"] != "200" {
+			t.Fatalf("req_total labels = %q", s.labels)
+		}
+	}
+	if f := byName["depth"]; f == nil || f.typ != "gauge" || f.series[0].value != "3" {
+		t.Fatalf("depth family = %+v", f)
+	}
+	// Histogram samples (_bucket/_sum/_count) attach to the histogram family.
+	f := byName["lat_seconds"]
+	if f == nil || f.typ != "histogram" {
+		t.Fatalf("lat_seconds family = %+v", f)
+	}
+	names := map[string]int{}
+	for _, s := range f.series {
+		names[s.name]++
+	}
+	if names["lat_seconds_bucket"] != 3 || names["lat_seconds_sum"] != 1 || names["lat_seconds_count"] != 1 {
+		t.Fatalf("lat_seconds series = %v", names)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"req_total not-a-number\n",
+		"req_total{route=\"/a\" 1\n", // unclosed braces
+		"just-a-word\n",
+	} {
+		if _, err := parseExposition([]byte(bad)); err == nil {
+			t.Errorf("parseExposition(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestParseSample(t *testing.T) {
+	name, labels, value, err := parseSample(`req_total{route="/a",code="200"} 42`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "req_total" || value != "42" {
+		t.Fatalf("sample = %s %s", name, value)
+	}
+	if ls := obs.ParseLabels(labels); ls["route"] != "/a" {
+		t.Fatalf("labels = %q", labels)
+	}
+
+	// Timestamped sample: the trailing ms timestamp is dropped.
+	name, _, value, err = parseSample(`up 1 1700000000000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "up" || value != "1" {
+		t.Fatalf("timestamped sample = %s %s", name, value)
+	}
+}
+
+func TestRenameShardClash(t *testing.T) {
+	// A source series already labelled by shard (the router's own per-shard
+	// gauges/counters) must not end up with two shard keys after federation.
+	got := renameShardClash(`shard="a"`)
+	if got != `exported_shard="a"` {
+		t.Fatalf("renameShardClash = %q", got)
+	}
+	got = renameShardClash(`code="500",shard="c"`)
+	if ls := obs.ParseLabels(got); ls["exported_shard"] != "c" || ls["code"] != "500" {
+		t.Fatalf("renameShardClash = %q", got)
+	}
+	// A key merely ending in "shard", or a value containing the text, is
+	// left alone.
+	if got := renameShardClash(`myshard="x"`); got != `myshard="x"` {
+		t.Fatalf("renameShardClash touched a non-shard key: %q", got)
+	}
+	if got := renameShardClash(`route="by,shard=\"a\""`); got != `route="by,shard=\"a\""` {
+		t.Fatalf("renameShardClash touched a value: %q", got)
+	}
+	joined := joinShardLabel(renameShardClash(`shard="a"`), "router")
+	ls := obs.ParseLabels(joined)
+	if ls["shard"] != "router" || ls["exported_shard"] != "a" {
+		t.Fatalf("join after rename = %q", joined)
+	}
+}
+
+func TestJoinShardLabel(t *testing.T) {
+	if got := joinShardLabel("", "a"); got != `shard="a"` {
+		t.Fatalf("joinShardLabel empty = %q", got)
+	}
+	got := joinShardLabel(`route="/a"`, "b")
+	ls := obs.ParseLabels(got)
+	if ls["route"] != "/a" || ls["shard"] != "b" {
+		t.Fatalf("joinShardLabel = %q", got)
+	}
+}

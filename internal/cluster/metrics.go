@@ -95,6 +95,21 @@ func (m *routerMetrics) vars() any {
 	return map[string]any{"shards": shards, "modes": modes}
 }
 
+// modesSnapshot copies the last-seen per-shard mode strings (empty map when
+// no upstream exchange has happened yet).
+func (m *routerMetrics) modesSnapshot() map[string]string {
+	out := map[string]string{}
+	if m == nil {
+		return out
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range m.modes {
+		out[k] = v
+	}
+	return out
+}
+
 // observeShard records one upstream exchange with a shard: the last-seen
 // mode gauge and error accounting.
 func (m *routerMetrics) observeShard(shard, mode string, err error) {

@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/slo"
+	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/server"
+)
+
+// obsShard is an e2eShard carrying the full observability surface: a metrics
+// registry, a record-everything tracer, and the trace debug mount the
+// router's assembly fan-out reads.
+type obsShard struct {
+	id    string
+	store *server.Store
+	ts    *httptest.Server
+}
+
+func newObsShard(t *testing.T, id string, members []string) *obsShard {
+	t.Helper()
+	store, _, err := server.OpenStore(e2eRadius, server.StorageOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("OpenStore(%s): %v", id, err)
+	}
+	reg := obs.NewRegistry()
+	srv := server.New(store,
+		server.WithCluster(server.ClusterOptions{Self: id, Members: members}),
+		server.WithMetrics(server.NewMetrics(reg)),
+		server.WithTracer(trace.NewTracer(trace.Config{SampleRate: 1})))
+	sh := &obsShard{id: id, store: store, ts: httptest.NewServer(srv)}
+	t.Cleanup(func() {
+		sh.ts.Close()
+		_ = sh.store.Close()
+	})
+	return sh
+}
+
+// newObsRouter boots a router wired the way cmd/crowdwifi-router wires it:
+// tracing middleware, federated /metrics, assembling /debug/traces,
+// /debug/cluster, and a live /debug/slo engine over the router's registry.
+func newObsRouter(t *testing.T, shards ...*obsShard) (*Router, *httptest.Server) {
+	t.Helper()
+	var peers []Peer
+	for _, sh := range shards {
+		peers = append(peers, Peer{ID: sh.id, URL: sh.ts.URL})
+	}
+	reg := obs.NewRegistry()
+	tracer := trace.NewTracer(trace.Config{SampleRate: 1})
+	rt, err := NewRouter(RouterOptions{Peers: peers, Retry: fastPolicy(), Registry: reg})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	engine := slo.New(slo.Config{Objectives: SLOObjectives(reg), Registry: reg})
+	mux := http.NewServeMux()
+	mux.Handle("/", rt)
+	mux.Handle("/metrics", rt.FederatedMetrics(reg))
+	th := rt.TraceHandler(tracer.Store())
+	mux.Handle("/debug/traces", th)
+	mux.Handle("/debug/traces/", th)
+	mux.Handle("/debug/cluster", rt.ClusterHandler())
+	mux.Handle("/debug/slo", engine.Handler())
+	ts := httptest.NewServer(WithTracer(tracer, mux))
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+// segOwnedBy finds a segment the ring assigns to the wanted shard.
+func segOwnedBy(t *testing.T, members []string, owner string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		seg := fmt.Sprintf("obs-seg-%03d", i)
+		if ringOwner(t, members, seg) == owner {
+			return seg
+		}
+	}
+	t.Fatalf("no segment owned by %s in 1000 candidates", owner)
+	return ""
+}
+
+// postTracedReport uploads one report with a caller-chosen trace id, so the
+// test knows which assembled trace to fetch without parsing router state.
+func postTracedReport(t *testing.T, base string, rep server.Report, key, traceID string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/reports", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.IdempotencyKeyHeader, key)
+	req.Header.Set(trace.Header, "00-"+traceID+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	return resp
+}
+
+func fetchAssembledTrace(t *testing.T, base, id string) trace.TraceData {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/traces/" + id)
+	if err != nil {
+		t.Fatalf("fetch trace: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch trace: status %d: %s", resp.StatusCode, body)
+	}
+	var td trace.TraceData
+	if err := json.Unmarshal(body, &td); err != nil {
+		t.Fatalf("decode trace: %v: %s", err, body)
+	}
+	return td
+}
+
+// spanAttr returns the value of a string attribute on the first span with
+// the given name, and whether such a span exists.
+func spanAttr(td trace.TraceData, spanName, key string) (string, bool) {
+	for _, sp := range td.Spans {
+		if sp.Name != spanName {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == key {
+				if s, ok := a.Value.(string); ok {
+					return s, true
+				}
+			}
+		}
+		return "", true
+	}
+	return "", false
+}
+
+func countSpans(td trace.TraceData, name string) int {
+	n := 0
+	for _, sp := range td.Spans {
+		if sp.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// TestThreeShardAssembledTraceThroughRouter is the observability tentpole's
+// core proof: one upload through the router, fetched back from the router's
+// /debug/traces/{id}, is a single logical trace holding the router hop AND
+// the owning shard's handler/dedupe/store spans — fragments from two
+// processes stitched on the trace id.
+func TestThreeShardAssembledTraceThroughRouter(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	a := newObsShard(t, "a", members)
+	b := newObsShard(t, "b", members)
+	c := newObsShard(t, "c", members)
+	_, routerTS := newObsRouter(t, a, b, c)
+
+	seg := segOwnedBy(t, members, "a")
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	resp := postTracedReport(t, routerTS.URL, server.Report{
+		Vehicle: "veh-obs",
+		Segment: seg,
+		APs:     []server.APReport{{X: 1, Y: 2, Credit: 3}},
+	}, "obs-trace-1", traceID)
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, respBody)
+	}
+	if got := resp.Header.Get(ShardHeader); got != "a" {
+		t.Fatalf("%s = %q, want %q", ShardHeader, got, "a")
+	}
+
+	td := fetchAssembledTrace(t, routerTS.URL, traceID)
+	if td.ID != traceID {
+		t.Fatalf("assembled trace id = %q, want %q", td.ID, traceID)
+	}
+	// Router-side evidence: the front-door span, carrying the owning shard.
+	if shard, ok := spanAttr(td, "router POST /v1/reports", "shard"); !ok {
+		t.Fatalf("assembled trace lacks the router span; spans: %+v", names(td))
+	} else if shard != "a" {
+		t.Fatalf("router span shard attr = %q, want %q", shard, "a")
+	}
+	// Shard-side evidence: the handler span continued over the wire (remote
+	// parent) plus its dedupe and store children.
+	for _, want := range []string{"server POST /v1/reports", "server.dedupe", "store.add_report"} {
+		if countSpans(td, want) == 0 {
+			t.Errorf("assembled trace lacks shard span %q; spans: %v", want, names(td))
+		}
+	}
+	remote := false
+	for _, sp := range td.Spans {
+		if sp.Remote {
+			remote = true
+		}
+	}
+	if !remote {
+		t.Errorf("no remote-parent span: shard fragment not stitched under the router hop")
+	}
+
+	// The assembled index lists the trace too.
+	idxResp, err := http.Get(routerTS.URL + "/debug/traces")
+	if err != nil {
+		t.Fatalf("trace index: %v", err)
+	}
+	idxBody, _ := io.ReadAll(idxResp.Body)
+	idxResp.Body.Close()
+	if idxResp.StatusCode != http.StatusOK {
+		t.Fatalf("trace index: status %d", idxResp.StatusCode)
+	}
+	if !bytes.Contains(idxBody, []byte(traceID)) {
+		t.Fatalf("trace index does not list %s: %s", traceID, idxBody)
+	}
+}
+
+func names(td trace.TraceData) []string {
+	out := make([]string, len(td.Spans))
+	for i, sp := range td.Spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// TestThreeShardRerouteTraceNamesFinalShard covers the 421 path: the shards
+// have already moved to a shrunk ring ({b,c}) while the router still routes
+// on {a,b,c} — the half-propagated membership change 421 re-routing exists
+// for. An upload the router sends to a comes back 421 naming the owner under
+// the new ring, and the router re-routes once. The response names the shard
+// that actually served, and the assembled trace contains BOTH shard hops —
+// the rejection and the landing.
+func TestThreeShardRerouteTraceNamesFinalShard(t *testing.T) {
+	routerMembers := []string{"a", "b", "c"}
+	newMembers := []string{"b", "c"}
+	a := newObsShard(t, "a", newMembers)
+	b := newObsShard(t, "b", newMembers)
+	c := newObsShard(t, "c", newMembers)
+	_, routerTS := newObsRouter(t, a, b, c)
+
+	// Routed to a under the router's stale ring, owned elsewhere under the
+	// shards' new ring — the landing shard agrees it owns the segment.
+	seg := segOwnedBy(t, routerMembers, "a")
+	expect := ringOwner(t, newMembers, seg)
+	if expect == "a" {
+		t.Fatalf("test setup broken: new ring still owns %s at a", seg)
+	}
+
+	const traceID = "00f067aa0ba902b74bf92f3577b34da6"
+	resp := postTracedReport(t, routerTS.URL, server.Report{
+		Vehicle: "veh-reroute",
+		Segment: seg,
+		APs:     []server.APReport{{X: 4, Y: 5, Credit: 6}},
+	}, "obs-trace-421", traceID)
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("re-routed upload: status %d: %s", resp.StatusCode, respBody)
+	}
+	if got := resp.Header.Get(ShardHeader); got != expect {
+		t.Fatalf("%s = %q, want re-routed owner %q", ShardHeader, got, expect)
+	}
+
+	td := fetchAssembledTrace(t, routerTS.URL, traceID)
+	if shard, ok := spanAttr(td, "router POST /v1/reports", "shard"); !ok || shard != expect {
+		t.Fatalf("router span shard attr = %q (present=%v), want %q", shard, ok, expect)
+	}
+	// Both shard a (the 421 rejection) and the final owner handled the
+	// request under the same trace id, so the merged trace holds two shard
+	// handler spans.
+	if got := countSpans(td, "server POST /v1/reports"); got < 2 {
+		t.Fatalf("assembled trace has %d shard handler spans, want >= 2 (421 + landing); spans: %v",
+			got, names(td))
+	}
+	if countSpans(td, "store.add_report") == 0 {
+		t.Fatalf("assembled trace lacks the landing shard's store span; spans: %v", names(td))
+	}
+}
+
+// TestThreeShardFederatedMetricsClusterViewAndSLO proves the rest of the
+// plane: the router's /metrics federates every shard registry under shard
+// labels with fleet-wide sums, /debug/cluster sees all shards with zero
+// drift, and /debug/slo reports burn-rate fields for both objectives.
+func TestThreeShardFederatedMetricsClusterViewAndSLO(t *testing.T) {
+	members := []string{"a", "b", "c"}
+	a := newObsShard(t, "a", members)
+	b := newObsShard(t, "b", members)
+	c := newObsShard(t, "c", members)
+	_, routerTS := newObsRouter(t, a, b, c)
+
+	postReports(t, routerTS.URL, e2eReports(), "obs-fed")
+	aggregate(t, routerTS.URL)
+	lookupBytes(t, routerTS.URL)
+
+	// Federated exposition: parses cleanly, carries every shard's series
+	// under its shard label plus the shard="all" sum, and the router's own
+	// families under shard="router".
+	body, err := getTextOK(routerTS.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("federated metrics: %v", err)
+	}
+	fams, err := parseExposition([]byte(body))
+	if err != nil {
+		t.Fatalf("federated exposition malformed: %v", err)
+	}
+	byName := map[string]*promFamily{}
+	for _, f := range fams {
+		byName[f.name] = f
+	}
+	shardReqs := byName["crowdwifi_http_requests_total"]
+	if shardReqs == nil {
+		t.Fatalf("federated metrics lack crowdwifi_http_requests_total; families: %d", len(fams))
+	}
+	seen := map[string]bool{}
+	for _, s := range shardReqs.series {
+		seen[obs.ParseLabels(s.labels)["shard"]] = true
+	}
+	for _, want := range []string{"a", "b", "c", "all"} {
+		if !seen[want] {
+			t.Errorf("crowdwifi_http_requests_total lacks shard=%q series; saw %v", want, seen)
+		}
+	}
+	routerReqs := byName["crowdwifi_router_http_requests_total"]
+	if routerReqs == nil {
+		t.Fatal("federated metrics lack the router's own families")
+	}
+	routerSeen := false
+	for _, s := range routerReqs.series {
+		if obs.ParseLabels(s.labels)["shard"] == "router" {
+			routerSeen = true
+		}
+	}
+	if !routerSeen {
+		t.Error("router families not labelled shard=\"router\"")
+	}
+
+	// Cluster view: every shard reachable, resident data, zero drift.
+	var view ClusterView
+	if err := getJSONOK(routerTS.URL+"/debug/cluster", &view); err != nil {
+		t.Fatalf("/debug/cluster: %v", err)
+	}
+	if len(view.Members) != 3 || len(view.Shards) != 3 {
+		t.Fatalf("cluster view members=%v shards=%d, want 3/3", view.Members, len(view.Shards))
+	}
+	for id, sh := range view.Shards {
+		if !sh.Reachable {
+			t.Errorf("shard %s unreachable in cluster view: %s", id, sh.Error)
+		}
+		if len(sh.Segments) == 0 {
+			t.Errorf("shard %s shows no segments in cluster view", id)
+		}
+	}
+	if len(view.Drift) != 0 {
+		t.Errorf("healthy cluster shows drift: %+v", view.Drift)
+	}
+
+	// SLO surface: both objectives present, healthy after an all-201 run,
+	// with burn-rate fields on windows and alerts (the contract CI scrapes).
+	var raw struct {
+		Objectives []map[string]json.RawMessage `json:"objectives"`
+	}
+	if err := getJSONOK(routerTS.URL+"/debug/slo", &raw); err != nil {
+		t.Fatalf("/debug/slo: %v", err)
+	}
+	if len(raw.Objectives) != 2 {
+		t.Fatalf("/debug/slo objectives = %d, want 2", len(raw.Objectives))
+	}
+	var st slo.Status
+	if err := getJSONOK(routerTS.URL+"/debug/slo", &st); err != nil {
+		t.Fatalf("/debug/slo decode: %v", err)
+	}
+	for i, o := range st.Objectives {
+		if len(o.Windows) == 0 || len(o.Alerts) == 0 {
+			t.Fatalf("objective %s lacks windows/alerts", o.Name)
+		}
+		if o.Name == "upload-availability" && !o.Healthy {
+			t.Errorf("upload-availability unhealthy after all-201 run: %+v", o)
+		}
+		var win map[string]json.RawMessage
+		var windows []json.RawMessage
+		if err := json.Unmarshal(raw.Objectives[i]["windows"], &windows); err != nil || len(windows) == 0 {
+			t.Fatalf("objective %s windows malformed: %v", o.Name, err)
+		}
+		if err := json.Unmarshal(windows[0], &win); err != nil {
+			t.Fatal(err)
+		}
+		for _, field := range []string{"window", "errorRate", "burnRate"} {
+			if _, ok := win[field]; !ok {
+				t.Errorf("objective %s window lacks %q field", o.Name, field)
+			}
+		}
+		var alerts []map[string]json.RawMessage
+		if err := json.Unmarshal(raw.Objectives[i]["alerts"], &alerts); err != nil || len(alerts) == 0 {
+			t.Fatalf("objective %s alerts malformed: %v", o.Name, err)
+		}
+		for _, field := range []string{"shortBurn", "longBurn", "firing"} {
+			if _, ok := alerts[0][field]; !ok {
+				t.Errorf("objective %s alert lacks %q field", o.Name, field)
+			}
+		}
+	}
+}
+
+func getTextOK(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body), nil
+}
+
+func getJSONOK(url string, out any) error {
+	body, err := getTextOK(url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal([]byte(body), out)
+}

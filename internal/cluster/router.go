@@ -41,6 +41,11 @@ import (
 // partial answer from a complete one without comparing counts.
 const PartialHeader = "X-Crowdwifi-Partial"
 
+// ShardHeader names the shard that actually served a router-proxied upload
+// (the post-re-route owner), so a slow or failed request is attributable to
+// its shard from the response alone.
+const ShardHeader = "X-Crowdwifi-Shard"
+
 // DefaultMaxBodyBytes mirrors the shard server's ingest cap so the router
 // rejects oversized uploads before burning upstream bandwidth on them.
 const DefaultMaxBodyBytes = server.DefaultMaxBodyBytes
@@ -462,6 +467,7 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s: %w", owner, err))
 		return
 	}
+	served := owner
 	if resp.StatusCode == http.StatusMisdirectedRequest {
 		next := resp.Header.Get(server.OwnerHeader)
 		if npc := rt.peer(next); npc != nil && next != owner {
@@ -476,8 +482,11 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s: %w", next, err))
 				return
 			}
+			served = next
 		}
 	}
+	w.Header().Set(ShardHeader, served)
+	trace.FromContext(r.Context()).SetAttr("shard", served)
 	proxy(w, resp)
 }
 

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"strconv"
+
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/slo"
+	"crowdwifi/internal/server"
+)
+
+// SLOObjectives returns the router's default objectives — the same user-facing
+// promises as a shard's (see server.SLOObjectives) but measured at the
+// cluster front door over the router's own RED families, so a shard outage
+// the router absorbs (re-route, partial lookup) doesn't burn budget while an
+// outage the client sees does.
+func SLOObjectives(reg *obs.Registry) []slo.Objective {
+	goodCode := func(labels map[string]string) bool {
+		code, err := strconv.Atoi(labels["code"])
+		if err != nil {
+			return false
+		}
+		return code < 500
+	}
+	uploadRoute := func(labels map[string]string) bool {
+		r := labels["route"]
+		return r == "/v1/reports" || r == "/v1/patterns"
+	}
+	lookupRoute := func(labels map[string]string) bool {
+		return labels["route"] == "/v1/lookup"
+	}
+	return []slo.Objective{
+		{
+			Name:        "upload-availability",
+			Description: "99.9% of routed upload requests succeed (non-5xx)",
+			Target:      server.UploadAvailabilityTarget,
+			Source:      slo.CounterRatio(reg, "crowdwifi_router_http_requests_total", uploadRoute, goodCode),
+		},
+		{
+			Name:        "lookup-latency",
+			Description: "99% of routed lookups complete within 500ms",
+			Target:      server.LookupLatencyTarget,
+			Source:      slo.LatencyUnder(reg, "crowdwifi_router_http_request_duration_seconds", lookupRoute, server.LookupLatencySeconds),
+		},
+	}
+}

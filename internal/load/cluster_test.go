@@ -2,12 +2,14 @@ package load
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"crowdwifi/internal/cluster"
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/slo"
 	"crowdwifi/internal/server"
 )
 
@@ -15,7 +17,9 @@ import (
 // two shards and scrapes both shards for the server-side report section.
 // The books must still balance: nothing lost, and the acked-upload count
 // must equal the reports counter summed across the shards — which is the
-// whole point of Config.ScrapeURLs.
+// whole point of Config.ScrapeURLs. The router carries an SLO engine and
+// stamps the shard header, so the report's shard breakdown and SLO verdict
+// sections must come back populated too.
 func TestRunAgainstRouterFrontedCluster(t *testing.T) {
 	members := []string{"a", "b"}
 	shards := make(map[string]*httptest.Server, len(members))
@@ -29,16 +33,22 @@ func TestRunAgainstRouterFrontedCluster(t *testing.T) {
 		shards[id] = ts
 	}
 
+	routerReg := obs.NewRegistry()
 	rt, err := cluster.NewRouter(cluster.RouterOptions{
 		Peers: []cluster.Peer{
 			{ID: "a", URL: shards["a"].URL},
 			{ID: "b", URL: shards["b"].URL},
 		},
+		Registry: routerReg,
 	})
 	if err != nil {
 		t.Fatalf("NewRouter: %v", err)
 	}
-	router := httptest.NewServer(rt)
+	engine := slo.New(slo.Config{Objectives: cluster.SLOObjectives(routerReg), Registry: routerReg})
+	mux := http.NewServeMux()
+	mux.Handle("/", rt)
+	mux.Handle("/debug/slo", engine.Handler())
+	router := httptest.NewServer(mux)
 	t.Cleanup(router.Close)
 
 	r, err := NewRunner(Config{
@@ -81,5 +91,24 @@ func TestRunAgainstRouterFrontedCluster(t *testing.T) {
 	}
 	if rep.Verification.AckedUploads == 0 {
 		t.Fatal("no uploads acknowledged over the whole run")
+	}
+
+	if len(rep.Shards) == 0 {
+		t.Fatalf("no per-shard latency breakdown captured from %s headers", cluster.ShardHeader)
+	}
+	for id, sh := range rep.Shards {
+		if sh.Requests == 0 {
+			t.Errorf("shard %s breakdown has zero requests", id)
+		}
+	}
+
+	if !rep.SLO.Available {
+		t.Fatal("SLO verdicts unavailable despite /debug/slo on the router")
+	}
+	if len(rep.SLO.Objectives) != 2 {
+		t.Fatalf("SLO verdicts = %+v, want 2 objectives", rep.SLO.Objectives)
+	}
+	if !rep.SLO.Healthy {
+		t.Fatalf("SLO unhealthy over a clean run: %+v", rep.SLO.Objectives)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"crowdwifi/internal/client"
+	"crowdwifi/internal/cluster"
 	"crowdwifi/internal/geo"
 	"crowdwifi/internal/obs"
 	"crowdwifi/internal/retry"
@@ -216,6 +217,13 @@ type Runner struct {
 	vehicles []*vehicle
 	tracks   map[string]*track
 
+	// Per-shard upload latency, keyed by the X-Crowdwifi-Shard header the
+	// router stamps on proxied answers. Shards appear as traffic reveals
+	// them; against a single server the map stays empty and the report's
+	// shard section is omitted.
+	shardMu     sync.Mutex
+	shardTracks map[string]*shardTrack
+
 	drainDelivered atomic.Uint64
 
 	// shed-then-succeed: logical requests that hit at least one 503 but
@@ -252,7 +260,9 @@ func (a attemptWatcher) Do(req *http.Request) (*http.Response, error) {
 // shedObserver sits OVER the retrying doer: it plants the flag, times the
 // whole logical request (first attempt through final response, backoff
 // included), and records the shed-then-succeed latency when the flag fired
-// but the request ultimately succeeded.
+// but the request ultimately succeeded. The same vantage point sees the
+// router's X-Crowdwifi-Shard header on the final response, so it also feeds
+// the per-shard latency breakdown.
 type shedObserver struct {
 	next client.HTTPDoer
 	r    *Runner
@@ -263,8 +273,14 @@ func (s shedObserver) Do(req *http.Request) (*http.Response, error) {
 	req = req.WithContext(context.WithValue(req.Context(), shedKey{}, f))
 	start := time.Now()
 	resp, err := s.next.Do(req)
-	if err == nil && f.seen.Load() && resp.StatusCode < 300 {
-		s.r.recordShedRetry(time.Since(start))
+	if err == nil {
+		d := time.Since(start)
+		if f.seen.Load() && resp.StatusCode < 300 {
+			s.r.recordShedRetry(d)
+		}
+		if shard := resp.Header.Get(cluster.ShardHeader); shard != "" {
+			s.r.recordShard(shard, d)
+		}
 	}
 	return resp, err
 }
@@ -277,6 +293,37 @@ func (r *Runner) recordShedRetry(d time.Duration) {
 	r.shedRetryWindow.Observe(sec)
 	if r.measuring.Load() {
 		r.shedRetryMeasured.Observe(sec)
+	}
+}
+
+// shardTrack mirrors track for one shard's slice of router-proxied traffic:
+// the window feeds live views, the measured histogram feeds the report.
+type shardTrack struct {
+	window   *obs.WindowedHistogram
+	measured *obs.Histogram
+}
+
+// recordShard feeds one router-proxied completion into the per-shard latency
+// views, creating the shard's instruments on first sight.
+func (r *Runner) recordShard(shard string, d time.Duration) {
+	r.shardMu.Lock()
+	t, ok := r.shardTracks[shard]
+	if !ok {
+		t = &shardTrack{
+			window: r.reg.WindowedHistogram("crowdwifi_load_shard_duration_seconds",
+				"Client-observed latency of router-proxied requests by owning shard (rolling window).",
+				nil, obs.DefaultWindow, obs.DefaultWindowSlots, obs.L("shard", shard)),
+			measured: r.reg.Histogram("crowdwifi_load_shard_measured_duration_seconds",
+				"Router-proxied request latency by owning shard, measure phase only (source of the run report's shard breakdown).",
+				nil, obs.L("shard", shard)),
+		}
+		r.shardTracks[shard] = t
+	}
+	r.shardMu.Unlock()
+	sec := d.Seconds()
+	t.window.Observe(sec)
+	if r.measuring.Load() {
+		t.measured.Observe(sec)
 	}
 }
 
@@ -293,6 +340,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		log:           cfg.Logger,
 		clientMetrics: client.NewMetrics(cfg.Registry),
 		tracks:        map[string]*track{},
+		shardTracks:   map[string]*shardTrack{},
 	}
 	r.doer = cfg.HTTP
 	if r.doer == nil {
@@ -568,12 +616,14 @@ func (r *Runner) Run(ctx context.Context) (*RunReport, error) {
 	stopDrive()
 	r.drainOutboxes(ctx)
 	serverFinal := r.scrapeServer(ctx)
+	sloStatus, sloOK := r.scrapeSLO(ctx)
 	r.setPhase(PhaseDone)
 
 	return r.buildReport(reportInputs{
 		before: before, after: after,
 		serverStart: serverStart, serverBefore: serverBefore,
 		serverAfter: serverAfter, serverFinal: serverFinal,
+		slo: sloStatus, sloOK: sloOK,
 		measured: measured,
 	}), nil
 }

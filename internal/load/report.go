@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/slo"
 )
 
 // ReportSchema versions the run-report JSON layout; bump it when a field
@@ -138,6 +139,23 @@ func (r *Runner) scrapeServer(ctx context.Context) serverSample {
 	return s
 }
 
+// scrapeSLO fetches the target's /debug/slo verdicts. It tries the server URL
+// first (against a cluster that is the router, whose objectives are the
+// user-facing ones) and falls back to the scrape targets, so a bare shard run
+// with -scrape pointed at the shard's metrics address still gets verdicts.
+func (r *Runner) scrapeSLO(ctx context.Context) (slo.Status, bool) {
+	cl := &http.Client{Timeout: 5 * time.Second}
+	targets := append([]string{r.cfg.ServerURL}, r.cfg.ScrapeURLs...)
+	for _, base := range targets {
+		var st slo.Status
+		if err := getJSON(ctx, cl, base+"/debug/slo", &st); err != nil || len(st.Objectives) == 0 {
+			continue
+		}
+		return st, true
+	}
+	return slo.Status{}, false
+}
+
 func getJSON(ctx context.Context, cl *http.Client, url string, out any) error {
 	body, err := getBody(ctx, cl, url)
 	if err != nil {
@@ -199,6 +217,22 @@ type LatencyStats struct {
 	P999  float64 `json:"p999"`
 }
 
+// latencyStats summarizes a histogram; ok is false when it saw no samples.
+func latencyStats(h *obs.Histogram) (stats LatencyStats, ok bool) {
+	n := h.Count()
+	if n == 0 {
+		return LatencyStats{}, false
+	}
+	return LatencyStats{
+		Count: n,
+		Mean:  h.Sum() / float64(n),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}, true
+}
+
 // EndpointReport is one endpoint's measure-phase traffic summary.
 type EndpointReport struct {
 	Requests       uint64       `json:"requests"`
@@ -207,6 +241,25 @@ type EndpointReport struct {
 	Errors         uint64       `json:"errors"`
 	PerSecond      float64      `json:"perSecond"`
 	LatencySeconds LatencyStats `json:"latencySeconds"`
+}
+
+// ShardReport is one shard's slice of the router-proxied traffic over the
+// measure phase, attributed via the X-Crowdwifi-Shard response header.
+type ShardReport struct {
+	Requests       uint64       `json:"requests"`
+	LatencySeconds LatencyStats `json:"latencySeconds"`
+}
+
+// SLOVerdict is one objective's end-of-run state as reported by the target's
+// /debug/slo: the shortest window's error and burn rates plus any alerts
+// still firing when the run ended.
+type SLOVerdict struct {
+	Name      string   `json:"name"`
+	Target    float64  `json:"target"`
+	Healthy   bool     `json:"healthy"`
+	ErrorRate float64  `json:"errorRate"`
+	BurnRate  float64  `json:"burnRate"`
+	Firing    []string `json:"firing,omitempty"`
 }
 
 // RunReport is the machine-readable outcome of one load run (the BENCH_*.json
@@ -245,6 +298,14 @@ type RunReport struct {
 
 	// Endpoints holds measure-phase per-endpoint breakdowns.
 	Endpoints map[string]EndpointReport `json:"endpoints"`
+
+	// Shards breaks router-proxied latency down by owning shard (absent when
+	// the target is a single server, which never stamps the shard header).
+	// Comparing a shard's quantiles against the upload endpoint's shows the
+	// router's own overhead: endpoint latency is the client-to-router span,
+	// shard latency attributes the same requests to whichever shard served
+	// them.
+	Shards map[string]ShardReport `json:"shards,omitempty"`
 
 	// Resilience summarizes the delivery machinery over the whole run
 	// (warmup through drain): zero Lost is the acceptance bar.
@@ -297,6 +358,15 @@ type RunReport struct {
 		AdmissionShedDelta uint64 `json:"admissionShedDelta"`
 	} `json:"overload"`
 
+	// SLO carries the target's end-of-run /debug/slo verdicts (absent when
+	// the target does not expose the SLO surface). Healthy is the AND across
+	// objectives.
+	SLO struct {
+		Available  bool         `json:"available"`
+		Healthy    bool         `json:"healthy"`
+		Objectives []SLOVerdict `json:"objectives,omitempty"`
+	} `json:"slo"`
+
 	// Verification closes the books across the whole run: every upload the
 	// fleet considers acknowledged against the server's accepted count.
 	Verification struct {
@@ -310,6 +380,8 @@ type RunReport struct {
 type reportInputs struct {
 	before, after                                       snapshot
 	serverStart, serverBefore, serverAfter, serverFinal serverSample
+	slo                                                 slo.Status
+	sloOK                                               bool
 	measured                                            time.Duration
 }
 
@@ -350,16 +422,8 @@ func (r *Runner) buildReport(in reportInputs) *RunReport {
 		}
 		e.Requests = e.OK + e.Queued + e.Errors
 		e.PerSecond = float64(e.Requests) / secs
-		h := t.measured
-		if n := h.Count(); n > 0 {
-			e.LatencySeconds = LatencyStats{
-				Count: n,
-				Mean:  h.Sum() / float64(n),
-				P50:   h.Quantile(0.50),
-				P95:   h.Quantile(0.95),
-				P99:   h.Quantile(0.99),
-				P999:  h.Quantile(0.999),
-			}
+		if stats, ok := latencyStats(t.measured); ok {
+			e.LatencySeconds = stats
 		}
 		rep.Endpoints[ep] = e
 		totalReq += e.Requests
@@ -385,18 +449,23 @@ func (r *Runner) buildReport(in reportInputs) *RunReport {
 	res.UploadErrors = final.counts[EndpointUpload]["error"]
 	res.Lost = res.UploadErrors + res.DrainDropped + res.OutboxEvicted + uint64(remaining)
 	res.ShedThenOK = r.shedThenOK.Load()
-	if h := r.shedRetryMeasured; h != nil {
-		if n := h.Count(); n > 0 {
-			res.ShedRetryLatencySeconds = LatencyStats{
-				Count: n,
-				Mean:  h.Sum() / float64(n),
-				P50:   h.Quantile(0.50),
-				P95:   h.Quantile(0.95),
-				P99:   h.Quantile(0.99),
-				P999:  h.Quantile(0.999),
-			}
+	if r.shedRetryMeasured != nil {
+		if stats, ok := latencyStats(r.shedRetryMeasured); ok {
+			res.ShedRetryLatencySeconds = stats
 		}
 	}
+
+	// Per-shard breakdown of the router-proxied traffic (measure phase only).
+	r.shardMu.Lock()
+	for id, t := range r.shardTracks {
+		if stats, ok := latencyStats(t.measured); ok {
+			if rep.Shards == nil {
+				rep.Shards = map[string]ShardReport{}
+			}
+			rep.Shards[id] = ShardReport{Requests: stats.Count, LatencySeconds: stats}
+		}
+	}
+	r.shardMu.Unlock()
 
 	upl := rep.Endpoints[EndpointUpload]
 	if upl.Requests > 0 {
@@ -434,6 +503,29 @@ func (r *Runner) buildReport(in reportInputs) *RunReport {
 		}
 		ov.AdmittedDelta = in.serverAfter.admitted - in.serverBefore.admitted
 		ov.AdmissionShedDelta = in.serverAfter.admShed - in.serverBefore.admShed
+	}
+
+	// End-of-run SLO verdicts from the target's own burn-rate engine.
+	if in.sloOK {
+		s := &rep.SLO
+		s.Available = true
+		s.Healthy = true
+		for _, o := range in.slo.Objectives {
+			v := SLOVerdict{Name: o.Name, Target: o.Target, Healthy: o.Healthy}
+			if len(o.Windows) > 0 {
+				v.ErrorRate = o.Windows[0].ErrorRate
+				v.BurnRate = o.Windows[0].BurnRate
+			}
+			for _, a := range o.Alerts {
+				if a.Firing {
+					v.Firing = append(v.Firing, a.Name)
+				}
+			}
+			if !o.Healthy {
+				s.Healthy = false
+			}
+			s.Objectives = append(s.Objectives, v)
+		}
 	}
 
 	// Every upload the fleet believes landed, against the server's accepted

@@ -20,6 +20,14 @@ import (
 // an empty exposition and /debug/vars omits the quantile block).
 func Mount(mux *http.ServeMux, reg *Registry) {
 	mux.Handle("/metrics", reg.Handler())
+	MountDebug(mux, reg)
+}
+
+// MountDebug attaches every Mount endpoint except /metrics: /debug/vars and
+// the pprof suite. Processes that serve a non-registry /metrics handler (the
+// router's federated exposition) use this to keep the rest of the debug
+// surface without a duplicate /metrics registration.
+func MountDebug(mux *http.ServeMux, reg *Registry) {
 	mux.Handle("/debug/vars", varsHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profiler defaults: a 5 s CPU capture every 2 minutes plus a heap snapshot
+// costs well under 1% steady-state overhead, cheap enough to leave on.
+const (
+	DefaultProfileInterval = 2 * time.Minute
+	DefaultCPUDuration     = 5 * time.Second
+	DefaultProfileKeep     = 16
+)
+
+// ProfileInfo describes one retained snapshot.
+type ProfileInfo struct {
+	ID    string    `json:"id"`   // "{kind}-{seq}", the retrieval key
+	Kind  string    `json:"kind"` // "cpu" or "heap"
+	Taken time.Time `json:"taken"`
+	Bytes int       `json:"bytes"`
+}
+
+type profileSnap struct {
+	info ProfileInfo
+	data []byte
+}
+
+// Profiler is the continuous-profiling captor: a background loop takes
+// periodic CPU and heap pprof snapshots into bounded per-kind rings served
+// at /debug/profiles. Snapshots are the binary pprof format `go tool pprof`
+// reads directly.
+type Profiler struct {
+	interval time.Duration
+	cpuDur   time.Duration
+	keep     int
+	log      *Logger
+
+	mu   sync.Mutex
+	seq  uint64
+	cpu  []profileSnap
+	heap []profileSnap
+}
+
+// ProfilerConfig configures a Profiler; zero values select the defaults.
+type ProfilerConfig struct {
+	// Interval is the pause between capture rounds.
+	Interval time.Duration
+	// CPUDuration is how long each CPU profile records.
+	CPUDuration time.Duration
+	// Keep bounds how many snapshots of each kind are retained.
+	Keep int
+	// Logger receives capture failures (optional).
+	Logger *Logger
+}
+
+// NewProfiler builds a captor; call Run to start it.
+func NewProfiler(cfg ProfilerConfig) *Profiler {
+	p := &Profiler{
+		interval: cfg.Interval,
+		cpuDur:   cfg.CPUDuration,
+		keep:     cfg.Keep,
+		log:      cfg.Logger,
+	}
+	if p.interval <= 0 {
+		p.interval = DefaultProfileInterval
+	}
+	if p.cpuDur <= 0 {
+		p.cpuDur = DefaultCPUDuration
+	}
+	if p.cpuDur > p.interval {
+		p.cpuDur = p.interval
+	}
+	if p.keep <= 0 {
+		p.keep = DefaultProfileKeep
+	}
+	return p
+}
+
+// Run captures one round per interval until ctx is canceled. Only one CPU
+// profile can record per process at a time; a capture that loses that race
+// (e.g. against an interactive /debug/pprof/profile request) is skipped and
+// retried next round.
+func (p *Profiler) Run(ctx context.Context) {
+	if p == nil {
+		return
+	}
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.CaptureOnce(ctx)
+		}
+	}
+}
+
+// CaptureOnce takes one CPU and one heap snapshot immediately (the CPU
+// capture blocks for CPUDuration). Exposed for tests and for boot-time
+// captures.
+func (p *Profiler) CaptureOnce(ctx context.Context) {
+	if p == nil {
+		return
+	}
+	if err := p.captureCPU(ctx); err != nil && p.log != nil {
+		p.log.Warn("cpu profile capture failed", "err", err)
+	}
+	if err := p.captureHeap(); err != nil && p.log != nil {
+		p.log.Warn("heap profile capture failed", "err", err)
+	}
+}
+
+func (p *Profiler) captureCPU(ctx context.Context) error {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return err // another CPU profile is in flight; retry next round
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(p.cpuDur):
+	}
+	pprof.StopCPUProfile()
+	p.retain("cpu", buf.Bytes())
+	return nil
+}
+
+func (p *Profiler) captureHeap() error {
+	prof := pprof.Lookup("heap")
+	if prof == nil {
+		return fmt.Errorf("heap profile unavailable")
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteTo(&buf, 0); err != nil {
+		return err
+	}
+	p.retain("heap", buf.Bytes())
+	return nil
+}
+
+func (p *Profiler) retain(kind string, data []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	snap := profileSnap{
+		info: ProfileInfo{
+			ID:    fmt.Sprintf("%s-%d", kind, p.seq),
+			Kind:  kind,
+			Taken: time.Now(),
+			Bytes: len(data),
+		},
+		data: data,
+	}
+	ring := &p.cpu
+	if kind == "heap" {
+		ring = &p.heap
+	}
+	*ring = append(*ring, snap)
+	if len(*ring) > p.keep {
+		*ring = (*ring)[len(*ring)-p.keep:]
+	}
+}
+
+// Profiles lists every retained snapshot, newest first.
+func (p *Profiler) Profiles() []ProfileInfo {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProfileInfo, 0, len(p.cpu)+len(p.heap))
+	for _, s := range p.cpu {
+		out = append(out, s.info)
+	}
+	for _, s := range p.heap {
+		out = append(out, s.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Taken.After(out[j].Taken) })
+	return out
+}
+
+// Get returns one retained snapshot's raw pprof bytes by id.
+func (p *Profiler) Get(id string) ([]byte, bool) {
+	if p == nil {
+		return nil, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ring := range [][]profileSnap{p.cpu, p.heap} {
+		for _, s := range ring {
+			if s.info.ID == id {
+				return s.data, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Handler serves the snapshot listing at the mount path and raw snapshots
+// at {mount}/{id} (GET only).
+func (p *Profiler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		path := strings.TrimSuffix(r.URL.Path, "/")
+		id := ""
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			if tail := path[i+1:]; tail != "profiles" {
+				id = tail
+			}
+		}
+		if id == "" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Profiles []ProfileInfo `json:"profiles"`
+			}{Profiles: p.Profiles()})
+			return
+		}
+		data, ok := p.Get(id)
+		if !ok {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "profile not found", "id": id})
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="`+id+`.pb.gz"`)
+		_, _ = w.Write(data)
+	})
+}
+
+// MountProfiles registers the profiler's endpoints on mux.
+func MountProfiles(mux *http.ServeMux, p *Profiler) {
+	h := p.Handler()
+	mux.Handle("/debug/profiles", h)
+	mux.Handle("/debug/profiles/", h)
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func testProfiler(t *testing.T) *Profiler {
+	t.Helper()
+	p := NewProfiler(ProfilerConfig{
+		Interval:    time.Hour, // Run never ticks in tests; CaptureOnce drives
+		CPUDuration: 20 * time.Millisecond,
+		Keep:        2,
+	})
+	p.CaptureOnce(context.Background())
+	return p
+}
+
+func TestProfilerCaptureAndGet(t *testing.T) {
+	p := testProfiler(t)
+	infos := p.Profiles()
+	kinds := map[string]bool{}
+	for _, in := range infos {
+		kinds[in.Kind] = true
+		if in.Bytes <= 0 {
+			t.Errorf("profile %s is empty", in.ID)
+		}
+		data, ok := p.Get(in.ID)
+		if !ok || len(data) != in.Bytes {
+			t.Errorf("Get(%s) = %d bytes, ok=%v, want %d", in.ID, len(data), ok, in.Bytes)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Fatalf("capture produced kinds %v, want cpu and heap", kinds)
+	}
+	if _, ok := p.Get("cpu-999"); ok {
+		t.Fatal("Get of unknown id succeeded")
+	}
+}
+
+func TestProfilerRingBounded(t *testing.T) {
+	p := testProfiler(t)
+	for i := 0; i < 3; i++ {
+		p.CaptureOnce(context.Background())
+	}
+	perKind := map[string]int{}
+	for _, in := range p.Profiles() {
+		perKind[in.Kind]++
+	}
+	for kind, n := range perKind {
+		if n > 2 {
+			t.Errorf("%s ring holds %d snapshots, want <= Keep=2", kind, n)
+		}
+	}
+}
+
+func TestProfilerHandler(t *testing.T) {
+	p := testProfiler(t)
+	mux := http.NewServeMux()
+	MountProfiles(mux, p)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("listing status = %d", rec.Code)
+	}
+	var listing struct {
+		Profiles []ProfileInfo `json:"profiles"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatalf("decode listing: %v: %s", err, rec.Body.String())
+	}
+	if len(listing.Profiles) == 0 {
+		t.Fatal("empty profile listing after a capture")
+	}
+
+	id := listing.Profiles[0].ID
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles/"+id, nil))
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("fetch %s: status %d, %d bytes", id, rec.Code, rec.Body.Len())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/profiles/nope-1", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown profile status = %d, want 404", rec.Code)
+	}
+}
+
+func TestNilProfilerIsSafe(t *testing.T) {
+	var p *Profiler
+	p.CaptureOnce(context.Background())
+	if got := p.Profiles(); len(got) != 0 {
+		t.Fatal("nil profiler returned profiles")
+	}
+	if _, ok := p.Get("cpu-1"); ok {
+		t.Fatal("nil profiler Get succeeded")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Run(ctx) // must return immediately, not panic
+}

@@ -445,9 +445,11 @@ var quantileSpecs = []struct {
 // Quantiles returns p50/p95/p99/p999 estimates for every registered
 // histogram series, keyed "name{labels}" → quantile label → estimate. Plain
 // histograms report lifetime estimates; windowed histograms report their
-// rolling window (the current tail, not the lifetime one). Empty series are
-// skipped. This feeds /debug/vars so quick latency checks don't require a
-// Prometheus stack.
+// rolling window (the current tail, not the lifetime one). Each block also
+// carries a "count" key — the number of samples behind the estimates — so a
+// p99 over 3 observations is distinguishable from one over 30k. Empty series
+// are skipped. This feeds /debug/vars so quick latency checks don't require
+// a Prometheus stack.
 func (r *Registry) Quantiles() map[string]map[string]float64 {
 	if r == nil {
 		return nil
@@ -462,17 +464,20 @@ func (r *Registry) Quantiles() map[string]map[string]float64 {
 		f.mu.Unlock()
 		for k, c := range children {
 			quantile := func(float64) float64 { return math.NaN() }
+			var count uint64
 			switch h := c.(type) {
 			case *Histogram:
 				if h.Count() == 0 {
 					continue
 				}
 				quantile = h.Quantile
+				count = h.Count()
 			case *WindowedHistogram:
 				if h.Count() == 0 {
 					continue
 				}
 				quantile = h.Quantile
+				count = h.Count()
 			default:
 				continue
 			}
@@ -480,12 +485,13 @@ func (r *Registry) Quantiles() map[string]map[string]float64 {
 			if k != "" {
 				series += "{" + k + "}"
 			}
-			est := make(map[string]float64, len(quantileSpecs))
+			est := make(map[string]float64, len(quantileSpecs)+1)
 			for _, spec := range quantileSpecs {
 				if v := quantile(spec.q); !math.IsNaN(v) {
 					est[spec.label] = v
 				}
 			}
+			est["count"] = float64(count)
 			out[series] = est
 		}
 	}

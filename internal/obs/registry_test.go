@@ -271,6 +271,9 @@ func TestRegistryQuantiles(t *testing.T) {
 			t.Fatalf("%s = %v, want within first bucket", p, v)
 		}
 	}
+	if got := est["count"]; got != 10 {
+		t.Fatalf("count = %v, want 10 (quantiles must carry their sample count)", got)
+	}
 
 	var nilR *Registry
 	if nilR.Quantiles() != nil {

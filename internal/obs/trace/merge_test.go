@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func mergeSpan(traceID, spanID, parentID, name string, remote bool, start time.Time) SpanData {
+	return SpanData{
+		TraceID:    traceID,
+		SpanID:     spanID,
+		ParentID:   parentID,
+		Remote:     remote,
+		Name:       name,
+		Start:      start,
+		DurationNS: int64(time.Millisecond),
+	}
+}
+
+func TestMergeStitchesFragments(t *testing.T) {
+	const id = "4bf92f3577b34da6a3ce929d0e0e4736"
+	t0 := time.Unix(1_700_000_000, 0)
+
+	// Router fragment: the root span.
+	router := TraceData{ID: id, Spans: []SpanData{
+		mergeSpan(id, "aaaaaaaaaaaaaaaa", "", "router POST /v1/reports", false, t0),
+	}}
+	// Shard fragment: handler continued over the wire plus a local child.
+	shard := TraceData{ID: id, Spans: []SpanData{
+		mergeSpan(id, "bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "server POST /v1/reports", true, t0.Add(time.Millisecond)),
+		mergeSpan(id, "cccccccccccccccc", "bbbbbbbbbbbbbbbb", "store.add_report", false, t0.Add(2*time.Millisecond)),
+	}}
+
+	merged, ok := Merge(router, shard)
+	if !ok {
+		t.Fatal("Merge reported no trace")
+	}
+	if merged.ID != id {
+		t.Fatalf("merged id = %q, want %q", merged.ID, id)
+	}
+	if len(merged.Spans) != 3 {
+		t.Fatalf("merged spans = %d, want 3", len(merged.Spans))
+	}
+	if merged.Root != "router POST /v1/reports" {
+		t.Fatalf("merged root = %q", merged.Root)
+	}
+	// Spans are sorted by start: router hop first.
+	if merged.Spans[0].SpanID != "aaaaaaaaaaaaaaaa" {
+		t.Fatalf("first span = %s", merged.Spans[0].SpanID)
+	}
+}
+
+func TestMergeDeduplicatesSpans(t *testing.T) {
+	const id = "00f067aa0ba902b74bf92f3577b34da6"
+	t0 := time.Unix(1_700_000_000, 0)
+	root := mergeSpan(id, "aaaaaaaaaaaaaaaa", "", "root", false, t0)
+	child := mergeSpan(id, "bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "child", false, t0.Add(time.Millisecond))
+
+	// The same span arriving in two fragments (e.g. the router's own store
+	// answered the fan-out too) must not double.
+	a := TraceData{ID: id, Spans: []SpanData{root, child}}
+	b := TraceData{ID: id, Spans: []SpanData{child}}
+	merged, ok := Merge(a, b)
+	if !ok || len(merged.Spans) != 2 {
+		t.Fatalf("merged spans = %d (ok=%v), want 2", len(merged.Spans), ok)
+	}
+}
+
+func TestMergeErrorPropagates(t *testing.T) {
+	const id = "abcdefabcdefabcdefabcdefabcdefab"
+	t0 := time.Unix(1_700_000_000, 0)
+	okFrag := TraceData{ID: id, Spans: []SpanData{
+		mergeSpan(id, "aaaaaaaaaaaaaaaa", "", "root", false, t0),
+	}}
+	errSpan := mergeSpan(id, "bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa", "failing", false, t0.Add(time.Millisecond))
+	errSpan.Error = "boom"
+	errFrag := TraceData{ID: id, Error: true, Spans: []SpanData{errSpan}}
+
+	merged, ok := Merge(okFrag, errFrag)
+	if !ok || !merged.Error {
+		t.Fatalf("merged error flag = %v (ok=%v), want true", merged.Error, ok)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if _, ok := Merge(); ok {
+		t.Fatal("Merge() of nothing reported a trace")
+	}
+	if _, ok := Merge(TraceData{}, TraceData{}); ok {
+		t.Fatal("Merge of empty fragments reported a trace")
+	}
+}

@@ -111,6 +111,8 @@ type DigestResponse struct {
 	Self     string                   `json:"self"`
 	Members  []string                 `json:"members"`
 	Segments map[string]SegmentDigest `json:"segments"`
+	// WAL is the shard's log footprint; nil for an in-memory store.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // SegmentDigests computes the per-segment digest map over everything the
@@ -386,6 +388,7 @@ func (s *Server) handleClusterDigest(w http.ResponseWriter, r *http.Request) {
 		Self:     s.cluster.self,
 		Members:  s.cluster.ring.Load().Members(),
 		Segments: s.store.SegmentDigests(),
+		WAL:      s.store.WALStats(),
 	})
 }
 

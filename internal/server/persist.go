@@ -423,6 +423,21 @@ func (s *Store) Snapshot() (uint64, error) {
 	return seq, wal.CompactSnapshots(opts.Dir, opts.SnapshotKeep)
 }
 
+// WALStats reports the store's write-ahead-log footprint (segment count,
+// active-segment bytes, last sequence), nil for an in-memory store. Served
+// in the cluster digest so the router's /debug/cluster shows per-shard WAL
+// depth.
+func (s *Store) WALStats() *wal.Stats {
+	s.mu.Lock()
+	log := s.log
+	s.mu.Unlock()
+	if log == nil {
+		return nil
+	}
+	st := log.Stats()
+	return &st
+}
+
 // OnDurabilityError registers fn to receive durability faults that surface
 // outside any request — a failed background interval fsync. At most one
 // sink is held; later registrations replace earlier ones.

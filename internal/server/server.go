@@ -586,6 +586,11 @@ type Server struct {
 	// (WithCluster): ingest is ownership-filtered and the /v1/cluster
 	// endpoints are mounted. See cluster.go.
 	cluster *clusterState
+
+	// slo and profiler are optional debug surfaces mounted on the server's
+	// own mux (WithSLO, WithProfiler); their lifecycles belong to the caller.
+	slo      http.Handler
+	profiler *obs.Profiler
 }
 
 // Option configures a Server.
@@ -633,6 +638,18 @@ func WithTracer(t *trace.Tracer) Option {
 // shutdown snapshot).
 func WithHealth(h *obs.Health) Option {
 	return func(s *Server) { s.health = h }
+}
+
+// WithSLO mounts an SLO status handler (see internal/obs/slo) at /debug/slo
+// on the server's own mux. The caller owns the engine's sampling lifecycle.
+func WithSLO(h http.Handler) Option {
+	return func(s *Server) { s.slo = h }
+}
+
+// WithProfiler mounts a continuous-profiling captor's /debug/profiles
+// surface on the server's own mux. The caller owns the capture loop.
+func WithProfiler(p *obs.Profiler) Option {
+	return func(s *Server) { s.profiler = p }
 }
 
 // WithOverload enables the adaptive admission controller and degraded-mode
@@ -694,6 +711,12 @@ func New(store *Store, opts ...Option) *Server {
 	}
 	if s.health != nil {
 		obs.MountHealth(s.mux, s.health)
+	}
+	if s.slo != nil {
+		s.mux.Handle("/debug/slo", s.slo)
+	}
+	if s.profiler != nil {
+		obs.MountProfiles(s.mux, s.profiler)
 	}
 	return s
 }

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"strconv"
+
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/obs/slo"
+)
+
+// SLO defaults: upload availability and the lookup latency threshold. 0.5 s
+// is an exact DefBuckets bound, so the latency objective reads cumulative
+// bucket counts with no interpolation error.
+const (
+	UploadAvailabilityTarget = 0.999
+	LookupLatencyTarget      = 0.99
+	LookupLatencySeconds     = 0.5
+)
+
+// goodCode reports whether an HTTP status string counts against the
+// availability budget: 5xx (including 503 sheds) are bad; 4xx are the
+// client's fault and don't burn the server's budget (a 421 re-route is the
+// cluster working as designed).
+func goodCode(labels map[string]string) bool {
+	code, err := strconv.Atoi(labels["code"])
+	if err != nil {
+		return false
+	}
+	return code < 500
+}
+
+// SLOObjectives returns the shard server's default objectives, evaluated
+// from its RED metrics families:
+//
+//   - upload availability: 99.9% of POST /v1/reports + /v1/patterns answers
+//     are non-5xx;
+//   - lookup latency: 99% of /v1/lookup requests complete within 500 ms.
+func SLOObjectives(reg *obs.Registry) []slo.Objective {
+	uploadRoute := func(labels map[string]string) bool {
+		r := labels["route"]
+		return r == "/v1/reports" || r == "/v1/patterns"
+	}
+	lookupRoute := func(labels map[string]string) bool {
+		return labels["route"] == "/v1/lookup"
+	}
+	return []slo.Objective{
+		{
+			Name:        "upload-availability",
+			Description: "99.9% of upload requests succeed (non-5xx)",
+			Target:      UploadAvailabilityTarget,
+			Source:      slo.CounterRatio(reg, "crowdwifi_http_requests_total", uploadRoute, goodCode),
+		},
+		{
+			Name:        "lookup-latency",
+			Description: "99% of lookups complete within 500ms",
+			Target:      LookupLatencyTarget,
+			Source:      slo.LatencyUnder(reg, "crowdwifi_http_request_duration_seconds", lookupRoute, LookupLatencySeconds),
+		},
+	}
+}

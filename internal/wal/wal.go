@@ -451,6 +451,25 @@ func (l *Log) LastSeq() uint64 {
 	return l.next - 1
 }
 
+// Stats is a point-in-time summary of the log's on-disk footprint, cheap
+// enough to serve from a debug endpoint.
+type Stats struct {
+	// Segments is the number of live segment files (including the active one).
+	Segments int `json:"segments"`
+	// ActiveBytes is the size of the active (tail) segment.
+	ActiveBytes int64 `json:"activeBytes"`
+	// LastSeq is the sequence number of the newest record (0 if none).
+	LastSeq uint64 `json:"lastSeq"`
+}
+
+// Stats reports the log's current segment count, active-segment size, and
+// last sequence number.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Segments: len(l.segs), ActiveBytes: l.size, LastSeq: l.next - 1}
+}
+
 // Replay streams every record with seq > after, oldest first. Call it after
 // Open and before concurrent appends begin. Damage inside a sealed segment
 // (a mid-log CRC mismatch) is unrecoverable and returns an error; the final
