@@ -17,6 +17,7 @@
 //	               [-vehicles 1000] [-warmup 5s] [-measure 30s] [-drain 15s] \
 //	               [-think 100ms] [-lookup-every 10] [-archetypes 16] \
 //	               [-retries 4] [-outbox 256] [-seed 1] \
+//	               [-codec json|binary] [-batch 32] \
 //	               [-scrape http://shard-a:8700,http://shard-b:8700] \
 //	               [-out BENCH.json] [-addr :8710] [-log-every 5s] \
 //	               [-fail-on-lost] [-log-level info] [-version]
@@ -55,6 +56,8 @@ func main() {
 	flag.IntVar(&cfg.Archetypes, "archetypes", 16, "distinct simulated report payloads to precompute")
 	flag.IntVar(&cfg.RetryAttempts, "retries", 4, "HTTP attempts per request including the first")
 	flag.IntVar(&cfg.OutboxCap, "outbox", 256, "per-vehicle store-and-forward outbox capacity")
+	flag.StringVar(&cfg.Codec, "codec", "json", "upload/lookup wire format: json or binary (length-prefixed frames)")
+	flag.IntVar(&cfg.BatchSize, "batch", 0, "reports per POST /v1/reports/batch round-trip (≤ 1 = single uploads)")
 	seed := flag.Uint64("seed", 1, "RNG seed for payloads, jitter, and lookup areas")
 	out := flag.String("out", "-", "run report path (\"-\" writes to stdout)")
 	addr := flag.String("addr", "", "optional listen address for /debug/load, /metrics, and /debug/pprof")
@@ -76,6 +79,10 @@ func main() {
 	if *server == "" {
 		fmt.Fprintln(os.Stderr, "crowdwifi-load: -server is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if cfg.Codec != "json" && cfg.Codec != "binary" {
+		fmt.Fprintf(os.Stderr, "crowdwifi-load: bad -codec %q (want json or binary)\n", cfg.Codec)
 		os.Exit(2)
 	}
 	cfg.ServerURL = *server

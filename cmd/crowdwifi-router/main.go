@@ -36,6 +36,7 @@
 //	                 [-metrics-addr :8601] [-log-level info]
 //	                 [-retry-attempts 4] [-reconcile]
 //	                 [-overload-mode]
+//	                 [-max-body 1048576] [-batch-max-body 16777216]
 //	                 [-trace-sample 1] [-trace-buffer 256]
 package main
 
@@ -67,6 +68,8 @@ type config struct {
 	retryAttempts int
 	reconcile     bool
 	overloadMode  bool
+	maxBody       int64
+	batchMaxBody  int64
 	traceSample   float64
 	traceBuffer   int
 }
@@ -86,6 +89,10 @@ func main() {
 		"run a drift-detection and repair pass against the shards on startup")
 	flag.BoolVar(&cfg.overloadMode, "overload-mode", true,
 		"enable the router's own adaptive admission control")
+	flag.Int64Var(&cfg.maxBody, "max-body", 0,
+		"per-request body cap for single-upload routes in bytes (0 uses the default)")
+	flag.Int64Var(&cfg.batchMaxBody, "batch-max-body", 0,
+		"per-request body cap for /v1/reports/batch in bytes (0 uses the default)")
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 1,
 		"fraction of new traces to record, 0..1")
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", trace.DefaultCapacity,
@@ -126,11 +133,13 @@ func run(cfg config, logger *obs.Logger) error {
 	health.SetNotReady("starting")
 
 	opts := cluster.RouterOptions{
-		Peers:    peers,
-		VNodes:   cfg.vnodes,
-		Retry:    retry.Policy{MaxAttempts: cfg.retryAttempts},
-		Registry: reg,
-		Logger:   logger,
+		Peers:             peers,
+		VNodes:            cfg.vnodes,
+		Retry:             retry.Policy{MaxAttempts: cfg.retryAttempts},
+		Registry:          reg,
+		Logger:            logger,
+		MaxBodyBytes:      cfg.maxBody,
+		BatchMaxBodyBytes: cfg.batchMaxBody,
 	}
 	if cfg.overloadMode {
 		opts.Overload = &overload.Options{}

@@ -22,6 +22,7 @@
 //	                 [-metrics-addr :8701] [-log-level info]
 //	                 [-trace-sample 1] [-trace-buffer 256]
 //	                 [-overload-mode] [-max-inflight 0]
+//	                 [-max-body 1048576] [-batch-max-body 16777216]
 //	                 [-shard-id a -peers a,b,c [-vnodes 64]]
 //
 // With -shard-id and -peers set the server runs as one shard of a cluster:
@@ -66,6 +67,8 @@ type config struct {
 	traceSample    float64
 	traceBuffer    int
 	maxInflight    int
+	maxBody        int64
+	batchMaxBody   int64
 	overloadMode   bool
 	shardID        string
 	peers          string
@@ -123,6 +126,10 @@ func main() {
 		"enable adaptive admission control and the degraded-mode state machine (healthy/overloaded/read-only/recovering)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0,
 		"hard cap on the adaptive per-family concurrency limits (0 uses the built-in defaults; requires -overload-mode)")
+	flag.Int64Var(&cfg.maxBody, "max-body", 0,
+		"per-request body cap for single-upload routes in bytes (0 uses the default)")
+	flag.Int64Var(&cfg.batchMaxBody, "batch-max-body", 0,
+		"per-request body cap for /v1/reports/batch in bytes (0 uses the default)")
 	flag.StringVar(&cfg.shardID, "shard-id", "",
 		"this shard's id in a cluster (empty runs single-node; requires -peers)")
 	flag.StringVar(&cfg.peers, "peers", "",
@@ -219,6 +226,12 @@ func run(cfg config, logger *obs.Logger) error {
 		server.WithHealth(health),
 		server.WithSLO(sloEngine.Handler()),
 		server.WithProfiler(profiler),
+	}
+	if cfg.maxBody > 0 {
+		srvOpts = append(srvOpts, server.WithMaxBodyBytes(cfg.maxBody))
+	}
+	if cfg.batchMaxBody > 0 {
+		srvOpts = append(srvOpts, server.WithBatchMaxBodyBytes(cfg.batchMaxBody))
 	}
 	if cfg.overloadMode {
 		lim := overload.LimiterOptions{Max: cfg.maxInflight}

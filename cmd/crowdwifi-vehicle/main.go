@@ -11,6 +11,7 @@
 //	                  [-workers 0]
 //	                  [-spammer] [-outbox-cap 256] [-drain-timeout 5s]
 //	                  [-retry-attempts 4] [-trace-sample 1] [-trace-buffer 256]
+//	                  [-codec json|binary] [-batch 0]
 //
 // With -spammer the vehicle answers mapping tasks randomly instead of
 // honestly — useful for demonstrating the server's reliability inference.
@@ -65,6 +66,8 @@ type runConfig struct {
 	RetryAttempts int
 	TraceSample   float64
 	TraceBuffer   int
+	Codec         string
+	BatchSize     int
 }
 
 func main() {
@@ -91,6 +94,10 @@ func main() {
 		"fraction of new traces to record, 0..1")
 	flag.IntVar(&cfg.TraceBuffer, "trace-buffer", trace.DefaultCapacity,
 		"number of recent traces kept in memory for /debug/traces")
+	flag.StringVar(&cfg.Codec, "codec", "json",
+		"upload/lookup wire format: json or binary (length-prefixed frames)")
+	flag.IntVar(&cfg.BatchSize, "batch", 0,
+		"outbox drains deliver up to this many parked reports per POST /v1/reports/batch round-trip (≤ 1 = single uploads)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -102,6 +109,10 @@ func main() {
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if cfg.Codec != "json" && cfg.Codec != "binary" {
+		fmt.Fprintf(os.Stderr, "crowdwifi-vehicle: bad -codec %q (want json or binary)\n", cfg.Codec)
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level).With("vehicle", cfg.ID)
@@ -201,6 +212,8 @@ func run(ctx context.Context, cfg runConfig, logger *obs.Logger) error {
 		retry.WithBreaker(breaker),
 		retry.WithMetrics(retryMetrics))
 	vehicle.Outbox = client.NewOutbox(cfg.OutboxCap)
+	vehicle.Codec = cfg.Codec
+	vehicle.BatchSize = cfg.BatchSize
 	defer flushOutbox(tracer, vehicle, cfg.DrainTimeout, logger)
 
 	logger.Info("driving", "scenario", "uci-campus", "samples", len(ms))

@@ -1,0 +1,224 @@
+package client
+
+// Batch uploads: UploadReportBatch posts many reports in one round-trip
+// through POST /v1/reports/batch, and DrainOutbox (with BatchSize > 1)
+// flushes contiguous runs of parked reports the same way. Both speak the
+// binary frame codec on the wire — the batch endpoint exists to amortize
+// round-trips, and frames amortize encoding — and classify each entry from
+// the response's per-entry status vector with the same terminal-vs-transient
+// rules as single uploads.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/server"
+)
+
+// reportsPath is the single-report upload route; the batch route appends
+// /batch.
+const (
+	reportsPath = "/v1/reports"
+	batchPath   = "/v1/reports/batch"
+)
+
+// BatchOutcome summarizes one batch upload: Acked entries are durably
+// stored (or replayed), Queued entries are parked in the Outbox for a later
+// drain, Failed entries were rejected terminally.
+type BatchOutcome struct {
+	Acked  int
+	Queued int
+	Failed int
+}
+
+// UploadReportBatch posts several reports in one round-trip. Each entry
+// gets its own idempotency key, embedded in its frame, so a replayed batch
+// deduplicates entry by entry. Per-entry transient rejections — and a
+// transient whole-request failure — park the affected entries individually
+// in the Outbox (ErrQueued); terminal rejections count as Failed.
+func (v *CrowdVehicle) UploadReportBatch(ctx context.Context, reps []server.Report) (BatchOutcome, error) {
+	var out BatchOutcome
+	if len(reps) == 0 {
+		return out, nil
+	}
+	keys := make([]string, len(reps))
+	var body []byte
+	var err error
+	for i, rep := range reps {
+		keys[i] = v.nextIdempotencyKey()
+		if body, err = server.EncodeReportFrame(body, keys[i], rep); err != nil {
+			return out, err
+		}
+	}
+
+	ctx, span := trace.Start(ctx, "client.upload "+batchPath)
+	defer span.End()
+	span.SetAttr("entries", len(reps))
+	span.SetAttr("bytes", len(body))
+
+	var resp server.BatchResponse
+	err = sendBody(ctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+batchPath, server.FrameContentType, body, "", &resp)
+	if err != nil {
+		span.SetError(err)
+		if v.Outbox != nil && transientError(err) {
+			for i, rep := range reps {
+				v.parkReport(keys[i], rep, span.Traceparent())
+			}
+			out.Queued = len(reps)
+			span.AddEvent("queued to outbox")
+			return out, fmt.Errorf("%w: %s (cause: %v)", ErrQueued, batchPath, err)
+		}
+		out.Failed = len(reps)
+		return out, err
+	}
+
+	byKey := make(map[string]int, len(resp.Results))
+	for _, st := range resp.Results {
+		byKey[st.Key] = st.Status
+	}
+	for i, rep := range reps {
+		st := byKey[keys[i]]
+		switch {
+		case st >= 200 && st < 300:
+			out.Acked++
+		case st != 0 && !retryableStatus(st):
+			out.Failed++
+		default:
+			// Transient per-entry rejection, or no verdict at all: the
+			// entry's fate is unknown or retryable, so park it.
+			if v.Outbox != nil {
+				v.parkReport(keys[i], rep, span.Traceparent())
+				out.Queued++
+			} else {
+				out.Failed++
+			}
+		}
+	}
+	if out.Queued > 0 {
+		v.Metrics.setOutbox(v.Outbox.Len(), v.Outbox.OldestAge().Seconds())
+		err = fmt.Errorf("%w: %s (%d of %d entries deferred)", ErrQueued, batchPath, out.Queued, len(reps))
+		span.AddEvent("queued to outbox")
+	} else if out.Failed > 0 {
+		err = fmt.Errorf("client: %s: %d of %d entries rejected", batchPath, out.Failed, len(reps))
+		span.SetError(err)
+	}
+	return out, err
+}
+
+// parkReport queues one report as a single-upload outbox entry: the body is
+// a key-less report frame and the key rides in Entry.Key, so the entry can
+// drain either singly (key in the header) or re-framed into a batch.
+func (v *CrowdVehicle) parkReport(key string, rep server.Report, traceparent string) {
+	body, err := server.EncodeReportFrame(nil, "", rep)
+	if err != nil {
+		return
+	}
+	v.Outbox.enqueue(Entry{
+		Path:        reportsPath,
+		Body:        body,
+		Key:         key,
+		ContentType: server.FrameContentType,
+		Traceparent: traceparent,
+	})
+	v.Metrics.incOutboxEnqueued()
+}
+
+// entryReport recovers the server.Report a parked entry carries, whatever
+// codec it was parked in.
+func entryReport(e Entry) (server.Report, error) {
+	if e.ContentType == server.FrameContentType {
+		frames, err := server.SplitReportFrames(e.Body)
+		if err != nil {
+			return server.Report{}, err
+		}
+		if len(frames) != 1 {
+			return server.Report{}, fmt.Errorf("client: outbox entry holds %d frames, want 1", len(frames))
+		}
+		return frames[0].Report, nil
+	}
+	var rep server.Report
+	if err := json.Unmarshal(e.Body, &rep); err != nil {
+		return server.Report{}, err
+	}
+	return rep, nil
+}
+
+// drainBatch delivers a contiguous run of parked reports through the batch
+// endpoint and settles each entry from the response's status vector:
+// accepted entries leave the queue as drained, terminal rejections leave it
+// as dropped poison, transient rejections stay parked. The returned error
+// is nil when every surviving entry may batch again immediately, transient
+// when the drain should pause, and terminal (non-transient) when the whole
+// batch was rejected and the caller should fall back to single entries.
+func (v *CrowdVehicle) drainBatch(ctx context.Context, run []Entry) (int, error) {
+	var body []byte
+	poison := map[string]bool{}
+	live := run[:0]
+	for _, e := range run {
+		rep, err := entryReport(e)
+		if err != nil {
+			// An undecodable entry is client-side poison: drop it so the
+			// queue advances.
+			poison[e.Key] = true
+			continue
+		}
+		if body, err = server.EncodeReportFrame(body, e.Key, rep); err != nil {
+			poison[e.Key] = true
+			continue
+		}
+		live = append(live, e)
+	}
+	for range poison {
+		v.Metrics.incOutboxDropped()
+	}
+	v.Outbox.remove(poison)
+	if len(live) == 0 {
+		v.syncOutboxGauges()
+		return 0, nil
+	}
+
+	dctx, span := trace.Resume(ctx, "client.drain "+batchPath, live[0].Traceparent)
+	span.SetAttr("entries", len(live))
+	span.SetAttr("queued_for", v.Outbox.OldestAge().String())
+	var resp server.BatchResponse
+	err := sendBody(dctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+batchPath, server.FrameContentType, body, "", &resp)
+	span.SetError(err)
+	span.End()
+	if err != nil {
+		v.syncOutboxGauges()
+		return 0, err
+	}
+
+	byKey := make(map[string]int, len(resp.Results))
+	for _, st := range resp.Results {
+		byKey[st.Key] = st.Status
+	}
+	settled := map[string]bool{}
+	drained, kept := 0, 0
+	for _, e := range live {
+		st := byKey[e.Key]
+		switch {
+		case st >= 200 && st < 300:
+			settled[e.Key] = true
+			drained++
+			v.Metrics.incOutboxDrained()
+		case st != 0 && !retryableStatus(st):
+			settled[e.Key] = true
+			v.Metrics.incOutboxDropped()
+		default:
+			// Transient rejection or missing verdict: stays parked.
+			kept++
+		}
+	}
+	v.Outbox.remove(settled)
+	v.syncOutboxGauges()
+	if kept > 0 {
+		// Some entries must wait; surface a transient error so the drain
+		// loop pauses instead of hammering the same rejections.
+		return drained, fmt.Errorf("client: %s: %d entries deferred by the server", batchPath, kept)
+	}
+	return drained, nil
+}

@@ -1,0 +1,192 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"crowdwifi/internal/obs"
+	"crowdwifi/internal/server"
+)
+
+func batchVehicle(t *testing.T, baseURL string) *CrowdVehicle {
+	t.Helper()
+	v, err := NewCrowdVehicle("bveh", baseURL, engineCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Outbox = NewOutbox(64)
+	v.Metrics = NewMetrics(obs.NewRegistry())
+	return v
+}
+
+func parkN(t *testing.T, v *CrowdVehicle, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v.parkReport(fmt.Sprintf("pk-%d", i), server.Report{
+			Vehicle: v.ID,
+			Segment: fmt.Sprintf("pseg-%d", i),
+			APs:     []server.APReport{{X: float64(i), Y: 1, Credit: 1}},
+		}, "")
+	}
+	if v.Outbox.Len() != n {
+		t.Fatalf("parked %d entries, outbox holds %d", n, v.Outbox.Len())
+	}
+}
+
+// TestDrainDropsTerminalPoisonEntries is the poison-pill regression: a
+// server that answers 413 to every upload must not wedge the FIFO head —
+// each terminal rejection is dropped and counted, the queue advances to
+// empty, and the drain reports zero delivered without an error.
+func TestDrainDropsTerminalPoisonEntries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+		fmt.Fprint(w, `{"error":"body exceeds 1 bytes"}`)
+	}))
+	t.Cleanup(ts.Close)
+	v := batchVehicle(t, ts.URL)
+	const n = 4
+	parkN(t, v, n)
+
+	drained, err := v.DrainOutbox(context.Background())
+	if err != nil {
+		t.Fatalf("DrainOutbox err = %v, want nil (terminal entries drop, not stall)", err)
+	}
+	if drained != 0 {
+		t.Fatalf("drained = %d, want 0", drained)
+	}
+	if v.Outbox.Len() != 0 {
+		t.Fatalf("outbox still holds %d entries, want 0", v.Outbox.Len())
+	}
+	if got := v.Metrics.outboxDropped.Value(); got != n {
+		t.Fatalf("crowdwifi_client_outbox_dropped_total{reason=\"terminal\"} = %d, want %d", got, n)
+	}
+}
+
+// TestDrainBatchDeliversRunInOneRequest: with BatchSize set, a contiguous
+// run of parked reports drains through a single POST /v1/reports/batch.
+func TestDrainBatchDeliversRunInOneRequest(t *testing.T) {
+	store := server.NewStore(12)
+	var mu sync.Mutex
+	calls := map[string]int{}
+	inner := server.New(store)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls[r.URL.Path]++
+		mu.Unlock()
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	v := batchVehicle(t, ts.URL)
+	v.BatchSize = 16
+	const n = 5
+	parkN(t, v, n)
+
+	drained, err := v.DrainOutbox(context.Background())
+	if err != nil {
+		t.Fatalf("DrainOutbox: %v", err)
+	}
+	if drained != n {
+		t.Fatalf("drained = %d, want %d", drained, n)
+	}
+	if v.Outbox.Len() != 0 {
+		t.Fatalf("outbox still holds %d entries", v.Outbox.Len())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls[batchPath] != 1 || calls[reportsPath] != 0 {
+		t.Fatalf("calls = %v, want exactly 1 to %s and none to %s", calls, batchPath, reportsPath)
+	}
+	if _, _, reports := store.Counts(); reports != n {
+		t.Fatalf("server stored %d reports, want %d", reports, n)
+	}
+	if got := v.Metrics.outboxDrained.Value(); got != n {
+		t.Fatalf("outbox drained counter = %d, want %d", got, n)
+	}
+}
+
+// TestUploadReportBatchTransientFailureParksAll: a whole-request transient
+// failure parks every entry individually and surfaces ErrQueued.
+func TestUploadReportBatchTransientFailureParksAll(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"overloaded"}`)
+	}))
+	t.Cleanup(ts.Close)
+	v := batchVehicle(t, ts.URL)
+
+	reps := make([]server.Report, 3)
+	for i := range reps {
+		reps[i] = server.Report{Vehicle: v.ID, Segment: fmt.Sprintf("ts-%d", i),
+			APs: []server.APReport{{X: 1, Y: 2, Credit: 1}}}
+	}
+	out, err := v.UploadReportBatch(context.Background(), reps)
+	if !errors.Is(err, ErrQueued) {
+		t.Fatalf("err = %v, want ErrQueued", err)
+	}
+	if out.Queued != len(reps) || out.Acked != 0 || out.Failed != 0 {
+		t.Fatalf("outcome = %+v, want all %d queued", out, len(reps))
+	}
+	if v.Outbox.Len() != len(reps) {
+		t.Fatalf("outbox holds %d entries, want %d", v.Outbox.Len(), len(reps))
+	}
+}
+
+// TestUploadReportBatchMixedStatusVector: per-entry verdicts from the status
+// vector settle independently — acks count, terminal rejections fail,
+// transient rejections park.
+func TestUploadReportBatchMixedStatusVector(t *testing.T) {
+	statusBySegment := map[string]int{
+		"mix-0": http.StatusCreated,
+		"mix-1": http.StatusRequestEntityTooLarge, // terminal → Failed
+		"mix-2": http.StatusServiceUnavailable,    // transient → Queued
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("reading batch body: %v", err)
+		}
+		frames, err := server.SplitReportFrames(body)
+		if err != nil {
+			t.Errorf("SplitReportFrames: %v", err)
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		var resp server.BatchResponse
+		for _, f := range frames {
+			resp.Results = append(resp.Results, server.BatchEntryStatus{
+				Key:    f.Key,
+				Status: statusBySegment[f.Report.Segment],
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			t.Errorf("encoding response: %v", err)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	v := batchVehicle(t, ts.URL)
+
+	reps := make([]server.Report, 0, len(statusBySegment))
+	for i := 0; i < len(statusBySegment); i++ {
+		reps = append(reps, server.Report{Vehicle: v.ID, Segment: fmt.Sprintf("mix-%d", i),
+			APs: []server.APReport{{X: 1, Y: 2, Credit: 1}}})
+	}
+	out, err := v.UploadReportBatch(context.Background(), reps)
+	if !errors.Is(err, ErrQueued) {
+		t.Fatalf("err = %v, want ErrQueued (one entry deferred)", err)
+	}
+	if out.Acked != 1 || out.Failed != 1 || out.Queued != 1 {
+		t.Fatalf("outcome = %+v, want 1/1/1", out)
+	}
+	if v.Outbox.Len() != 1 {
+		t.Fatalf("outbox holds %d entries, want 1 (the transient rejection)", v.Outbox.Len())
+	}
+}

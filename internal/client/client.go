@@ -46,6 +46,16 @@ type HTTPDoer interface {
 // uses to make retries and outbox replays exactly-once in effect.
 const IdempotencyKeyHeader = "Idempotency-Key"
 
+// Wire codecs a vehicle can speak. CodecBinary negotiates the CRC-framed
+// binary format (server.FrameContentType) for uploads and lookups; anything
+// else (including "") keeps JSON.
+const (
+	CodecJSON   = "json"
+	CodecBinary = "binary"
+)
+
+const jsonContentType = "application/json"
+
 // ErrQueued marks an upload that could not be delivered and was parked in
 // the vehicle's Outbox instead; it will be re-sent by DrainOutbox on the
 // next contact window. Check with errors.Is.
@@ -188,6 +198,13 @@ type CrowdVehicle struct {
 	// Outbox, when non-nil, queues reports and labels that could not be
 	// uploaded; ErrQueued marks affected calls.
 	Outbox *Outbox
+	// Codec selects the upload wire format: CodecBinary sends reports as
+	// CRC-framed binary bodies; the default is JSON.
+	Codec string
+	// BatchSize > 1 lets DrainOutbox deliver contiguous runs of parked
+	// reports through POST /v1/reports/batch, up to BatchSize per
+	// round-trip, instead of one request per entry.
+	BatchSize int
 
 	engine *cs.Engine
 
@@ -278,6 +295,15 @@ func (v *CrowdVehicle) ReportContext(ctx context.Context, segment string) error 
 // It never touches the CS engine, so load generators and replay tools can
 // drive fleets of CrowdVehicles constructed without one.
 func (v *CrowdVehicle) UploadReport(ctx context.Context, rep server.Report) error {
+	if v.Codec == CodecBinary {
+		buf, err := server.EncodeReportFrame(nil, "", rep)
+		if err != nil {
+			return err
+		}
+		// The idempotency key travels in the header (as on the JSON path);
+		// the frame's embedded key slot is for batch entries.
+		return v.postBody(ctx, "/v1/reports", server.FrameContentType, buf, nil, true)
+	}
 	return v.postJSON(ctx, "/v1/reports", rep, nil, true)
 }
 
@@ -398,13 +424,18 @@ func (v *CrowdVehicle) SubmitLabelsContext(ctx context.Context, labels []server.
 
 // DrainOutbox re-sends queued uploads in FIFO order until the outbox is
 // empty, an entry fails with a transient error (it stays queued and drain
-// stops), or ctx ends. Entries rejected permanently by the server (4xx) are
-// dropped — replaying them can never succeed. Returns the number delivered.
+// stops), or ctx ends. Entries rejected permanently by the server (4xx —
+// poison pills that would otherwise block the FIFO head forever) are
+// dropped and counted (crowdwifi_client_outbox_dropped_total
+// {reason="terminal"}). With BatchSize > 1, contiguous runs of parked
+// reports are delivered through POST /v1/reports/batch and classified entry
+// by entry from the response's status vector. Returns the number delivered.
 func (v *CrowdVehicle) DrainOutbox(ctx context.Context) (int, error) {
 	if v.Outbox == nil {
 		return 0, nil
 	}
 	drained := 0
+	batchFellBack := false
 	for {
 		if err := ctx.Err(); err != nil {
 			return drained, err
@@ -413,12 +444,36 @@ func (v *CrowdVehicle) DrainOutbox(ctx context.Context) (int, error) {
 		if !ok {
 			return drained, nil
 		}
+		if v.BatchSize > 1 && e.Path == reportsPath && !batchFellBack {
+			if run := v.Outbox.peekRun(reportsPath, v.BatchSize); len(run) > 1 {
+				n, err := v.drainBatch(ctx, run)
+				drained += n
+				if err == nil {
+					continue
+				}
+				if transientError(err) {
+					v.syncOutboxGauges()
+					return drained, err
+				}
+				// The whole batch was rejected terminally (e.g. combined
+				// body over the batch limit) even though individual entries
+				// may be deliverable: fall back to one-at-a-time for the
+				// next entry so nothing is dropped on the batch's account.
+				batchFellBack = true
+				continue
+			}
+		}
+		batchFellBack = false
 		// Rejoin the originating upload's trace: the drain attempt appears
 		// as a late fragment of the same trace, not a disconnected one.
 		dctx, span := trace.Resume(ctx, "client.drain "+e.Path, e.Traceparent)
 		span.SetAttr("idempotency_key", e.Key)
 		span.SetAttr("queued_for", v.Outbox.OldestAge().String())
-		err := sendJSON(dctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+e.Path, e.Body, e.Key, nil)
+		ct := e.ContentType
+		if ct == "" {
+			ct = jsonContentType
+		}
+		err := sendBody(dctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+e.Path, ct, e.Body, e.Key, nil)
 		span.SetError(err)
 		span.End()
 		if err != nil && transientError(err) {
@@ -452,6 +507,9 @@ type UserVehicle struct {
 	HTTP HTTPDoer
 	// Metrics, when non-nil, records request latency and outcomes.
 	Metrics *Metrics
+	// Codec selects the lookup wire format: CodecBinary negotiates a
+	// CRC-framed binary answer via Accept; the default is JSON.
+	Codec string
 
 	mode modeRecorder
 }
@@ -484,7 +542,15 @@ func (u *UserVehicle) LookupContext(ctx context.Context, area geo.Rect) ([]geo.P
 	q := fmt.Sprintf("%s/v1/lookup?xmin=%g&ymin=%g&xmax=%g&ymax=%g",
 		u.BaseURL, area.Min.X, area.Min.Y, area.Max.X, area.Max.Y)
 	var raw []server.LookupResult
-	if err := getJSONCtx(ctx, u.Metrics, u.httpDoer(), q, &raw); err != nil {
+	if u.Codec == CodecBinary {
+		body, err := getFrameCtx(ctx, u.Metrics, u.httpDoer(), q)
+		if err != nil {
+			return nil, err
+		}
+		if raw, err = server.DecodeLookupFrame(body); err != nil {
+			return nil, err
+		}
+	} else if err := getJSONCtx(ctx, u.Metrics, u.httpDoer(), q, &raw); err != nil {
 		return nil, err
 	}
 	out := make([]geo.Point, len(raw))
@@ -492,6 +558,47 @@ func (u *UserVehicle) LookupContext(ctx context.Context, area geo.Rect) ([]geo.P
 		out[i] = geo.Point{X: r.X, Y: r.Y}
 	}
 	return out, nil
+}
+
+// getFrameCtx issues a GET negotiating the binary codec via Accept and
+// returns the raw response body. Non-2xx responses become StatusErrors like
+// the JSON path's.
+func getFrameCtx(ctx context.Context, m *Metrics, h HTTPDoer, url string) ([]byte, error) {
+	ctx, span := trace.StartChild(ctx, "client.GET "+pathOf(url))
+	defer span.End()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		span.SetError(err)
+		return nil, err
+	}
+	req.Header.Set("Accept", server.FrameContentType)
+	if h == nil {
+		h = http.DefaultClient
+	}
+	start := time.Now()
+	var body []byte
+	err = func() error {
+		resp, derr := h.Do(req)
+		if derr != nil {
+			return derr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			return &StatusError{
+				Method:     req.Method,
+				Path:       req.URL.Path,
+				Status:     resp.StatusCode,
+				Body:       string(b),
+				RetryAfter: parseRetryAfter(resp),
+			}
+		}
+		body, derr = io.ReadAll(resp.Body)
+		return derr
+	}()
+	m.observe(req.URL.Path, start, err)
+	span.SetError(err)
+	return body, err
 }
 
 // Aggregate asks the server to run the offline crowdsourcing pipeline (an
@@ -538,6 +645,12 @@ func (v *CrowdVehicle) postJSON(ctx context.Context, path string, body, out any,
 	if err != nil {
 		return err
 	}
+	return v.postBody(ctx, path, jsonContentType, buf, out, queueable)
+}
+
+// postBody stamps an idempotency key and posts a pre-encoded body of the
+// given content type; out (if non-nil) receives the decoded JSON response.
+func (v *CrowdVehicle) postBody(ctx context.Context, path, contentType string, buf []byte, out any, queueable bool) error {
 	key := v.nextIdempotencyKey()
 
 	// One logical upload = one trace. The root span covers every retry
@@ -548,9 +661,9 @@ func (v *CrowdVehicle) postJSON(ctx context.Context, path string, body, out any,
 	span.SetAttr("idempotency_key", key)
 	span.SetAttr("bytes", len(buf))
 
-	err = sendJSON(ctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+path, buf, key, out)
+	err := sendBody(ctx, v.Metrics, v.httpDoer(), http.MethodPost, v.BaseURL+path, contentType, buf, key, out)
 	if err != nil && queueable && v.Outbox != nil && transientError(err) {
-		v.Outbox.enqueue(Entry{Path: path, Body: buf, Key: key, Traceparent: span.Traceparent()})
+		v.Outbox.enqueue(Entry{Path: path, Body: buf, Key: key, ContentType: contentType, Traceparent: span.Traceparent()})
 		v.Metrics.incOutboxEnqueued()
 		v.syncOutboxGauges()
 		span.AddEvent("queued to outbox")
@@ -568,11 +681,17 @@ func (v *CrowdVehicle) httpDoer() HTTPDoer {
 	return modeDoer{next: next, rec: &v.mode}
 }
 
-// sendJSON is the single request path shared by every client call: it
+// sendJSON is the JSON-bodied form of sendBody, shared by every client call
+// that speaks the default codec.
+func sendJSON(ctx context.Context, m *Metrics, h HTTPDoer, method, url string, body []byte, key string, out any) error {
+	return sendBody(ctx, m, h, method, url, jsonContentType, body, key, out)
+}
+
+// sendBody is the single request path shared by every client call: it
 // builds the request (with a rewindable body so retrying transports can
 // replay it), stamps the idempotency key, meters the round trip, and decodes
-// the response. A nil h selects http.DefaultClient.
-func sendJSON(ctx context.Context, m *Metrics, h HTTPDoer, method, url string, body []byte, key string, out any) error {
+// the JSON response. A nil h selects http.DefaultClient.
+func sendBody(ctx context.Context, m *Metrics, h HTTPDoer, method, url, contentType string, body []byte, key string, out any) error {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
@@ -588,7 +707,7 @@ func sendJSON(ctx context.Context, m *Metrics, h HTTPDoer, method, url string, b
 		return err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	if key != "" {
 		req.Header.Set(IdempotencyKeyHeader, key)

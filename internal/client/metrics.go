@@ -41,7 +41,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		reqDuration:     map[string]*obs.WindowedHistogram{},
 		outboxEnqueued:  reg.Counter("crowdwifi_client_outbox_enqueued_total", "Uploads parked in the store-and-forward outbox after delivery failure."),
 		outboxDrained:   reg.Counter("crowdwifi_client_outbox_drained_total", "Outbox entries delivered on a later contact window."),
-		outboxDropped:   reg.Counter("crowdwifi_client_outbox_dropped_total", "Outbox entries abandoned after a permanent server rejection."),
+		outboxDropped:   reg.Counter("crowdwifi_client_outbox_dropped_total", "Outbox entries abandoned, by reason.", obs.L("reason", "terminal")),
 		outboxDepth:     reg.Gauge("crowdwifi_client_outbox_depth", "Uploads currently waiting in the outbox."),
 		outboxOldestAge: reg.Gauge("crowdwifi_client_outbox_oldest_age_seconds", "Age of the oldest queued upload."),
 	}

@@ -17,6 +17,9 @@ type Entry struct {
 	Body       []byte
 	Key        string
 	EnqueuedAt time.Time
+	// ContentType is the parked body's wire format ("" means JSON); replays
+	// send it back verbatim so a binary-codec upload drains as binary.
+	ContentType string
 	// Traceparent preserves the originating upload's trace context so the
 	// eventual drain attempt joins the same trace (one logical request, one
 	// trace, even across a queue-and-drain gap).
@@ -110,4 +113,41 @@ func (o *Outbox) dropHead(key string) {
 	if len(o.entries) > 0 && o.entries[0].Key == key {
 		o.entries = append(o.entries[:0], o.entries[1:]...)
 	}
+}
+
+// peekRun returns copies of up to max entries from the head sharing path —
+// the contiguous run a batch drain can deliver in one round-trip without
+// reordering the FIFO. Empty when the head's path differs.
+func (o *Outbox) peekRun(path string, max int) []Entry {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var run []Entry
+	for _, e := range o.entries {
+		if e.Path != path || len(run) >= max {
+			break
+		}
+		run = append(run, e)
+	}
+	return run
+}
+
+// remove deletes the entries carrying the given keys, preserving the order
+// of the rest, and returns how many were removed.
+func (o *Outbox) remove(keys map[string]bool) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	kept := o.entries[:0]
+	removed := 0
+	for _, e := range o.entries {
+		if keys[e.Key] {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	o.entries = kept
+	return removed
 }

@@ -50,6 +50,10 @@ const ShardHeader = "X-Crowdwifi-Shard"
 // rejects oversized uploads before burning upstream bandwidth on them.
 const DefaultMaxBodyBytes = server.DefaultMaxBodyBytes
 
+// DefaultBatchMaxBodyBytes mirrors the shard server's batch-route cap; the
+// batch route has its own, larger per-route limit.
+const DefaultBatchMaxBodyBytes = server.DefaultBatchMaxBodyBytes
+
 // Peer is one shard the router can reach.
 type Peer struct {
 	ID  string
@@ -106,6 +110,9 @@ type RouterOptions struct {
 	Overload *overload.Options
 	// MaxBodyBytes caps upload bodies (≤ 0 selects DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// BatchMaxBodyBytes caps /v1/reports/batch bodies (≤ 0 selects
+	// DefaultBatchMaxBodyBytes).
+	BatchMaxBodyBytes int64
 }
 
 // peerClient is one shard's outbound path: its base URL plus a retrying
@@ -134,6 +141,8 @@ type Router struct {
 	ov      *overload.Admission
 	vnodes  int
 	maxBody int64
+	// batchMaxBody is the per-route cap for /v1/reports/batch.
+	batchMaxBody int64
 
 	mu    sync.RWMutex
 	peers map[string]*peerClient
@@ -152,9 +161,14 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		vnodes:  opts.VNodes,
 		maxBody: opts.MaxBodyBytes,
 		peers:   map[string]*peerClient{},
+
+		batchMaxBody: opts.BatchMaxBodyBytes,
 	}
 	if rt.maxBody <= 0 {
 		rt.maxBody = DefaultMaxBodyBytes
+	}
+	if rt.batchMaxBody <= 0 {
+		rt.batchMaxBody = DefaultBatchMaxBodyBytes
 	}
 	var retryMetrics *retry.Metrics
 	if opts.Registry != nil {
@@ -196,6 +210,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	}
 
 	rt.handle("/v1/reports", rt.handleUpload)
+	rt.handle("/v1/reports/batch", rt.handleBatch)
 	rt.handle("/v1/patterns", rt.handleUpload)
 	rt.handle("/v1/lookup", rt.handleLookup)
 	rt.handle("/v1/aggregate", rt.handleAggregate)
@@ -268,7 +283,7 @@ func classify(route string) overload.Family {
 	switch route {
 	case "/v1/lookup":
 		return overload.FamilyLookup
-	case "/v1/reports", "/v1/patterns":
+	case "/v1/reports", "/v1/reports/batch", "/v1/patterns":
 		return overload.FamilyUpload
 	default:
 		return overload.FamilyControl
@@ -441,18 +456,16 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	var probe struct {
-		Segment string `json:"segment"`
-	}
-	if err := json.Unmarshal(body, &probe); err != nil {
+	segment, err := uploadSegment(r.Header.Get("Content-Type"), body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if probe.Segment == "" {
+	if segment == "" {
 		writeError(w, http.StatusBadRequest, errors.New("segment required"))
 		return
 	}
-	owner := rt.ring.Load().Owner(probe.Segment)
+	owner := rt.ring.Load().Owner(segment)
 	if owner == "" {
 		shed(w, errors.New("no cluster members"), time.Second)
 		return
@@ -475,7 +488,7 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 			rt.metrics.incRerouted()
 			if rt.log != nil {
 				rt.log.Warn("upload re-routed after 421",
-					"segment", probe.Segment, "routed", owner, "owner", next)
+					"segment", segment, "routed", owner, "owner", next)
 			}
 			resp, err = rt.forward(r.Context(), npc, r.URL.Path, r.Header, body)
 			if err != nil {
@@ -488,6 +501,30 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set(ShardHeader, served)
 	trace.FromContext(r.Context()).SetAttr("shard", served)
 	proxy(w, resp)
+}
+
+// uploadSegment extracts the routing segment from an upload body in either
+// codec. Binary bodies are split but not re-encoded: the router routes on
+// the first frame's segment and forwards the original bytes verbatim, so a
+// frame upload survives the 421 re-route bit-for-bit.
+func uploadSegment(contentType string, body []byte) (string, error) {
+	if strings.HasPrefix(contentType, server.FrameContentType) {
+		frames, err := server.SplitReportFrames(body)
+		if err != nil {
+			return "", err
+		}
+		if len(frames) != 1 {
+			return "", fmt.Errorf("cluster: %d report frames in a single-upload body, want 1", len(frames))
+		}
+		return frames[0].Report.Segment, nil
+	}
+	var probe struct {
+		Segment string `json:"segment"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return "", err
+	}
+	return probe.Segment, nil
 }
 
 func drainClose(resp *http.Response) {
@@ -636,6 +673,15 @@ func (rt *Router) handleLookup(w http.ResponseWriter, r *http.Request) {
 		if rt.log != nil {
 			rt.log.Warn("partial lookup", "missing", strings.Join(missing, ","))
 		}
+	}
+	// The merge always happens in the JSON domain (shards are asked for
+	// JSON), so the JSON answer stays byte-identical to a single server's;
+	// the frame codec is applied only at this edge, on the merged result.
+	if server.WantsFrame(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", server.FrameContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(server.EncodeLookupFrame(merged))
+		return
 	}
 	writeJSON(w, http.StatusOK, merged)
 }

@@ -111,6 +111,16 @@ type Config struct {
 	// Seed feeds the deterministic RNG for payload synthesis, think-time
 	// jitter, and lookup areas (default 1).
 	Seed uint64
+	// Codec selects the upload/lookup wire format: client.CodecJSON
+	// (default, "") or client.CodecBinary for the length-prefixed frame
+	// codec.
+	Codec string
+	// BatchSize, when > 1, switches vehicles to batched delivery: each
+	// iteration still produces one report (so offered load matches a
+	// single-upload run), but reports accumulate locally and ship as one
+	// POST /v1/reports/batch every BatchSize iterations (frame codec on the
+	// wire regardless of Codec). Outbox drains batch the same way.
+	BatchSize int
 	// RetryAttempts is the per-request attempt budget including the first
 	// try (default 4).
 	RetryAttempts int
@@ -197,6 +207,9 @@ type vehicle struct {
 	rep  server.Report
 	rnd  *rng.RNG
 	area geo.Rect
+	// pending accumulates this vehicle's produced-but-unshipped reports in
+	// batch mode; it flushes every BatchSize iterations and once on stop.
+	pending []server.Report
 }
 
 // Runner executes one load run. Build it with NewRunner, then call Run once.
@@ -407,13 +420,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 		rep.Vehicle = fmt.Sprintf("load-%05d", i)
 		r.vehicles[i] = &vehicle{
 			cv: &client.CrowdVehicle{
-				ID:      rep.Vehicle,
-				BaseURL: cfg.ServerURL,
-				HTTP:    r.doer,
-				Metrics: r.clientMetrics,
-				Outbox:  client.NewOutbox(cfg.OutboxCap),
+				ID:        rep.Vehicle,
+				BaseURL:   cfg.ServerURL,
+				HTTP:      r.doer,
+				Metrics:   r.clientMetrics,
+				Outbox:    client.NewOutbox(cfg.OutboxCap),
+				Codec:     cfg.Codec,
+				BatchSize: cfg.BatchSize,
 			},
-			user: &client.UserVehicle{BaseURL: cfg.ServerURL, HTTP: r.doer, Metrics: r.clientMetrics},
+			user: &client.UserVehicle{BaseURL: cfg.ServerURL, HTTP: r.doer, Metrics: r.clientMetrics, Codec: cfg.Codec},
 			rep:  rep,
 			rnd:  rng.New(cfg.Seed).Split(0xdead0000 + uint64(i)),
 			area: area,
@@ -510,22 +525,54 @@ func (r *Runner) record(ep string, d time.Duration, err error) {
 	}
 }
 
+// recordBatch feeds one completed batch upload into the endpoint track:
+// latency once per round-trip, outcomes once per report, so uploads/s stays
+// a reports-delivered rate and batch runs compare against single-upload
+// runs on the same axis.
+func (r *Runner) recordBatch(ep string, d time.Duration, out client.BatchOutcome) {
+	t := r.tracks[ep]
+	sec := d.Seconds()
+	t.window.Observe(sec)
+	if r.measuring.Load() {
+		t.measured.Observe(sec)
+	}
+	t.ok.Add(uint64(out.Acked))
+	t.queued.Add(uint64(out.Queued))
+	t.errs.Add(uint64(out.Failed))
+}
+
 // drive is one vehicle's closed loop: upload, occasionally look up, think,
 // repeat until the context ends.
 func (r *Runner) drive(ctx context.Context, v *vehicle) {
 	for i := 1; ; i++ {
 		if ctx.Err() != nil || r.stopping.Load() {
+			// A stopping vehicle ships what it already produced so batch-mode
+			// accounting closes its books the same way single mode does.
+			r.flushBatch(ctx, v)
 			return
 		}
 		start := time.Now()
-		err := v.cv.UploadReport(ctx, v.rep)
-		if ctx.Err() != nil && err != nil {
-			// Cancelled mid-flight at a phase boundary: the upload parked
-			// itself in the outbox and the drain phase will settle it —
-			// recording it here would count shutdown noise as traffic.
-			return
+		if r.cfg.BatchSize > 1 {
+			// One report produced per iteration — identical offered load to a
+			// single-upload run — shipped every BatchSize iterations in one
+			// round-trip.
+			v.pending = append(v.pending, v.rep)
+			if len(v.pending) >= r.cfg.BatchSize {
+				r.flushBatch(ctx, v)
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		} else {
+			err := v.cv.UploadReport(ctx, v.rep)
+			if ctx.Err() != nil && err != nil {
+				// Cancelled mid-flight at a phase boundary: the upload parked
+				// itself in the outbox and the drain phase will settle it —
+				// recording it here would count shutdown noise as traffic.
+				return
+			}
+			r.record(EndpointUpload, time.Since(start), err)
 		}
-		r.record(EndpointUpload, time.Since(start), err)
 		if r.cfg.LookupEvery > 0 && i%r.cfg.LookupEvery == 0 {
 			area := v.lookupArea()
 			start = time.Now()
@@ -542,6 +589,21 @@ func (r *Runner) drive(ctx context.Context, v *vehicle) {
 			}
 		}
 	}
+}
+
+// flushBatch ships a vehicle's accumulated reports as one batch round-trip
+// and records the outcome. No-op outside batch mode or with nothing pending.
+func (r *Runner) flushBatch(ctx context.Context, v *vehicle) {
+	if r.cfg.BatchSize <= 1 || len(v.pending) == 0 || ctx.Err() != nil {
+		return
+	}
+	start := time.Now()
+	out, err := v.cv.UploadReportBatch(ctx, v.pending)
+	v.pending = v.pending[:0]
+	if ctx.Err() != nil && err != nil {
+		return
+	}
+	r.recordBatch(EndpointUpload, time.Since(start), out)
 }
 
 // lookupArea picks a random query window inside the scenario map, the way a

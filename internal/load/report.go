@@ -43,7 +43,7 @@ func (r *Runner) snapshot() snapshot {
 	s.retries = r.counterValue("crowdwifi_retry_retries_total")
 	s.parked = r.counterValue("crowdwifi_client_outbox_enqueued_total")
 	s.drained = r.counterValue("crowdwifi_client_outbox_drained_total")
-	s.dropped = r.counterValue("crowdwifi_client_outbox_dropped_total")
+	s.dropped = r.counterValue("crowdwifi_client_outbox_dropped_total", obs.L("reason", "terminal"))
 	return s
 }
 
@@ -286,6 +286,8 @@ type RunReport struct {
 		RetryAttempts  int     `json:"retryAttempts"`
 		OutboxCap      int     `json:"outboxCap"`
 		Seed           uint64  `json:"seed"`
+		Codec          string  `json:"codec"`
+		BatchSize      int     `json:"batchSize,omitempty"`
 	} `json:"config"`
 
 	// Sustained rates over the measure phase.
@@ -407,6 +409,11 @@ func (r *Runner) buildReport(in reportInputs) *RunReport {
 	rep.Config.RetryAttempts = r.cfg.RetryAttempts
 	rep.Config.OutboxCap = r.cfg.OutboxCap
 	rep.Config.Seed = r.cfg.Seed
+	rep.Config.Codec = r.cfg.Codec
+	if rep.Config.Codec == "" {
+		rep.Config.Codec = "json"
+	}
+	rep.Config.BatchSize = r.cfg.BatchSize
 
 	secs := in.measured.Seconds()
 	if secs <= 0 {

@@ -1,0 +1,288 @@
+package server
+
+// Batch ingest: POST /v1/reports/batch accepts many reports in one
+// round-trip — the vehicle outbox's drain path — with a per-entry
+// idempotency key and a per-entry status vector in the response. The body is
+// either JSON (BatchRequest) or a concatenation of binary report frames
+// (Content-Type: application/x-crowdwifi-frame); the response is JSON
+// (BatchResponse) or a single batch-status frame per the Accept header.
+//
+// Partial failure is the normal case, not an error: the response is always
+// 200 with one status per entry in request order. An entry's status is the
+// HTTP status it would have received as a single upload (201 stored, 2xx
+// replay, 400 invalid, 413 oversized record, 421 misdirected + owner, 503
+// in-flight duplicate, 500 durability fault), so the client's existing
+// terminal-vs-transient classification applies entry by entry.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"crowdwifi/internal/obs/trace"
+	"crowdwifi/internal/wal"
+)
+
+// defaultBatchChunkBytes bounds the encoded entries packed into one WAL
+// record on the batch append path. A full batch framed as a single record
+// could exceed wal.MaxRecordBytes and poison recovery, so batches are
+// chunked below the cap with headroom for the record envelope.
+const defaultBatchChunkBytes = wal.MaxRecordBytes - (64 << 10)
+
+// BatchItem pairs one batch entry's report with its idempotency key on the
+// Store's batch append path.
+type BatchItem struct {
+	Key    string
+	Report Report
+}
+
+// ingestBatch wraps the batch route with the resilience middleware applied
+// to POST: aggregation shedding and the batch-specific body cap.
+// Idempotency is per entry — keys ride inside the body — so the whole-
+// request dedupe of ingest() does not apply.
+func (s *Server) ingestBatch(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			h(w, r)
+			return
+		}
+		if s.store.Aggregating() {
+			s.shed(w, errors.New("aggregation in progress"), s.store.AggregationEta())
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.batchMaxBody)
+		h(w, r)
+	}
+}
+
+// readBody reads the (capped) request body whole, mapping an over-limit
+// read to a 413 with a JSON error body — the same contract decodeBody gives
+// JSON routes, for bodies the handler must parse itself.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(r.Body)
+	if err == nil {
+		return body, true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.metrics.incBodyLimited()
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("body exceeds %d bytes", tooLarge.Limit))
+		return nil, false
+	}
+	writeError(w, http.StatusBadRequest, err)
+	return nil, false
+}
+
+func (s *Server) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var entries []BatchEntry
+	if isFrameRequest(r) {
+		frames, err := SplitReportFrames(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		entries = make([]BatchEntry, len(frames))
+		for i, f := range frames {
+			entries[i] = BatchEntry{Key: f.Key, Report: f.Report}
+		}
+	} else {
+		var req BatchRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		entries = req.Entries
+	}
+	results := s.processBatch(r.Context(), entries)
+	if WantsFrame(r.Header.Get("Accept")) {
+		frame, err := EncodeBatchStatusFrame(results)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeFrame(w, frame)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// processBatch validates, ownership-filters, and dedupes each entry, then
+// runs the survivors through the store's chunked durable append. The status
+// vector is in entry order.
+func (s *Server) processBatch(ctx context.Context, entries []BatchEntry) []BatchEntryStatus {
+	ctx, span := trace.StartChild(ctx, "server.batch")
+	defer span.End()
+	span.SetAttr("entries", len(entries))
+	results := make([]BatchEntryStatus, len(entries))
+	var items []BatchItem
+	var itemIdx []int
+	for i, e := range entries {
+		results[i].Key = e.Key
+		if e.Report.Vehicle == "" || e.Report.Segment == "" {
+			results[i].Status = http.StatusBadRequest
+			results[i].Error = "report needs vehicle and segment"
+			continue
+		}
+		if owner, mis := s.misdirected(e.Report.Segment); mis {
+			results[i].Status = http.StatusMisdirectedRequest
+			results[i].Owner = owner
+			results[i].Error = fmt.Sprintf("segment %q is owned by shard %q", e.Report.Segment, owner)
+			continue
+		}
+		if e.Key != "" {
+			seen, rec := s.idem.begin(e.Key)
+			if seen {
+				if rec == nil {
+					// A first delivery of this key is still in flight
+					// elsewhere; the entry cannot be answered yet.
+					results[i].Status = http.StatusServiceUnavailable
+					results[i].Error = "duplicate request still in flight"
+					continue
+				}
+				s.metrics.incDeduped()
+				results[i].Status = rec.status
+				continue
+			}
+		}
+		items = append(items, BatchItem{Key: e.Key, Report: e.Report})
+		itemIdx = append(itemIdx, i)
+	}
+	errs := s.store.AddReportBatch(ctx, items)
+	stored, durabilityFault := 0, error(nil)
+	for j, idx := range itemIdx {
+		err := errs[j]
+		switch {
+		case err == nil:
+			results[idx].Status = http.StatusCreated
+			stored++
+			continue
+		case errors.Is(err, ErrRecordTooLarge):
+			s.metrics.incBodyLimited()
+			results[idx].Status = http.StatusRequestEntityTooLarge
+		case errors.Is(err, ErrDurability):
+			durabilityFault = err
+			results[idx].Status = http.StatusInternalServerError
+		default:
+			results[idx].Status = http.StatusBadRequest
+		}
+		results[idx].Error = err.Error()
+		// Release the claimed key so the client's retry is not stuck behind
+		// a phantom in-flight first delivery.
+		s.idem.finish(items[j].Key, results[idx].Status, nil)
+	}
+	if durabilityFault != nil {
+		s.log.Error("durable batch append failed", "err", durabilityFault)
+		s.reportDurability(durabilityFault)
+	}
+	span.SetAttr("stored", stored)
+	return results
+}
+
+// AddReportBatch appends many reports with write-ahead durability semantics,
+// chunked so no single WAL record exceeds the log's size cap, and returns
+// one error slot per item (nil = stored). Chunks are atomic: a chunk's
+// entries mutate state and complete their idempotency keys together after
+// the chunk's record is durable; a durability fault fails the faulted chunk
+// and everything after it while earlier chunks stay acknowledged. An item
+// whose own record cannot fit any chunk fails alone with ErrRecordTooLarge.
+func (s *Store) AddReportBatch(ctx context.Context, items []BatchItem) []error {
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return errs
+	}
+	ctx, span := trace.StartChild(ctx, "store.add_report_batch")
+	defer span.End()
+	span.SetAttr("entries", len(items))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	budget := s.batchChunk
+	if budget <= 0 {
+		budget = defaultBatchChunkBytes
+	}
+	// The chunk envelope: {"reports":[…]} plus one comma per entry, counted
+	// below with each entry's own bytes.
+	const envelope = int64(len(`{"reports":[]}`))
+
+	raws := make([]json.RawMessage, len(items))
+	for i, it := range items {
+		if it.Report.Vehicle == "" || it.Report.Segment == "" {
+			errs[i] = errors.New("server: report needs vehicle and segment")
+			continue
+		}
+		data, err := json.Marshal(reportRecord{Report: it.Report, IdemKey: it.Key})
+		if err != nil {
+			errs[i] = fmt.Errorf("%w: %v", ErrDurability, err)
+			continue
+		}
+		if int64(len(data))+envelope+1 > budget {
+			errs[i] = fmt.Errorf("%w: %d-byte report record", ErrRecordTooLarge, len(data))
+			continue
+		}
+		raws[i] = data
+	}
+
+	var pending []int
+	size := envelope
+	chunks := 0
+	var failed error
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if failed == nil {
+			rec := batchRecord{Reports: make([]json.RawMessage, len(pending))}
+			for j, idx := range pending {
+				rec.Reports[j] = raws[idx]
+			}
+			if err := s.appendRecordLocked(ctx, recReportBatch, rec); err != nil {
+				// One faulted chunk fails every entry from here on: the log
+				// refused a write, so later chunks must not be attempted.
+				failed = err
+			} else {
+				chunks++
+				for _, idx := range pending {
+					it := items[idx]
+					s.vehicleIndex(it.Report.Vehicle)
+					s.reports = append(s.reports, it.Report)
+					s.metrics.incReports()
+					s.completeIdemLocked(it.Key, reportResponse())
+				}
+			}
+		}
+		if failed != nil {
+			for _, idx := range pending {
+				errs[idx] = failed
+			}
+		}
+		pending = pending[:0]
+		size = envelope
+	}
+	for i := range items {
+		if errs[i] != nil || raws[i] == nil {
+			continue
+		}
+		if size+int64(len(raws[i]))+1 > budget {
+			flush()
+		}
+		pending = append(pending, i)
+		size += int64(len(raws[i])) + 1
+	}
+	flush()
+	if failed != nil {
+		span.SetError(failed)
+	}
+	span.SetAttr("chunks", chunks)
+	return errs
+}

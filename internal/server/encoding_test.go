@@ -2,6 +2,7 @@ package server
 
 import (
 	"io"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -26,6 +27,75 @@ func TestListEndpointsEncodeEmptyAsArray(t *testing.T) {
 		if got := strings.TrimSpace(string(body)); got != "[]" {
 			t.Errorf("GET %s = %q, want []", path, got)
 		}
+	}
+}
+
+// TestBatchResultsEncodeEmptyAsArray: the batch response's status vector
+// obeys the same []-not-null contract as the list endpoints — in JSON and
+// on the binary frame path, where an empty vector must decode to a non-nil
+// empty slice.
+func TestBatchResultsEncodeEmptyAsArray(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/reports/batch", "application/json",
+		strings.NewReader(`{}`)) // entries omitted entirely, not just empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(body)); got != `{"results":[]}` {
+		t.Errorf("empty batch = %q, want {\"results\":[]}", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/reports/batch", strings.NewReader(""))
+	req.Header.Set("Content-Type", FrameContentType)
+	req.Header.Set("Accept", FrameContentType)
+	fresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	frame, err := io.ReadAll(fresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := DecodeBatchStatusFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil || len(results) != 0 {
+		t.Errorf("binary empty batch decodes to %#v, want non-nil empty slice", results)
+	}
+}
+
+// TestLookupFrameEmptyAnswerKeepsContract: an empty lookup answer on the
+// binary path mirrors the JSON [] contract end to end over HTTP.
+func TestLookupFrameEmptyAnswerKeepsContract(t *testing.T) {
+	_, ts := newTestServer(t)
+	req, _ := http.NewRequest(http.MethodGet,
+		ts.URL+"/v1/lookup?xmin=0&ymin=0&xmax=100&ymax=100", nil)
+	req.Header.Set("Accept", FrameContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != FrameContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, FrameContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := DecodeLookupFrame(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results == nil || len(results) != 0 {
+		t.Errorf("empty lookup decodes to %#v, want non-nil empty slice", results)
 	}
 }
 

@@ -23,17 +23,23 @@ import (
 
 // WAL record kinds, one per mutating Store path.
 const (
-	recPattern   byte = 1
-	recLabels    byte = 2
-	recReport    byte = 3
-	recAggregate byte = 4
-	recDrop      byte = 5
+	recPattern     byte = 1
+	recLabels      byte = 2
+	recReport      byte = 3
+	recAggregate   byte = 4
+	recDrop        byte = 5
+	recReportBatch byte = 6
 )
 
 // ErrDurability marks a mutation rejected because its write-ahead append
 // failed; the in-memory state was not changed. HTTP handlers map it to 500
 // (the client may retry) instead of 400 (the client must not).
 var ErrDurability = errors.New("server: durable append failed")
+
+// ErrRecordTooLarge marks a mutation whose WAL record would exceed
+// wal.MaxRecordBytes. Unlike ErrDurability this is the request's fault, not
+// the disk's: handlers map it to 413 and the store stays writable.
+var ErrRecordTooLarge = errors.New("server: record exceeds the WAL record size limit")
 
 // patternRecord logs one AddPattern.
 type patternRecord struct {
@@ -53,6 +59,14 @@ type labelsRecord struct {
 type reportRecord struct {
 	Report  Report `json:"report"`
 	IdemKey string `json:"idemKey,omitempty"`
+}
+
+// batchRecord logs one chunk of a batch upload. A full batch encoded as a
+// single record could exceed wal.MaxRecordBytes and poison recovery, so
+// AddReportBatch splits batches into bounded chunks before framing; each
+// element replays exactly like a reportRecord, in order.
+type batchRecord struct {
+	Reports []json.RawMessage `json:"reports"`
 }
 
 // aggregateRecord logs one aggregation cycle's outputs (the post-cycle fused
@@ -261,6 +275,20 @@ func (s *Store) applyRecord(rec wal.Record) error {
 		s.vehicleIndex(rr.Report.Vehicle)
 		s.reports = append(s.reports, rr.Report)
 		s.recoverIdemLocked(rr.IdemKey, reportResponse())
+	case recReportBatch:
+		var br batchRecord
+		if err := json.Unmarshal(rec.Data, &br); err != nil {
+			return fmt.Errorf("server: record %d: %w", rec.Seq, err)
+		}
+		for i, raw := range br.Reports {
+			var rr reportRecord
+			if err := json.Unmarshal(raw, &rr); err != nil {
+				return fmt.Errorf("server: record %d entry %d: %w", rec.Seq, i, err)
+			}
+			s.vehicleIndex(rr.Report.Vehicle)
+			s.reports = append(s.reports, rr.Report)
+			s.recoverIdemLocked(rr.IdemKey, reportResponse())
+		}
 	case recAggregate:
 		var ar aggregateRecord
 		if err := json.Unmarshal(rec.Data, &ar); err != nil {
@@ -349,6 +377,12 @@ func (s *Store) appendRecordLocked(ctx context.Context, kind byte, v any) error 
 		return fmt.Errorf("%w: %v", ErrDurability, err)
 	}
 	if _, err := s.log.AppendContext(ctx, kind, data); err != nil {
+		if errors.Is(err, wal.ErrTooLarge) {
+			// The log rejects oversized payloads before touching the disk:
+			// this is a bad request, not a durability fault, and must not
+			// flip the server read-only.
+			return fmt.Errorf("%w: %d-byte record", ErrRecordTooLarge, len(data))
+		}
 		return fmt.Errorf("%w: %v", ErrDurability, err)
 	}
 	return nil

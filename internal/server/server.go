@@ -31,6 +31,11 @@ import (
 const (
 	// DefaultMaxBodyBytes caps ingestion request bodies.
 	DefaultMaxBodyBytes = 1 << 20
+	// DefaultBatchMaxBodyBytes caps /v1/reports/batch request bodies. Batch
+	// uploads carry hundreds of parked reports in one round-trip, so the
+	// single-upload cap would reject exactly the drains the endpoint exists
+	// for; the batch limit is per-route and independently configurable.
+	DefaultBatchMaxBodyBytes = 16 << 20
 	// DefaultRequestTimeout bounds each request's context.
 	DefaultRequestTimeout = 10 * time.Second
 	// DefaultIdempotencyCapacity bounds the deduplication cache.
@@ -122,6 +127,11 @@ type Store struct {
 	storage       StorageOptions
 	idemSink      *idemCache
 	recoveredIdem []idemEntry
+
+	// batchChunk overrides the batch-append chunk budget (bytes of encoded
+	// entries per WAL record); 0 selects defaultBatchChunkBytes. Tests lower
+	// it to exercise multi-record chunking without 16 MiB payloads.
+	batchChunk int64
 
 	// durabilitySink receives background durability faults (failed interval
 	// fsyncs) that no request surfaces; the overload controller registers
@@ -574,7 +584,10 @@ type Server struct {
 	tracer     *trace.Tracer
 	health     *obs.Health
 	maxBody    int64
-	reqTimeout time.Duration
+	// batchMaxBody is the per-route body cap for /v1/reports/batch; every
+	// other mutation route stays under maxBody.
+	batchMaxBody int64
+	reqTimeout   time.Duration
 	idemCap    int
 	idem       *idemCache
 
@@ -599,6 +612,13 @@ type Option func(*Server)
 // WithMaxBodyBytes caps ingestion request bodies (≤ 0 restores the default).
 func WithMaxBodyBytes(n int64) Option {
 	return func(s *Server) { s.maxBody = n }
+}
+
+// WithBatchMaxBodyBytes caps /v1/reports/batch request bodies (≤ 0 restores
+// the default). The batch route has its own, larger limit so outbox drains
+// of hundreds of reports are not rejected by the single-upload cap.
+func WithBatchMaxBodyBytes(n int64) Option {
+	return func(s *Server) { s.batchMaxBody = n }
 }
 
 // WithRequestTimeout bounds every request's context (≤ 0 disables).
@@ -679,6 +699,9 @@ func New(store *Store, opts ...Option) *Server {
 	if s.maxBody <= 0 {
 		s.maxBody = DefaultMaxBodyBytes
 	}
+	if s.batchMaxBody <= 0 {
+		s.batchMaxBody = DefaultBatchMaxBodyBytes
+	}
 	s.idem = newIdemCache(s.idemCap)
 	// Seed the cache with completions recovered from the WAL/snapshot and
 	// register it so durable mutations install their canonical responses
@@ -694,6 +717,7 @@ func New(store *Store, opts ...Option) *Server {
 	s.handle("/v1/tasks", s.handleTasks)
 	s.handle("/v1/labels", s.ingest(s.handleLabels))
 	s.handle("/v1/reports", s.ingest(s.handleReports))
+	s.handle("/v1/reports/batch", s.ingestBatch(s.handleReportBatch))
 	s.handle("/v1/aggregate", s.handleAggregate)
 	s.handle("/v1/lookup", s.handleLookup)
 	s.handle("/v1/reliability", s.handleReliability)
@@ -806,7 +830,7 @@ func classify(route, method string) (overload.Family, bool) {
 	switch route {
 	case "/v1/lookup":
 		return overload.FamilyLookup, false
-	case "/v1/reports", "/v1/labels", "/v1/patterns":
+	case "/v1/reports", "/v1/reports/batch", "/v1/labels", "/v1/patterns":
 		if method == http.MethodPost {
 			return overload.FamilyUpload, true
 		}
@@ -1023,6 +1047,14 @@ func writeCanned(w http.ResponseWriter, resp cannedResponse) {
 // overload state machine read-only — the disk refused a write, so no later
 // mutation can be acknowledged honestly until the probe sees it recover.
 func (s *Server) mutationError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrRecordTooLarge) {
+		// The WAL refused the record's size before writing anything: the
+		// request is too big (413), not the disk broken — the server must
+		// not flip read-only over a client-sized payload.
+		s.metrics.incBodyLimited()
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
 	if errors.Is(err, ErrDurability) {
 		s.log.Error("durable append failed", "err", err)
 		s.reportDurability(err)
@@ -1157,7 +1189,23 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var rep Report
-	if !s.decodeBody(w, r, &rep) {
+	if isFrameRequest(r) {
+		body, ok := s.readBody(w, r)
+		if !ok {
+			return
+		}
+		frames, err := SplitReportFrames(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(frames) != 1 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("expected exactly one report frame, got %d", len(frames)))
+			return
+		}
+		rep = frames[0].Report
+	} else if !s.decodeBody(w, r, &rep) {
 		return
 	}
 	if owner, mis := s.misdirected(rep.Segment); mis {
@@ -1212,8 +1260,20 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	area := geo.Rect{Min: geo.Point{X: vals[0], Y: vals[1]}, Max: geo.Point{X: vals[2], Y: vals[3]}}
+	results := s.store.Lookup(area)
+	if WantsFrame(r.Header.Get("Accept")) {
+		writeFrame(w, EncodeLookupFrame(results))
+		return
+	}
 	// Store.Lookup never returns nil, so empty results encode as [].
-	writeJSON(w, http.StatusOK, s.store.Lookup(area))
+	writeJSON(w, http.StatusOK, results)
+}
+
+// writeFrame sends a 200 with a binary-codec body.
+func writeFrame(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", FrameContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleReliability(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,316 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+
+	"crowdwifi/internal/wal"
+)
+
+// Binary wire codec (application/x-crowdwifi-frame).
+//
+// The codec reuses the WAL's CRC32C frame layout (internal/wal/record.go):
+//
+//	len u32 LE | crc u32 LE | kind u8 | data …
+//
+// so a report travels the wire in the same envelope it is logged in. A
+// request or response body is a concatenation of frames; a body with a
+// damaged, trailing-partial, or unexpected-kind frame is rejected whole —
+// unlike log recovery, the wire has no torn tail to forgive.
+//
+// Payload scalars are little-endian: strings are u16-length-prefixed UTF-8,
+// counts are u32, coordinates/weights are IEEE-754 f64 bits.
+
+// FrameContentType is the negotiated media type for the binary codec. A
+// request carrying it as Content-Type has a frame body; a request carrying
+// it in Accept asks for a frame response.
+const FrameContentType = "application/x-crowdwifi-frame"
+
+// Wire frame kinds. These live in the HTTP codec's namespace, not the WAL's
+// record-kind namespace: the shared piece is the envelope, not the registry.
+const (
+	wireReport      byte = 0x01
+	wireLookup      byte = 0x02
+	wireBatchStatus byte = 0x03
+)
+
+// ErrWireFrame reports a binary body that does not decode as the expected
+// sequence of frames.
+var ErrWireFrame = errors.New("server: malformed wire frame")
+
+// BatchEntry is one report in a batch upload, paired with its own
+// idempotency key so a replayed batch dedupes entry by entry.
+type BatchEntry struct {
+	Key    string `json:"key,omitempty"`
+	Report Report `json:"report"`
+}
+
+// BatchRequest is the JSON form of POST /v1/reports/batch. The binary form
+// is a concatenation of report frames, one per entry, each with its key
+// embedded.
+type BatchRequest struct {
+	Entries []BatchEntry `json:"entries"`
+}
+
+// BatchEntryStatus is one entry's outcome in a batch upload response. Status
+// carries the HTTP status the entry would have received as a single upload;
+// Owner names the owning shard when Status is 421 so a relay can re-route
+// the entry without re-deriving ownership.
+type BatchEntryStatus struct {
+	Key    string `json:"key,omitempty"`
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+	Owner  string `json:"owner,omitempty"`
+}
+
+// Ok reports whether the entry was durably accepted (stored now or replayed
+// from the idempotency cache).
+func (s BatchEntryStatus) Ok() bool { return s.Status >= 200 && s.Status < 300 }
+
+// BatchResponse is the per-entry status vector for a batch upload, in
+// request order. Results is always a JSON array, never null.
+type BatchResponse struct {
+	Results []BatchEntryStatus `json:"results"`
+}
+
+func appendWireString(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: string field of %d bytes exceeds %d", ErrWireFrame, len(s), math.MaxUint16)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func readWireString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("%w: truncated string length", ErrWireFrame)
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("%w: string of %d bytes truncated at %d", ErrWireFrame, n, len(b))
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func appendWireF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func readWireF64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: truncated float64", ErrWireFrame)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// EncodeReportFrame appends one report frame — with its per-entry
+// idempotency key, which may be empty — to dst and returns the extended
+// slice. Concatenating the results of successive calls yields a valid batch
+// body.
+func EncodeReportFrame(dst []byte, key string, rep Report) ([]byte, error) {
+	if len(rep.APs) > math.MaxUint32 {
+		return nil, fmt.Errorf("%w: %d access points", ErrWireFrame, len(rep.APs))
+	}
+	payload := make([]byte, 0, 8+len(key)+len(rep.Vehicle)+len(rep.Segment)+4+24*len(rep.APs))
+	var err error
+	for _, s := range []string{key, rep.Vehicle, rep.Segment} {
+		if payload, err = appendWireString(payload, s); err != nil {
+			return nil, err
+		}
+	}
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(rep.APs)))
+	for _, ap := range rep.APs {
+		payload = appendWireF64(payload, ap.X)
+		payload = appendWireF64(payload, ap.Y)
+		payload = appendWireF64(payload, ap.Credit)
+	}
+	return wal.AppendFrame(dst, wireReport, payload), nil
+}
+
+func decodeReportPayload(data []byte) (key string, rep Report, err error) {
+	if key, data, err = readWireString(data); err != nil {
+		return "", Report{}, err
+	}
+	if rep.Vehicle, data, err = readWireString(data); err != nil {
+		return "", Report{}, err
+	}
+	if rep.Segment, data, err = readWireString(data); err != nil {
+		return "", Report{}, err
+	}
+	if len(data) < 4 {
+		return "", Report{}, fmt.Errorf("%w: truncated AP count", ErrWireFrame)
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != 24*n {
+		return "", Report{}, fmt.Errorf("%w: %d APs need %d payload bytes, have %d", ErrWireFrame, n, 24*n, len(data))
+	}
+	if n > 0 {
+		rep.APs = make([]APReport, n)
+		for i := range rep.APs {
+			rep.APs[i].X, data, _ = readWireF64(data)
+			rep.APs[i].Y, data, _ = readWireF64(data)
+			rep.APs[i].Credit, data, _ = readWireF64(data)
+		}
+	}
+	return key, rep, nil
+}
+
+// ReportFrame is one decoded report frame plus its exact encoded bytes, so
+// a relay can regroup entries into per-shard sub-batches without
+// re-encoding (and without disturbing the bytes a shard will checksum).
+type ReportFrame struct {
+	Key    string
+	Report Report
+	Raw    []byte
+}
+
+// SplitReportFrames decodes a binary upload body into its report frames.
+// The whole body must parse: damaged frames, trailing garbage, and frames
+// of any other kind are rejected with ErrWireFrame.
+func SplitReportFrames(body []byte) ([]ReportFrame, error) {
+	var frames []ReportFrame
+	off := 0
+	valid, _, err := wal.WalkFrames(body, func(_ int, kind byte, data []byte) error {
+		end := off + int(wal.FrameSize(len(data)))
+		raw := body[off:end]
+		off = end
+		if kind != wireReport {
+			return fmt.Errorf("%w: unexpected frame kind 0x%02x", ErrWireFrame, kind)
+		}
+		key, rep, err := decodeReportPayload(data)
+		if err != nil {
+			return err
+		}
+		frames = append(frames, ReportFrame{Key: key, Report: rep, Raw: raw})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if valid != int64(len(body)) {
+		return nil, fmt.Errorf("%w: %d trailing bytes do not frame", ErrWireFrame, int64(len(body))-valid)
+	}
+	return frames, nil
+}
+
+// EncodeLookupFrame encodes a lookup answer as a single frame.
+func EncodeLookupFrame(results []LookupResult) []byte {
+	payload := make([]byte, 0, 4+24*len(results))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(results)))
+	for _, res := range results {
+		payload = appendWireF64(payload, res.X)
+		payload = appendWireF64(payload, res.Y)
+		payload = appendWireF64(payload, res.Weight)
+	}
+	return wal.AppendFrame(nil, wireLookup, payload)
+}
+
+// DecodeLookupFrame parses a binary lookup response body. An empty answer
+// decodes to a non-nil empty slice, mirroring the JSON []-not-null contract.
+func DecodeLookupFrame(body []byte) ([]LookupResult, error) {
+	data, err := soleFrame(body, wireLookup)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: truncated result count", ErrWireFrame)
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if len(data) != 24*n {
+		return nil, fmt.Errorf("%w: %d results need %d payload bytes, have %d", ErrWireFrame, n, 24*n, len(data))
+	}
+	results := make([]LookupResult, n)
+	for i := range results {
+		results[i].X, data, _ = readWireF64(data)
+		results[i].Y, data, _ = readWireF64(data)
+		results[i].Weight, data, _ = readWireF64(data)
+	}
+	return results, nil
+}
+
+// EncodeBatchStatusFrame encodes a batch status vector as a single frame.
+func EncodeBatchStatusFrame(results []BatchEntryStatus) ([]byte, error) {
+	payload := binary.LittleEndian.AppendUint32(nil, uint32(len(results)))
+	var err error
+	for _, st := range results {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(st.Status))
+		for _, s := range []string{st.Key, st.Error, st.Owner} {
+			if payload, err = appendWireString(payload, s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return wal.AppendFrame(nil, wireBatchStatus, payload), nil
+}
+
+// DecodeBatchStatusFrame parses a binary batch response body. An empty
+// vector decodes to a non-nil empty slice.
+func DecodeBatchStatusFrame(body []byte) ([]BatchEntryStatus, error) {
+	data, err := soleFrame(body, wireBatchStatus)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: truncated status count", ErrWireFrame)
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	results := make([]BatchEntryStatus, 0, n)
+	for i := 0; i < n; i++ {
+		var st BatchEntryStatus
+		if len(data) < 2 {
+			return nil, fmt.Errorf("%w: truncated status code", ErrWireFrame)
+		}
+		st.Status = int(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		for _, field := range []*string{&st.Key, &st.Error, &st.Owner} {
+			if *field, data, err = readWireString(data); err != nil {
+				return nil, err
+			}
+		}
+		results = append(results, st)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrWireFrame, len(data))
+	}
+	return results, nil
+}
+
+// soleFrame decodes body as exactly one frame of the wanted kind.
+func soleFrame(body []byte, want byte) ([]byte, error) {
+	var payload []byte
+	valid, n, err := wal.WalkFrames(body, func(i int, kind byte, data []byte) error {
+		if i > 0 {
+			return fmt.Errorf("%w: expected a single frame", ErrWireFrame)
+		}
+		if kind != want {
+			return fmt.Errorf("%w: unexpected frame kind 0x%02x, want 0x%02x", ErrWireFrame, kind, want)
+		}
+		payload = data
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n != 1 || valid != int64(len(body)) {
+		return nil, fmt.Errorf("%w: body is not a single intact frame", ErrWireFrame)
+	}
+	return payload, nil
+}
+
+// isFrameRequest reports whether the request body is in the binary codec.
+func isFrameRequest(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), FrameContentType)
+}
+
+// WantsFrame reports whether the Accept header asks for a binary response.
+func WantsFrame(accept string) bool {
+	return strings.Contains(accept, FrameContentType)
+}

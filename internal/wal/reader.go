@@ -38,7 +38,7 @@ func IterateDir(dir string, after uint64, fn func(Record) error) error {
 		if err != nil {
 			return err
 		}
-		valid, n, err := walkFrames(buf, func(idx int, kind byte, data []byte) error {
+		valid, n, err := WalkFrames(buf, func(idx int, kind byte, data []byte) error {
 			seq := seg.first + uint64(idx)
 			if seq <= after || kind == KindProbe {
 				return nil

@@ -17,8 +17,14 @@ import (
 // payload. A frame whose length field, checksum, or remaining bytes do not
 // add up marks the end of the trustworthy log: everything before it is
 // intact, everything from it on is discarded.
+//
+// The same layout doubles as the crowdwifi binary wire codec
+// (application/x-crowdwifi-frame): AppendFrame, WalkFrames, and FrameSize are
+// exported so the HTTP layer frames reports and lookup answers exactly the
+// way the log frames records.
 const (
-	frameHeaderSize = 8
+	// FrameHeaderSize is the fixed per-frame overhead before the payload.
+	FrameHeaderSize = 8
 	// MaxRecordBytes bounds one record's payload (kind + data). The cap
 	// exists so a corrupted length field cannot ask recovery to allocate
 	// gigabytes before the checksum gets a chance to reject the frame.
@@ -30,11 +36,11 @@ var ErrTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// appendFrame appends the framed record to dst and returns the extended
+// AppendFrame appends the framed record to dst and returns the extended
 // slice.
-func appendFrame(dst []byte, kind byte, data []byte) []byte {
+func AppendFrame(dst []byte, kind byte, data []byte) []byte {
 	n := 1 + len(data)
-	var hdr [frameHeaderSize]byte
+	var hdr [FrameHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(n))
 	crc := crc32.Update(0, castagnoli, []byte{kind})
 	crc = crc32.Update(crc, castagnoli, data)
@@ -44,26 +50,26 @@ func appendFrame(dst []byte, kind byte, data []byte) []byte {
 	return append(dst, data...)
 }
 
-// frameSize returns the on-disk size of a record with len(data) data bytes.
-func frameSize(dataLen int) int64 {
-	return int64(frameHeaderSize + 1 + dataLen)
+// FrameSize returns the encoded size of a frame with len(data) data bytes.
+func FrameSize(dataLen int) int64 {
+	return int64(FrameHeaderSize + 1 + dataLen)
 }
 
-// walkFrames decodes consecutive frames from buf, calling fn with each
+// WalkFrames decodes consecutive frames from buf, calling fn with each
 // record's index, kind, and data. It returns the offset just past the last
 // valid frame and the number of valid frames. Framing damage (truncated
 // header, oversized or zero length, checksum mismatch, short payload) is not
 // an error: the walk stops at the damaged frame and valid < len(buf) tells
 // the caller the tail is not trustworthy. A non-nil error is fn's own,
 // propagated immediately.
-func walkFrames(buf []byte, fn func(i int, kind byte, data []byte) error) (valid int64, n int, err error) {
+func WalkFrames(buf []byte, fn func(i int, kind byte, data []byte) error) (valid int64, n int, err error) {
 	off := 0
-	for off+frameHeaderSize <= len(buf) {
+	for off+FrameHeaderSize <= len(buf) {
 		length := int(binary.LittleEndian.Uint32(buf[off : off+4]))
-		if length < 1 || length > MaxRecordBytes || off+frameHeaderSize+length > len(buf) {
+		if length < 1 || length > MaxRecordBytes || off+FrameHeaderSize+length > len(buf) {
 			break
 		}
-		payload := buf[off+frameHeaderSize : off+frameHeaderSize+length]
+		payload := buf[off+FrameHeaderSize : off+FrameHeaderSize+length]
 		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[off+4:off+8]) {
 			break
 		}
@@ -72,7 +78,7 @@ func walkFrames(buf []byte, fn func(i int, kind byte, data []byte) error) (valid
 				return int64(off), n, err
 			}
 		}
-		off += frameHeaderSize + length
+		off += FrameHeaderSize + length
 		n++
 	}
 	return int64(off), n, nil

@@ -200,7 +200,7 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 		if err != nil {
 			return nil, OpenInfo{}, err
 		}
-		valid, n, _ := walkFrames(buf, nil)
+		valid, n, _ := WalkFrames(buf, nil)
 		if valid < int64(len(buf)) {
 			info.TruncatedBytes = int64(len(buf)) - valid
 			if err := os.Truncate(active.path, valid); err != nil {
@@ -345,7 +345,7 @@ func (l *Log) AppendContext(ctx context.Context, kind byte, data []byte) (uint64
 			return 0, err
 		}
 	}
-	size := frameSize(len(data))
+	size := FrameSize(len(data))
 	if l.size > 0 && l.size+size > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			span.SetError(err)
@@ -353,7 +353,7 @@ func (l *Log) AppendContext(ctx context.Context, kind byte, data []byte) (uint64
 		}
 		span.AddEvent("segment rotated")
 	}
-	frame := appendFrame(make([]byte, 0, size), kind, data)
+	frame := AppendFrame(make([]byte, 0, size), kind, data)
 	if _, err := l.f.Write(frame); err != nil {
 		// The frame may be partially on disk (a short write, ENOSPC
 		// mid-frame). Cut the file back to the last acknowledged byte so
@@ -493,7 +493,7 @@ func (l *Log) Replay(after uint64, fn func(Record) error) error {
 		if err != nil {
 			return err
 		}
-		valid, n, err := walkFrames(buf, func(idx int, kind byte, data []byte) error {
+		valid, n, err := WalkFrames(buf, func(idx int, kind byte, data []byte) error {
 			seq := seg.first + uint64(idx)
 			if seq <= after || kind == KindProbe {
 				return nil

@@ -206,8 +206,8 @@ func TestCRCMismatchMidFinalSegmentTruncates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frame := int(frameSize(64))
-	buf[2*frame+frameHeaderSize+10] ^= 0xff
+	frame := int(FrameSize(64))
+	buf[2*frame+FrameHeaderSize+10] ^= 0xff
 	if err := os.WriteFile(seg, buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestCRCMismatchInSealedSegmentFailsReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	buf[frameHeaderSize+20] ^= 0xff
+	buf[FrameHeaderSize+20] ^= 0xff
 	if err := os.WriteFile(segs[0], buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
